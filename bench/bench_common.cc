@@ -1,0 +1,61 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+namespace lshap {
+namespace bench {
+
+namespace {
+
+CorpusConfig ImdbCorpusConfig() {
+  CorpusConfig cfg;
+  cfg.seed = 101;
+  cfg.num_base_queries = 34;
+  cfg.max_outputs_per_query = 24;
+  // Multi-table joins give the paper-like lineage sizes (~18 facts/result
+  // on IMDB); single-table scans have trivial single-fact lineages.
+  cfg.query_gen.min_tables = 2;
+  cfg.query_gen.max_tables = 4;
+  return cfg;
+}
+
+CorpusConfig AcademicCorpusConfig() {
+  CorpusConfig cfg;
+  cfg.seed = 202;
+  cfg.num_base_queries = 34;
+  cfg.max_outputs_per_query = 24;
+  cfg.query_gen.min_tables = 2;
+  cfg.query_gen.max_tables = 5;
+  return cfg;
+}
+
+}  // namespace
+
+Workbench MakeImdbWorkbench(ThreadPool& pool) {
+  Workbench wb;
+  wb.label = "IMDB";
+  wb.data = MakeImdbDatabase({});
+  wb.corpus = BuildCorpus(*wb.data.db, wb.data.graph, ImdbCorpusConfig(),
+                          pool);
+  wb.sims = ComputeSimilarityMatrices(wb.corpus, 12, pool);
+  return wb;
+}
+
+Workbench MakeAcademicWorkbench(ThreadPool& pool) {
+  Workbench wb;
+  wb.label = "Academic";
+  wb.data = MakeAcademicDatabase({});
+  wb.corpus = BuildCorpus(*wb.data.db, wb.data.graph, AcademicCorpusConfig(),
+                          pool);
+  wb.sims = ComputeSimilarityMatrices(wb.corpus, 12, pool);
+  return wb;
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace lshap

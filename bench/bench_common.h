@@ -1,0 +1,35 @@
+#ifndef LSHAP_BENCH_BENCH_COMMON_H_
+#define LSHAP_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+
+#include "corpus/corpus.h"
+#include "datasets/academic.h"
+#include "datasets/imdb.h"
+
+namespace lshap {
+namespace bench {
+
+// One fully prepared experiment environment: database, DBShap-style corpus
+// with exact ground truth, and pairwise similarity matrices. All benches use
+// these fixed seeds so every table/figure is reproducible run to run.
+struct Workbench {
+  GeneratedDb data;
+  Corpus corpus;
+  SimilarityMatrices sims;
+  std::string label;  // "IMDB" or "Academic"
+};
+
+// The standard experiment scale (see DESIGN.md): large enough for training
+// signal, small enough that every bench binary finishes in minutes.
+Workbench MakeImdbWorkbench(ThreadPool& pool);
+Workbench MakeAcademicWorkbench(ThreadPool& pool);
+
+// Prints a horizontal rule + centered title, paper-style.
+void PrintHeader(const std::string& title);
+
+}  // namespace bench
+}  // namespace lshap
+
+#endif  // LSHAP_BENCH_BENCH_COMMON_H_

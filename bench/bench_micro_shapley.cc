@@ -1,0 +1,81 @@
+// Micro-benchmarks of the Shapley engines (google-benchmark): exact circuit
+// computation vs. brute force vs. CNF proxy vs. Monte Carlo on synthetic
+// provenance of varying lineage size. Supports the Table 6 claim that exact
+// computation dominates inference-time alternatives as provenance grows.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "provenance/bool_expr.h"
+#include "provenance/compiler.h"
+#include "shapley/shapley.h"
+
+namespace lshap {
+namespace {
+
+// Random monotone DNF with `num_vars` variables across `num_clauses`
+// clauses of length ~`clause_len` (deterministic per shape).
+Dnf MakeProvenance(size_t num_vars, size_t num_clauses, size_t clause_len) {
+  Rng rng(num_vars * 131 + num_clauses * 17 + clause_len);
+  std::vector<Clause> clauses;
+  for (size_t c = 0; c < num_clauses; ++c) {
+    Clause clause;
+    for (size_t i = 0; i < clause_len; ++i) {
+      clause.push_back(static_cast<FactId>(rng.NextBounded(num_vars)));
+    }
+    clauses.push_back(clause);
+  }
+  return Dnf(std::move(clauses));
+}
+
+void BM_ShapleyExact(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dnf d = MakeProvenance(n, n / 2 + 1, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeShapleyExact(d));
+  }
+  state.SetLabel("lineage=" + std::to_string(d.Variables().size()));
+}
+BENCHMARK(BM_ShapleyExact)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ShapleyBrute(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dnf d = MakeProvenance(n, n / 2 + 1, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeShapleyBrute(d));
+  }
+}
+BENCHMARK(BM_ShapleyBrute)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_CnfProxy(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dnf d = MakeProvenance(n, n / 2 + 1, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeCnfProxy(d));
+  }
+}
+BENCHMARK(BM_CnfProxy)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_MonteCarlo1k(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dnf d = MakeProvenance(n, n / 2 + 1, 4);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeShapleyMonteCarlo(d, 1000, rng));
+  }
+}
+BENCHMARK(BM_MonteCarlo1k)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_CircuitCompile(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dnf d = MakeProvenance(n, n / 2 + 1, 4);
+  for (auto _ : state) {
+    DnfCompiler compiler;
+    benchmark::DoNotOptimize(compiler.Compile(d));
+  }
+}
+BENCHMARK(BM_CircuitCompile)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+}  // namespace lshap
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Ranking facts never seen during training (Section 5.7): train LearnShapley
+// on a fraction of the query log so the test lineages contain many new
+// facts, then compare the model's partial rankings on seen vs. unseen facts
+// against the Nearest Queries baseline, which by construction scores every
+// unseen fact 0.
+#include <cstdio>
+
+#include "corpus/corpus.h"
+#include "datasets/imdb.h"
+#include "learnshapley/evaluate.h"
+#include "learnshapley/nearest_queries.h"
+#include "learnshapley/trainer.h"
+
+using namespace lshap;
+
+int main() {
+  ThreadPool pool;
+  GeneratedDb data = MakeImdbDatabase({});
+  CorpusConfig corpus_cfg;
+  corpus_cfg.seed = 71;
+  corpus_cfg.num_base_queries = 18;
+  corpus_cfg.max_outputs_per_query = 12;
+  Corpus corpus = BuildCorpus(*data.db, data.graph, corpus_cfg, pool);
+  SimilarityMatrices sims = ComputeSimilarityMatrices(corpus, 10, pool);
+
+  // Train on only half of the train split to inflate the unseen-fact rate.
+  std::vector<size_t> half(corpus.train_idx.begin(),
+                           corpus.train_idx.begin() +
+                               static_cast<ptrdiff_t>(corpus.train_idx.size() / 2));
+  TrainConfig cfg;
+  cfg.train_subset = half;
+  cfg.pretrain_epochs = 2;
+  cfg.pretrain_pairs_per_epoch = 256;
+  cfg.finetune_epochs = 3;
+  cfg.finetune_samples_per_epoch = 1024;
+  cfg.seed = 72;
+  TrainResult trained = TrainLearnShapley(corpus, sims, cfg, pool);
+
+  // "Seen" is defined w.r.t. the reduced training subset.
+  Corpus reduced = corpus;
+  reduced.train_idx = half;
+  const auto seen = TrainSeenFacts(reduced);
+
+  size_t total_facts = 0;
+  size_t unseen_facts = 0;
+  for (size_t e : corpus.test_idx) {
+    for (const auto& c : corpus.entries[e].contributions) {
+      for (const auto& [f, v] : c.shapley) {
+        ++total_facts;
+        if (seen.count(f) == 0) ++unseen_facts;
+      }
+    }
+  }
+  std::printf("Test lineage facts: %zu, unseen during training: %zu (%.1f%%)\n",
+              total_facts, unseen_facts,
+              100.0 * static_cast<double>(unseen_facts) /
+                  static_cast<double>(total_facts));
+
+  NearestQueriesScorer nn(&corpus, &sims, SimilarityMetric::kSyntax, 3, half);
+  const EvalSummary model_sum =
+      EvaluateScorer(corpus, corpus.test_idx, *trained.ranker, seen, pool);
+  const EvalSummary nn_sum =
+      EvaluateScorer(corpus, corpus.test_idx, nn, seen, pool);
+
+  auto partial_means = [](const EvalSummary& s) {
+    double seen_sum = 0.0, unseen_sum = 0.0;
+    size_t seen_n = 0, unseen_n = 0;
+    for (const auto& pt : s.points) {
+      if (pt.has_seen) {
+        seen_sum += pt.seen_ndcg10;
+        ++seen_n;
+      }
+      if (pt.has_unseen) {
+        unseen_sum += pt.unseen_ndcg10;
+        ++unseen_n;
+      }
+    }
+    return std::pair<double, double>(
+        seen_n ? seen_sum / static_cast<double>(seen_n) : 0.0,
+        unseen_n ? unseen_sum / static_cast<double>(unseen_n) : 0.0);
+  };
+  const auto [model_seen, model_unseen] = partial_means(model_sum);
+  const auto [nn_seen, nn_unseen] = partial_means(nn_sum);
+
+  std::printf("\n%-28s %-10s %-12s %-12s\n", "method", "NDCG@10",
+              "seen-NDCG", "unseen-NDCG");
+  std::printf("%-28s %-10.3f %-12.3f %-12.3f\n",
+              trained.ranker->name().c_str(), model_sum.ndcg10, model_seen,
+              model_unseen);
+  std::printf("%-28s %-10.3f %-12.3f %-12.3f\n", nn.name().c_str(),
+              nn_sum.ndcg10, nn_seen, nn_unseen);
+  std::printf("\nLearnShapley extracts signal for unseen facts from their "
+              "tokenized content;\nthe baseline places all unseen facts at "
+              "the bottom in arbitrary order.\n");
+  return 0;
+}

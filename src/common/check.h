@@ -1,0 +1,36 @@
+#ifndef LSHAP_COMMON_CHECK_H_
+#define LSHAP_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Fail-fast invariant checks, active in all build modes. These guard
+// programming errors (broken invariants), not user input; fallible user-facing
+// operations return Status instead.
+
+#define LSHAP_CHECK(cond)                                                   \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,         \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define LSHAP_CHECK_MSG(cond, msg)                                         \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,    \
+                   __LINE__, #cond, msg);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define LSHAP_CHECK_EQ(a, b) LSHAP_CHECK((a) == (b))
+#define LSHAP_CHECK_NE(a, b) LSHAP_CHECK((a) != (b))
+#define LSHAP_CHECK_LT(a, b) LSHAP_CHECK((a) < (b))
+#define LSHAP_CHECK_LE(a, b) LSHAP_CHECK((a) <= (b))
+#define LSHAP_CHECK_GT(a, b) LSHAP_CHECK((a) > (b))
+#define LSHAP_CHECK_GE(a, b) LSHAP_CHECK((a) >= (b))
+
+#endif  // LSHAP_COMMON_CHECK_H_

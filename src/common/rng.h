@@ -1,0 +1,80 @@
+#ifndef LSHAP_COMMON_RNG_H_
+#define LSHAP_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace lshap {
+
+// Deterministic, seedable pseudo-random number generator (xoshiro256**,
+// seeded via splitmix64). All experiment pipelines draw exclusively from
+// explicitly seeded Rng instances so every table and figure is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  // Uniform random 64-bit value.
+  uint64_t Next();
+
+  // Uniform integer in [0, bound). Requires bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  // Standard normal via Box-Muller.
+  double NextGaussian();
+
+  // True with probability p.
+  bool NextBool(double p = 0.5);
+
+  // Zipf-distributed integer in [0, n) with exponent s (s > 0). Larger s
+  // concentrates mass on small indices. Uses inverse-CDF over precomputed
+  // weights for small n; callers should cache a ZipfSampler for hot loops.
+  uint64_t NextZipf(uint64_t n, double s);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = NextBounded(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Sample k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  uint64_t s_[4];
+  bool have_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+// Precomputed Zipf sampler over [0, n) for repeated draws.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double s);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace lshap
+
+#endif  // LSHAP_COMMON_RNG_H_

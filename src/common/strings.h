@@ -1,0 +1,29 @@
+#ifndef LSHAP_COMMON_STRINGS_H_
+#define LSHAP_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lshap {
+
+// Joins the string representations of a range with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Splits on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+// Splits on any run of whitespace; empty fields are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace lshap
+
+#endif  // LSHAP_COMMON_STRINGS_H_

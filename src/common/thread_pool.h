@@ -1,0 +1,51 @@
+#ifndef LSHAP_COMMON_THREAD_POOL_H_
+#define LSHAP_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lshap {
+
+// Fixed-size worker pool. Used for embarrassingly parallel phases (Shapley
+// ground-truth computation over output tuples, batched model evaluation).
+class ThreadPool {
+ public:
+  // num_threads == 0 means hardware concurrency (at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Schedules fn; fn must not throw.
+  void Schedule(std::function<void()> fn);
+
+  // Blocks until every scheduled task has finished.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+// Runs fn(i) for i in [0, n) across the pool, blocking until all complete.
+void ParallelFor(ThreadPool& pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace lshap
+
+#endif  // LSHAP_COMMON_THREAD_POOL_H_

@@ -1,0 +1,29 @@
+#ifndef LSHAP_COMMON_TIMER_H_
+#define LSHAP_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace lshap {
+
+// Simple wall-clock stopwatch used by the inference-time experiments.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lshap
+
+#endif  // LSHAP_COMMON_TIMER_H_

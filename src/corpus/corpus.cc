@@ -1,0 +1,181 @@
+#include "corpus/corpus.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "eval/evaluator.h"
+#include "shapley/shapley.h"
+
+namespace lshap {
+
+Corpus BuildCorpus(const Database& db, const SchemaGraph& graph,
+                   const CorpusConfig& config, ThreadPool& pool) {
+  Corpus corpus;
+  corpus.db = &db;
+
+  QueryGenerator generator(&db, graph, config.query_gen, config.seed);
+  const std::vector<Query> log =
+      generator.GenerateLog(config.num_base_queries, db.name());
+
+  Rng rng(config.seed ^ 0xc0ffee);
+
+  // Evaluate each query; keep those with non-empty (and bounded) results.
+  struct Pending {
+    Query query;
+    EvalResult result;
+    std::vector<size_t> sampled;  // output indices to compute Shapley for
+  };
+  std::vector<Pending> pending;
+  for (const Query& q : log) {
+    auto eval = Evaluate(db, q);
+    if (!eval.ok()) continue;
+    EvalResult result = std::move(eval).value();
+    if (result.tuples.size() < config.min_outputs_per_query) continue;
+
+    Pending p;
+    p.query = q;
+    const size_t total = result.tuples.size();
+    const size_t want = std::min(total, config.max_outputs_per_query);
+    p.sampled = rng.SampleWithoutReplacement(total, want);
+    std::sort(p.sampled.begin(), p.sampled.end());
+    p.result = std::move(result);
+    pending.push_back(std::move(p));
+  }
+
+  // Exact Shapley ground truth, parallel over (query, tuple) pairs.
+  struct Job {
+    size_t entry;
+    size_t slot;
+    const Dnf* prov;
+  };
+  corpus.entries.resize(pending.size());
+  std::vector<Job> jobs;
+  for (size_t e = 0; e < pending.size(); ++e) {
+    Pending& p = pending[e];
+    CorpusEntry& entry = corpus.entries[e];
+    entry.query = p.query;
+    entry.all_outputs = p.result.tuples;
+    size_t slot = 0;
+    for (size_t idx : p.sampled) {
+      const Dnf& prov = p.result.provenance[idx];
+      if (prov.Variables().size() > config.max_lineage ||
+          prov.num_clauses() > config.max_clauses) {
+        continue;
+      }
+      entry.contributions.push_back({p.result.tuples[idx], {}});
+      jobs.push_back({e, slot, &prov});
+      ++slot;
+    }
+  }
+  ParallelFor(pool, jobs.size(), [&](size_t j) {
+    const Job& job = jobs[j];
+    corpus.entries[job.entry].contributions[job.slot].shapley =
+        ComputeShapleyExact(*job.prov);
+  });
+
+  // Drop entries that ended with no usable contributions.
+  std::vector<CorpusEntry> kept;
+  kept.reserve(corpus.entries.size());
+  for (auto& e : corpus.entries) {
+    if (!e.contributions.empty()) kept.push_back(std::move(e));
+  }
+  corpus.entries = std::move(kept);
+
+  // Query-level 70/10/20 split.
+  std::vector<size_t> order(corpus.entries.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  const size_t n_train =
+      static_cast<size_t>(config.train_frac * static_cast<double>(order.size()));
+  const size_t n_dev =
+      static_cast<size_t>(config.dev_frac * static_cast<double>(order.size()));
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i < n_train) {
+      corpus.train_idx.push_back(order[i]);
+    } else if (i < n_train + n_dev) {
+      corpus.dev_idx.push_back(order[i]);
+    } else {
+      corpus.test_idx.push_back(order[i]);
+    }
+  }
+  return corpus;
+}
+
+SimilarityMatrices ComputeSimilarityMatrices(const Corpus& corpus,
+                                             size_t max_tuples_for_rank,
+                                             ThreadPool& pool) {
+  const size_t n = corpus.entries.size();
+  SimilarityMatrices m;
+  m.syntax.assign(n, std::vector<double>(n, 0.0));
+  m.witness.assign(n, std::vector<double>(n, 0.0));
+  m.rank.assign(n, std::vector<double>(n, 0.0));
+
+  // Truncated contribution views for the (expensive) rank similarity.
+  std::vector<std::vector<TupleContribution>> capped(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& c = corpus.entries[i].contributions;
+    const size_t take = std::min(c.size(), max_tuples_for_rank);
+    capped[i].assign(c.begin(), c.begin() + static_cast<ptrdiff_t>(take));
+  }
+
+  // Upper-triangle pairs, parallelized.
+  std::vector<std::pair<size_t, size_t>> pairs;
+  pairs.reserve(n * (n + 1) / 2);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) pairs.emplace_back(i, j);
+  }
+  ParallelFor(pool, pairs.size(), [&](size_t p) {
+    const auto [i, j] = pairs[p];
+    const CorpusEntry& a = corpus.entries[i];
+    const CorpusEntry& b = corpus.entries[j];
+    const double syn = SyntaxSimilarity(a.query, b.query);
+    const double wit = WitnessSimilarity(a.all_outputs, b.all_outputs);
+    const double rnk = RankSimilarity(capped[i], capped[j]);
+    m.syntax[i][j] = m.syntax[j][i] = syn;
+    m.witness[i][j] = m.witness[j][i] = wit;
+    m.rank[i][j] = m.rank[j][i] = rnk;
+  });
+  return m;
+}
+
+SplitStats ComputeSplitStats(const Corpus& corpus,
+                             const std::vector<size_t>& split) {
+  SplitStats stats;
+  stats.queries = split.size();
+  for (size_t i : split) {
+    const CorpusEntry& e = corpus.entries[i];
+    stats.results += e.all_outputs.size();
+    for (const auto& c : e.contributions) stats.facts += c.shapley.size();
+  }
+  return stats;
+}
+
+std::unordered_set<FactId> TrainSeenFacts(const Corpus& corpus) {
+  std::unordered_set<FactId> seen;
+  for (size_t i : corpus.train_idx) {
+    for (const auto& c : corpus.entries[i].contributions) {
+      for (const auto& [f, v] : c.shapley) seen.insert(f);
+    }
+  }
+  return seen;
+}
+
+double MeanGroupSimilarity(const std::vector<std::vector<double>>& matrix,
+                           const std::vector<size_t>& group_a,
+                           const std::vector<size_t>& group_b) {
+  double sum = 0.0;
+  size_t count = 0;
+  for (size_t i : group_a) {
+    for (size_t j : group_b) {
+      if (i == j) continue;
+      sum += matrix[i][j];
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+}  // namespace lshap

@@ -1,0 +1,99 @@
+#ifndef LSHAP_CORPUS_CORPUS_H_
+#define LSHAP_CORPUS_CORPUS_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "query/generator.h"
+#include "relational/database.h"
+#include "similarity/similarity.h"
+
+namespace lshap {
+
+// Everything DBShap stores for one query: the query, its full output (the
+// witness set), and — for a sampled subset of outputs — the exact Shapley
+// value of every lineage fact.
+struct CorpusEntry {
+  Query query;
+  std::vector<OutputTuple> all_outputs;
+  // Sampled (output tuple, exact Shapley values) pairs; the tuple's lineage
+  // is exactly the key set of `shapley`.
+  std::vector<TupleContribution> contributions;
+};
+
+// A DBShap-style corpus over one database: query log with ground truth and
+// the 70/10/20 query-level split of Section 4.
+struct Corpus {
+  const Database* db = nullptr;
+  std::vector<CorpusEntry> entries;
+  std::vector<size_t> train_idx;
+  std::vector<size_t> dev_idx;
+  std::vector<size_t> test_idx;
+};
+
+struct CorpusConfig {
+  uint64_t seed = 1;
+  // Base queries to generate; mutated variants multiply this by ~2-3x.
+  size_t num_base_queries = 40;
+  // Cap on outputs per query for which exact Shapley values are computed
+  // (DBShap computes all; we sample for tractability — see DESIGN.md).
+  size_t max_outputs_per_query = 30;
+  // Skip output tuples whose lineage exceeds this (circuit compilation for
+  // pathological provenance can blow up; the paper's max is ~200).
+  size_t max_lineage = 200;
+  // Skip output tuples with more derivations than this — dense multi-hub
+  // provenance is where knowledge compilation degenerates (it is PP-hard in
+  // general).
+  size_t max_clauses = 120;
+  // Queries with fewer results than this are dropped from the log.
+  size_t min_outputs_per_query = 1;
+  double train_frac = 0.7;
+  double dev_frac = 0.1;
+  QueryGenConfig query_gen;
+};
+
+// Generates a query log over `db`, evaluates it with provenance, computes
+// exact Shapley ground truth for sampled outputs (in parallel over `pool`),
+// and splits queries into train/dev/test.
+Corpus BuildCorpus(const Database& db, const SchemaGraph& graph,
+                   const CorpusConfig& config, ThreadPool& pool);
+
+// Pairwise query-similarity matrices over a corpus (Figure 7, Table 2).
+struct SimilarityMatrices {
+  std::vector<std::vector<double>> syntax;
+  std::vector<std::vector<double>> witness;
+  std::vector<std::vector<double>> rank;
+};
+
+// Computes all three N x N matrices; rank similarity caps each query's
+// output side at `max_tuples_for_rank` contributions. Symmetric with unit
+// diagonal.
+SimilarityMatrices ComputeSimilarityMatrices(const Corpus& corpus,
+                                             size_t max_tuples_for_rank,
+                                             ThreadPool& pool);
+
+// Per-split counts for Table 1.
+struct SplitStats {
+  size_t queries = 0;
+  size_t results = 0;   // output tuples across the split (full witness sets)
+  size_t facts = 0;     // contributing facts across sampled contributions
+};
+
+SplitStats ComputeSplitStats(const Corpus& corpus,
+                             const std::vector<size_t>& split);
+
+// The set of facts appearing in any training contribution's lineage — used
+// by the seen/unseen analyses (Section 5.7).
+std::unordered_set<FactId> TrainSeenFacts(const Corpus& corpus);
+
+// Mean similarity between two groups of queries (e.g. train vs. test) under
+// a precomputed matrix; pairs (i, i) are excluded.
+double MeanGroupSimilarity(const std::vector<std::vector<double>>& matrix,
+                           const std::vector<size_t>& group_a,
+                           const std::vector<size_t>& group_b);
+
+}  // namespace lshap
+
+#endif  // LSHAP_CORPUS_CORPUS_H_

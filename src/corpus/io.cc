@@ -1,0 +1,286 @@
+#include "corpus/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "query/parser.h"
+
+namespace lshap {
+
+namespace {
+
+constexpr char kFieldSep = '\x1f';
+
+std::string EscapeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case kFieldSep:
+        out += "\\u";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    if (i + 1 >= s.size()) {
+      return Status::InvalidArgument("dangling escape in corpus file");
+    }
+    switch (s[++i]) {
+      case '\\':
+        out += '\\';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 'u':
+        out += kFieldSep;
+        break;
+      default:
+        return Status::InvalidArgument("unknown escape in corpus file");
+    }
+  }
+  return out;
+}
+
+std::string SerializeValue(const Value& v) {
+  if (v.is_null()) return "N";
+  if (v.is_int()) return "I" + std::to_string(v.AsInt());
+  if (v.is_double()) return "D" + StrFormat("%.17g", v.AsDouble());
+  return "S" + v.AsString();
+}
+
+Result<Value> DeserializeValue(const std::string& s) {
+  if (s.empty()) return Status::InvalidArgument("empty value field");
+  const std::string body = s.substr(1);
+  switch (s[0]) {
+    case 'N':
+      return Value();
+    case 'I':
+      return Value(static_cast<int64_t>(std::stoll(body)));
+    case 'D':
+      return Value(std::stod(body));
+    case 'S':
+      return Value(body);
+  }
+  return Status::InvalidArgument("unknown value tag '" + s.substr(0, 1) +
+                                 "'");
+}
+
+std::string SerializeTuple(const OutputTuple& t) {
+  std::string out;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += kFieldSep;
+    out += EscapeField(SerializeValue(t[i]));
+  }
+  return out;
+}
+
+Result<OutputTuple> DeserializeTuple(const std::string& line) {
+  OutputTuple t;
+  if (line.empty()) return t;
+  for (const std::string& field : Split(line, kFieldSep)) {
+    auto unescaped = UnescapeField(field);
+    if (!unescaped.ok()) return unescaped.status();
+    auto value = DeserializeValue(*unescaped);
+    if (!value.ok()) return value.status();
+    t.push_back(std::move(*value));
+  }
+  return t;
+}
+
+void WriteIndexLine(std::ofstream& out, const char* name,
+                    const std::vector<size_t>& idx) {
+  out << name;
+  for (size_t i : idx) out << ' ' << i;
+  out << '\n';
+}
+
+}  // namespace
+
+Status SaveCorpus(const Corpus& corpus, const std::string& path) {
+  if (corpus.db == nullptr) {
+    return Status::FailedPrecondition("corpus has no database");
+  }
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open '" + path + "' for write");
+
+  out << "LSHAP_CORPUS 1\n";
+  out << "db " << corpus.db->name() << ' ' << corpus.db->num_facts() << '\n';
+  out << "entries " << corpus.entries.size() << '\n';
+  for (const auto& e : corpus.entries) {
+    out << "entry " << e.query.id << '\n';
+    out << "sql " << EscapeField(e.query.ToSql()) << '\n';
+    out << "outputs " << e.all_outputs.size() << '\n';
+    for (const auto& t : e.all_outputs) {
+      out << "O " << SerializeTuple(t) << '\n';
+    }
+    out << "contribs " << e.contributions.size() << '\n';
+    for (const auto& c : e.contributions) {
+      out << "C " << SerializeTuple(c.tuple) << '\n';
+      out << "S " << c.shapley.size();
+      for (const auto& [f, v] : c.shapley) {
+        out << ' ' << f << ':' << StrFormat("%.17g", v);
+      }
+      out << '\n';
+    }
+  }
+  WriteIndexLine(out, "train", corpus.train_idx);
+  WriteIndexLine(out, "dev", corpus.dev_idx);
+  WriteIndexLine(out, "test", corpus.test_idx);
+  out.flush();
+  if (!out) return Status::Internal("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+Result<Corpus> LoadCorpus(const Database* db, const std::string& path) {
+  if (db == nullptr) return Status::InvalidArgument("null database");
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+
+  auto bad = [&](const std::string& what) {
+    return Status::InvalidArgument("corpus file '" + path + "': " + what);
+  };
+
+  std::string line;
+  if (!std::getline(in, line) || line != "LSHAP_CORPUS 1") {
+    return bad("missing header");
+  }
+  std::string word;
+  {
+    if (!std::getline(in, line)) return bad("missing db line");
+    std::istringstream ls(line);
+    std::string name;
+    size_t facts = 0;
+    ls >> word >> name >> facts;
+    if (word != "db") return bad("expected db line");
+    if (name != db->name() || facts != db->num_facts()) {
+      return Status::FailedPrecondition(
+          StrFormat("corpus was built over database '%s' (%zu facts), got "
+                    "'%s' (%zu facts)",
+                    name.c_str(), facts, db->name().c_str(),
+                    db->num_facts()));
+    }
+  }
+
+  Corpus corpus;
+  corpus.db = db;
+  size_t num_entries = 0;
+  {
+    if (!std::getline(in, line)) return bad("missing entries line");
+    std::istringstream ls(line);
+    ls >> word >> num_entries;
+    if (word != "entries") return bad("expected entries line");
+  }
+
+  for (size_t e = 0; e < num_entries; ++e) {
+    CorpusEntry entry;
+    if (!std::getline(in, line) || !StartsWith(line, "entry ")) {
+      return bad("expected entry line");
+    }
+    const std::string id = line.substr(6);
+    if (!std::getline(in, line) || !StartsWith(line, "sql ")) {
+      return bad("expected sql line");
+    }
+    auto sql = UnescapeField(line.substr(4));
+    if (!sql.ok()) return sql.status();
+    auto query = ParseQuery(*db, *sql, id);
+    if (!query.ok()) return query.status();
+    entry.query = std::move(*query);
+
+    size_t num_outputs = 0;
+    if (!std::getline(in, line)) return bad("expected outputs line");
+    {
+      std::istringstream ls(line);
+      ls >> word >> num_outputs;
+      if (word != "outputs") return bad("expected outputs line");
+    }
+    entry.all_outputs.reserve(num_outputs);
+    for (size_t i = 0; i < num_outputs; ++i) {
+      if (!std::getline(in, line) || !StartsWith(line, "O ")) {
+        return bad("expected O line");
+      }
+      auto tuple = DeserializeTuple(line.substr(2));
+      if (!tuple.ok()) return tuple.status();
+      entry.all_outputs.push_back(std::move(*tuple));
+    }
+
+    size_t num_contribs = 0;
+    if (!std::getline(in, line)) return bad("expected contribs line");
+    {
+      std::istringstream ls(line);
+      ls >> word >> num_contribs;
+      if (word != "contribs") return bad("expected contribs line");
+    }
+    entry.contributions.reserve(num_contribs);
+    for (size_t i = 0; i < num_contribs; ++i) {
+      TupleContribution contrib;
+      if (!std::getline(in, line) || !StartsWith(line, "C ")) {
+        return bad("expected C line");
+      }
+      auto tuple = DeserializeTuple(line.substr(2));
+      if (!tuple.ok()) return tuple.status();
+      contrib.tuple = std::move(*tuple);
+      if (!std::getline(in, line) || !StartsWith(line, "S ")) {
+        return bad("expected S line");
+      }
+      std::istringstream ls(line.substr(2));
+      size_t k = 0;
+      ls >> k;
+      for (size_t j = 0; j < k; ++j) {
+        std::string pair;
+        if (!(ls >> pair)) return bad("truncated shapley list");
+        const size_t colon = pair.find(':');
+        if (colon == std::string::npos) return bad("malformed shapley pair");
+        const FactId f =
+            static_cast<FactId>(std::stoul(pair.substr(0, colon)));
+        if (f >= db->num_facts()) return bad("fact id out of range");
+        contrib.shapley[f] = std::stod(pair.substr(colon + 1));
+      }
+      entry.contributions.push_back(std::move(contrib));
+    }
+    corpus.entries.push_back(std::move(entry));
+  }
+
+  auto read_index = [&](const char* name,
+                        std::vector<size_t>& idx) -> Status {
+    if (!std::getline(in, line)) return bad(std::string("missing ") + name);
+    std::istringstream ls(line);
+    ls >> word;
+    if (word != name) return bad(std::string("expected ") + name + " line");
+    size_t i;
+    while (ls >> i) {
+      if (i >= corpus.entries.size()) return bad("split index out of range");
+      idx.push_back(i);
+    }
+    return Status::Ok();
+  };
+  Status s = read_index("train", corpus.train_idx);
+  if (!s.ok()) return s;
+  s = read_index("dev", corpus.dev_idx);
+  if (!s.ok()) return s;
+  s = read_index("test", corpus.test_idx);
+  if (!s.ok()) return s;
+  return corpus;
+}
+
+}  // namespace lshap

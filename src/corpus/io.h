@@ -1,0 +1,27 @@
+#ifndef LSHAP_CORPUS_IO_H_
+#define LSHAP_CORPUS_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "corpus/corpus.h"
+
+namespace lshap {
+
+// Saves a corpus (queries as SQL, witnesses, sampled contributions with
+// exact Shapley values, and the train/dev/test split) to a line-oriented
+// text file — the redistributable DBShap artifact.
+//
+// Fact ids are database-relative: loading requires the same deterministic
+// database build (same generator config and seed), which the header records
+// by database name and fact count.
+Status SaveCorpus(const Corpus& corpus, const std::string& path);
+
+// Loads a corpus previously written by SaveCorpus. Queries are re-parsed
+// from their SQL; `db` must be the same database instance the corpus was
+// built over (validated by name and fact count).
+Result<Corpus> LoadCorpus(const Database* db, const std::string& path);
+
+}  // namespace lshap
+
+#endif  // LSHAP_CORPUS_IO_H_

@@ -1,0 +1,215 @@
+#include "datasets/academic.h"
+
+#include <iterator>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace lshap {
+
+namespace {
+
+const char* const kOrgStems[] = {
+    "University of California San Diego",
+    "University of Michigan",
+    "Tel Aviv University",
+    "ETH Zurich",
+    "MIT",
+    "Stanford University",
+    "Tsinghua University",
+    "University of Tokyo",
+    "Oxford University",
+    "TU Munich",
+};
+
+const char* const kDomainNames[] = {
+    "Software Engineering", "Databases",       "Machine Learning",
+    "Computer Networks",    "Security",        "Theory",
+    "Graphics",             "Systems",         "HCI",
+    "Bioinformatics",       "Robotics",        "Compilers",
+};
+
+const char* const kConfStems[] = {
+    "SIGMOD", "VLDB",  "ICDE", "EDBT",  "PODS", "CAV",  "ISSRE",
+    "NeurIPS", "ICML", "KDD",  "WWW",   "OSDI", "SOSP", "CCS",
+};
+
+const char* const kPaperAdjectives[] = {
+    "Efficient", "Scalable", "Robust",    "Adaptive", "Incremental",
+    "Parallel",  "Learned",  "Declarative", "Unified", "Provenance-Aware",
+};
+
+const char* const kPaperNouns[] = {
+    "Query Processing",  "Fact Attribution",   "Index Structures",
+    "Stream Processing", "Data Cleaning",      "View Maintenance",
+    "Model Training",    "Graph Analytics",    "Consensus Protocols",
+    "Access Control",
+};
+
+const char* const kAuthorFirst[] = {
+    "Dana", "Daniel", "Nave",  "Maya",  "Omer", "Yael", "Amir",
+    "Noa",  "Eli",    "Tamar", "Gil",   "Rona", "Adi",  "Ben",
+};
+
+const char* const kAuthorLast[] = {
+    "Arad",    "Deutch", "Frost",  "Levi",   "Cohen", "Mizrahi",
+    "Peretz",  "Biton",  "Avital", "Shaked", "Golan", "Navon",
+};
+
+}  // namespace
+
+GeneratedDb MakeAcademicDatabase(const AcademicConfig& config) {
+  Rng rng(config.seed);
+  auto db = std::make_unique<Database>("academic");
+
+  LSHAP_CHECK(db->AddTable(Schema("organization",
+                                  {{"id", ColumnType::kInt},
+                                   {"name", ColumnType::kString}}))
+                  .ok());
+  LSHAP_CHECK(db->AddTable(Schema("author",
+                                  {{"id", ColumnType::kInt},
+                                   {"name", ColumnType::kString},
+                                   {"org_id", ColumnType::kInt},
+                                   {"paper_count", ColumnType::kInt},
+                                   {"citation_count", ColumnType::kInt}}))
+                  .ok());
+  LSHAP_CHECK(db->AddTable(Schema("publication",
+                                  {{"pid", ColumnType::kInt},
+                                   {"title", ColumnType::kString},
+                                   {"year", ColumnType::kInt},
+                                   {"cid", ColumnType::kInt},
+                                   {"citations", ColumnType::kInt}}))
+                  .ok());
+  LSHAP_CHECK(db->AddTable(Schema("writes",
+                                  {{"author_id", ColumnType::kInt},
+                                   {"pub_id", ColumnType::kInt}}))
+                  .ok());
+  LSHAP_CHECK(db->AddTable(Schema("conference",
+                                  {{"cid", ColumnType::kInt},
+                                   {"name", ColumnType::kString}}))
+                  .ok());
+  LSHAP_CHECK(db->AddTable(Schema("domain",
+                                  {{"did", ColumnType::kInt},
+                                   {"name", ColumnType::kString}}))
+                  .ok());
+  LSHAP_CHECK(db->AddTable(Schema("domain_conference",
+                                  {{"cid", ColumnType::kInt},
+                                   {"did", ColumnType::kInt}}))
+                  .ok());
+
+  // Organizations.
+  for (size_t i = 0; i < config.num_organizations; ++i) {
+    std::string name = kOrgStems[i % std::size(kOrgStems)];
+    if (i >= std::size(kOrgStems)) {
+      name += StrFormat(" Campus %zu", i / std::size(kOrgStems) + 1);
+    }
+    LSHAP_CHECK(db->Insert("organization",
+                           {Value(static_cast<int64_t>(i)), Value(name)})
+                    .ok());
+  }
+
+  // Authors.
+  for (size_t i = 0; i < config.num_authors; ++i) {
+    std::string name =
+        std::string(kAuthorFirst[rng.NextBounded(std::size(kAuthorFirst))]) +
+        " " + kAuthorLast[rng.NextBounded(std::size(kAuthorLast))] +
+        StrFormat(" #%zu", i);
+    const int64_t org =
+        static_cast<int64_t>(rng.NextBounded(config.num_organizations));
+    const int64_t papers = rng.NextInt(1, 160);
+    const int64_t citations = papers * rng.NextInt(2, 90);
+    LSHAP_CHECK(db->Insert("author", {Value(static_cast<int64_t>(i)),
+                                      Value(name), Value(org), Value(papers),
+                                      Value(citations)})
+                    .ok());
+  }
+
+  // Conferences, domains and their many-to-many bridge.
+  for (size_t i = 0; i < config.num_conferences; ++i) {
+    std::string name = kConfStems[i % std::size(kConfStems)];
+    if (i >= std::size(kConfStems)) {
+      name += StrFormat(" Workshop %zu", i / std::size(kConfStems));
+    }
+    LSHAP_CHECK(db->Insert("conference",
+                           {Value(static_cast<int64_t>(i)), Value(name)})
+                    .ok());
+  }
+  for (size_t i = 0; i < config.num_domains; ++i) {
+    LSHAP_CHECK(db->Insert("domain",
+                           {Value(static_cast<int64_t>(i)),
+                            Value(kDomainNames[i % std::size(kDomainNames)])})
+                    .ok());
+  }
+  {
+    std::unordered_set<uint64_t> seen;
+    size_t inserted = 0;
+    size_t attempts = 0;
+    while (inserted < config.num_domain_conference &&
+           attempts < config.num_domain_conference * 20) {
+      ++attempts;
+      const uint64_t cid = rng.NextBounded(config.num_conferences);
+      const uint64_t did = rng.NextBounded(config.num_domains);
+      if (!seen.insert(cid * 1000 + did).second) continue;
+      LSHAP_CHECK(db->Insert("domain_conference",
+                             {Value(static_cast<int64_t>(cid)),
+                              Value(static_cast<int64_t>(did))})
+                      .ok());
+      ++inserted;
+    }
+  }
+
+  // Publications, with Zipf-skewed conference popularity.
+  ZipfSampler conf_sampler(config.num_conferences, config.conference_zipf);
+  for (size_t i = 0; i < config.num_publications; ++i) {
+    std::string title =
+        std::string(
+            kPaperAdjectives[rng.NextBounded(std::size(kPaperAdjectives))]) +
+        " " + kPaperNouns[rng.NextBounded(std::size(kPaperNouns))] +
+        StrFormat(" v%zu", i);
+    const int64_t year = rng.NextInt(2000, 2023);
+    const int64_t cid = static_cast<int64_t>(conf_sampler.Sample(rng));
+    const int64_t citations = rng.NextInt(0, 400);
+    LSHAP_CHECK(db->Insert("publication",
+                           {Value(static_cast<int64_t>(i)), Value(title),
+                            Value(year), Value(cid), Value(citations)})
+                    .ok());
+  }
+
+  // Authorship, with Zipf-skewed author productivity.
+  ZipfSampler author_sampler(config.num_authors, config.author_zipf);
+  {
+    std::unordered_set<uint64_t> seen;
+    size_t inserted = 0;
+    size_t attempts = 0;
+    while (inserted < config.num_writes &&
+           attempts < config.num_writes * 10) {
+      ++attempts;
+      const uint64_t author = author_sampler.Sample(rng);
+      const uint64_t pub = rng.NextBounded(config.num_publications);
+      if (!seen.insert(author * 1000000 + pub).second) continue;
+      LSHAP_CHECK(db->Insert("writes", {Value(static_cast<int64_t>(author)),
+                                        Value(static_cast<int64_t>(pub))})
+                      .ok());
+      ++inserted;
+    }
+  }
+
+  SchemaGraph graph;
+  graph.tables = {"organization", "author",    "publication", "writes",
+                  "conference",   "domain",    "domain_conference"};
+  graph.edges = {
+      {{"author", "org_id"}, {"organization", "id"}},
+      {{"writes", "author_id"}, {"author", "id"}},
+      {{"writes", "pub_id"}, {"publication", "pid"}},
+      {{"publication", "cid"}, {"conference", "cid"}},
+      {{"domain_conference", "cid"}, {"conference", "cid"}},
+      {{"domain_conference", "did"}, {"domain", "did"}},
+  };
+  return {std::move(db), std::move(graph)};
+}
+
+}  // namespace lshap

@@ -1,0 +1,38 @@
+#ifndef LSHAP_DATASETS_ACADEMIC_H_
+#define LSHAP_DATASETS_ACADEMIC_H_
+
+#include <cstdint>
+
+#include "datasets/imdb.h"  // for GeneratedDb
+
+namespace lshap {
+
+// Size knobs for the synthetic Microsoft-Academic-like database. Defaults
+// target the paper's reported shape for this corpus: ~312 results per query
+// and ~8 contributing facts per result, with a heavy tail.
+struct AcademicConfig {
+  uint64_t seed = 11;
+  size_t num_organizations = 18;
+  size_t num_authors = 140;
+  size_t num_publications = 320;
+  size_t num_writes = 520;
+  size_t num_conferences = 32;
+  size_t num_domains = 10;
+  size_t num_domain_conference = 48;
+  double author_zipf = 0.9;
+  double conference_zipf = 0.7;
+};
+
+// Schema mirrors the Academic examples in the paper (Figure 8):
+//   organization(id, name)
+//   author(id, name, org_id, paper_count, citation_count)
+//   publication(pid, title, year, cid, citations)
+//   writes(author_id, pub_id)
+//   conference(cid, name)
+//   domain(did, name)
+//   domain_conference(cid, did)
+GeneratedDb MakeAcademicDatabase(const AcademicConfig& config);
+
+}  // namespace lshap
+
+#endif  // LSHAP_DATASETS_ACADEMIC_H_

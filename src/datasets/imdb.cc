@@ -1,0 +1,137 @@
+#include "datasets/imdb.h"
+
+#include <iterator>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace lshap {
+
+namespace {
+
+const char* const kCompanyStems[] = {
+    "Universal", "Warner",  "Paramount", "Columbia", "Fox",
+    "Lionsgate", "Miramax", "NewLine",   "Orion",    "Gaumont",
+    "Studio",    "Castle",  "Summit",    "Vertigo",  "Apex",
+};
+
+const char* const kCountries[] = {"USA", "USA", "USA", "UK",
+                                  "France", "Germany", "Canada"};
+
+const char* const kTitleAdjectives[] = {
+    "Dark",  "Silent", "Golden", "Lost",   "Final", "Hidden",
+    "Iron",  "Last",   "Broken", "Crimson", "Frozen", "Wild",
+};
+
+const char* const kTitleNouns[] = {
+    "Empire", "Horizon", "Garden", "Witness", "Signal", "Harbor",
+    "Engine", "Mirror",  "Island", "Canyon",  "Letter", "Voyage",
+};
+
+const char* const kFirstNames[] = {
+    "Alice", "Bob",   "Carol", "David", "Erin",  "Frank", "Grace",
+    "Heidi", "Ivan",  "Judy",  "Karl",  "Laura", "Mike",  "Nina",
+    "Oscar", "Peggy", "Quinn", "Rita",  "Sam",   "Tina",
+};
+
+const char* const kLastNames[] = {
+    "Smith", "Jones", "Brown", "Davis", "Miller", "Wilson", "Moore",
+    "Clark", "Lewis", "Walker", "Young", "King",   "Baron",  "Hale",
+};
+
+}  // namespace
+
+GeneratedDb MakeImdbDatabase(const ImdbConfig& config) {
+  Rng rng(config.seed);
+  auto db = std::make_unique<Database>("imdb");
+
+  LSHAP_CHECK(db->AddTable(Schema("companies",
+                                  {{"name", ColumnType::kString},
+                                   {"country", ColumnType::kString}}))
+                  .ok());
+  LSHAP_CHECK(db->AddTable(Schema("actors", {{"name", ColumnType::kString},
+                                             {"age", ColumnType::kInt}}))
+                  .ok());
+  LSHAP_CHECK(db->AddTable(Schema("movies",
+                                  {{"title", ColumnType::kString},
+                                   {"year", ColumnType::kInt},
+                                   {"company", ColumnType::kString}}))
+                  .ok());
+  LSHAP_CHECK(db->AddTable(Schema("roles", {{"movie", ColumnType::kString},
+                                            {"actor", ColumnType::kString}}))
+                  .ok());
+
+  // Companies.
+  std::vector<std::string> company_names;
+  company_names.reserve(config.num_companies);
+  constexpr size_t kNumStems = std::size(kCompanyStems);
+  for (size_t i = 0; i < config.num_companies; ++i) {
+    std::string name = kCompanyStems[i % kNumStems];
+    if (i >= kNumStems) name += StrFormat(" %zu", i / kNumStems + 1);
+    company_names.push_back(name);
+    const char* country = kCountries[rng.NextBounded(std::size(kCountries))];
+    LSHAP_CHECK(
+        db->Insert("companies", {Value(name), Value(country)}).ok());
+  }
+
+  // Actors.
+  std::vector<std::string> actor_names;
+  actor_names.reserve(config.num_actors);
+  for (size_t i = 0; i < config.num_actors; ++i) {
+    std::string name =
+        std::string(kFirstNames[rng.NextBounded(std::size(kFirstNames))]) +
+        " " + kLastNames[rng.NextBounded(std::size(kLastNames))];
+    name += StrFormat(" #%zu", i);  // ensure uniqueness
+    actor_names.push_back(name);
+    LSHAP_CHECK(
+        db->Insert("actors", {Value(name), Value(rng.NextInt(18, 80))}).ok());
+  }
+
+  // Movies, with Zipf-skewed company popularity.
+  ZipfSampler company_sampler(config.num_companies, config.company_zipf);
+  std::vector<std::string> movie_titles;
+  movie_titles.reserve(config.num_movies);
+  for (size_t i = 0; i < config.num_movies; ++i) {
+    std::string title =
+        std::string(
+            kTitleAdjectives[rng.NextBounded(std::size(kTitleAdjectives))]) +
+        " " + kTitleNouns[rng.NextBounded(std::size(kTitleNouns))];
+    title += StrFormat(" (%zu)", i);  // ensure uniqueness
+    movie_titles.push_back(title);
+    const int64_t year = rng.NextInt(1990, 2023);
+    const std::string& company = company_names[company_sampler.Sample(rng)];
+    LSHAP_CHECK(
+        db->Insert("movies", {Value(title), Value(year), Value(company)})
+            .ok());
+  }
+
+  // Roles, with Zipf-skewed actor popularity; duplicates are skipped.
+  ZipfSampler actor_sampler(config.num_actors, config.actor_zipf);
+  std::unordered_set<std::string> seen_roles;
+  size_t inserted = 0;
+  size_t attempts = 0;
+  while (inserted < config.num_roles && attempts < config.num_roles * 10) {
+    ++attempts;
+    const std::string& movie =
+        movie_titles[rng.NextBounded(movie_titles.size())];
+    const std::string& actor = actor_names[actor_sampler.Sample(rng)];
+    if (!seen_roles.insert(movie + "\x1f" + actor).second) continue;
+    LSHAP_CHECK(db->Insert("roles", {Value(movie), Value(actor)}).ok());
+    ++inserted;
+  }
+
+  SchemaGraph graph;
+  graph.tables = {"companies", "actors", "movies", "roles"};
+  graph.edges = {
+      {{"movies", "title"}, {"roles", "movie"}},
+      {{"actors", "name"}, {"roles", "actor"}},
+      {{"movies", "company"}, {"companies", "name"}},
+  };
+  return {std::move(db), std::move(graph)};
+}
+
+}  // namespace lshap

@@ -1,0 +1,364 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+#include <iterator>
+#include <set>
+#include <string>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace lshap {
+
+namespace {
+
+// One partial join result: per joined table, the row index (position in the
+// block's table order) and the accumulated derivation facts.
+struct PartialRow {
+  std::vector<uint32_t> row_indices;  // parallel to joined table order
+  std::vector<FactId> facts;          // sorted
+};
+
+struct BoundTable {
+  std::string name;
+  const Table* table = nullptr;
+  std::vector<uint32_t> surviving_rows;  // rows passing local selections
+};
+
+}  // namespace
+
+bool MatchesPredicate(const Value& value, CompareOp op, const Value& literal) {
+  if (value.is_null() || literal.is_null()) return false;
+  if (op == CompareOp::kStartsWith) {
+    if (!value.is_string() || !literal.is_string()) return false;
+    return StartsWith(value.AsString(), literal.AsString());
+  }
+  int cmp;
+  if (value.is_string() && literal.is_string()) {
+    cmp = value.AsString().compare(literal.AsString());
+  } else if (!value.is_string() && !literal.is_string()) {
+    const double a = value.AsDouble();
+    const double b = literal.AsDouble();
+    cmp = a < b ? -1 : (a > b ? 1 : 0);
+  } else {
+    return false;  // type mismatch never matches
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+    case CompareOp::kStartsWith:
+      return false;  // handled above
+  }
+  return false;
+}
+
+namespace {
+
+Status EvaluateBlock(const Database& db, const SpjBlock& block,
+                     ProvenanceCapture capture, EvalResult& result,
+                     std::vector<std::vector<Clause>>& pending_clauses) {
+  if (block.tables.empty()) {
+    return Status::InvalidArgument("SPJ block with empty FROM clause");
+  }
+  {
+    std::set<std::string> unique(block.tables.begin(), block.tables.end());
+    if (unique.size() != block.tables.size()) {
+      return Status::InvalidArgument(
+          "repeated table in FROM clause (self-joins unsupported)");
+    }
+  }
+
+  // Bind tables and pre-filter with local selections.
+  std::vector<BoundTable> bound(block.tables.size());
+  std::unordered_map<std::string, size_t> table_pos;
+  for (size_t i = 0; i < block.tables.size(); ++i) {
+    bound[i].name = block.tables[i];
+    auto t = db.FindTable(block.tables[i]);
+    if (!t.ok()) return t.status();
+    bound[i].table = *t;
+    table_pos[block.tables[i]] = i;
+  }
+
+  // Validate join and selection column references and collect per-table
+  // selections.
+  std::vector<std::vector<const Selection*>> local_sels(block.tables.size());
+  for (const auto& sel : block.selections) {
+    auto pos = table_pos.find(sel.column.table);
+    if (pos == table_pos.end()) {
+      return Status::InvalidArgument("selection on unjoined table '" +
+                                     sel.column.table + "'");
+    }
+    auto col = bound[pos->second].table->schema().ColumnIndex(sel.column.column);
+    if (!col.ok()) return col.status();
+    local_sels[pos->second].push_back(&sel);
+  }
+  for (const auto& join : block.joins) {
+    for (const ColumnRef* ref : {&join.left, &join.right}) {
+      auto pos = table_pos.find(ref->table);
+      if (pos == table_pos.end()) {
+        return Status::InvalidArgument("join on unjoined table '" +
+                                       ref->table + "'");
+      }
+      auto col = bound[pos->second].table->schema().ColumnIndex(ref->column);
+      if (!col.ok()) return col.status();
+    }
+  }
+  for (const auto& proj : block.projections) {
+    auto pos = table_pos.find(proj.table);
+    if (pos == table_pos.end()) {
+      return Status::InvalidArgument("projection on unjoined table '" +
+                                     proj.table + "'");
+    }
+    auto col = bound[pos->second].table->schema().ColumnIndex(proj.column);
+    if (!col.ok()) return col.status();
+  }
+
+  for (size_t i = 0; i < bound.size(); ++i) {
+    const Table* t = bound[i].table;
+    for (uint32_t r = 0; r < t->num_rows(); ++r) {
+      bool pass = true;
+      for (const Selection* sel : local_sels[i]) {
+        const size_t col = t->schema().ColumnIndex(sel->column.column).value();
+        if (!MatchesPredicate(t->row(r)[col], sel->op, sel->literal)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) bound[i].surviving_rows.push_back(r);
+    }
+    if (bound[i].surviving_rows.empty()) return Status::Ok();  // empty result
+  }
+
+  // Greedy join order: start from the block's first table, repeatedly add a
+  // table connected to the current set (falling back to a cross product).
+  std::vector<size_t> order;
+  std::vector<bool> placed(bound.size(), false);
+  order.push_back(0);
+  placed[0] = true;
+  auto connected = [&](size_t cand) {
+    for (const auto& join : block.joins) {
+      const size_t l = table_pos.at(join.left.table);
+      const size_t r = table_pos.at(join.right.table);
+      if ((l == cand && placed[r]) || (r == cand && placed[l])) return true;
+    }
+    return false;
+  };
+  while (order.size() < bound.size()) {
+    size_t pick = bound.size();
+    for (size_t i = 0; i < bound.size(); ++i) {
+      if (!placed[i] && connected(i)) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick == bound.size()) {
+      for (size_t i = 0; i < bound.size(); ++i) {
+        if (!placed[i]) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    placed[pick] = true;
+    order.push_back(pick);
+  }
+
+  // Position of each table in the join order (for row_indices layout).
+  std::vector<size_t> order_pos(bound.size());
+  for (size_t i = 0; i < order.size(); ++i) order_pos[order[i]] = i;
+
+  // Seed with the first table's surviving rows.
+  const bool track_facts = capture != ProvenanceCapture::kNone;
+  std::vector<PartialRow> current;
+  {
+    const BoundTable& bt = bound[order[0]];
+    current.reserve(bt.surviving_rows.size());
+    for (uint32_t r : bt.surviving_rows) {
+      PartialRow pr;
+      pr.row_indices = {r};
+      if (track_facts) pr.facts = {bt.table->fact_id(r)};
+      current.push_back(std::move(pr));
+    }
+  }
+
+  // Join in the remaining tables one by one.
+  for (size_t step = 1; step < order.size(); ++step) {
+    const size_t ti = order[step];
+    const BoundTable& bt = bound[ti];
+
+    // Join predicates between the new table and already-placed tables.
+    struct JoinKeyPart {
+      size_t placed_order_pos;    // which earlier table
+      size_t placed_col;          // its column
+      size_t new_col;             // new table's column
+    };
+    std::vector<JoinKeyPart> key_parts;
+    for (const auto& join : block.joins) {
+      const size_t l = table_pos.at(join.left.table);
+      const size_t r = table_pos.at(join.right.table);
+      size_t other;
+      const ColumnRef* new_ref;
+      const ColumnRef* old_ref;
+      if (l == ti && order_pos[r] < step) {
+        other = r;
+        new_ref = &join.left;
+        old_ref = &join.right;
+      } else if (r == ti && order_pos[l] < step) {
+        other = l;
+        new_ref = &join.right;
+        old_ref = &join.left;
+      } else {
+        continue;
+      }
+      key_parts.push_back(
+          {order_pos[other],
+           bound[other].table->schema().ColumnIndex(old_ref->column).value(),
+           bt.table->schema().ColumnIndex(new_ref->column).value()});
+    }
+
+    std::vector<PartialRow> next;
+    if (key_parts.empty()) {
+      // Cross product (rare; disconnected query).
+      next.reserve(current.size() * bt.surviving_rows.size());
+      for (const auto& pr : current) {
+        for (uint32_t r : bt.surviving_rows) {
+          PartialRow np = pr;
+          np.row_indices.push_back(r);
+          if (track_facts) {
+            const FactId f = bt.table->fact_id(r);
+            np.facts.insert(
+                std::upper_bound(np.facts.begin(), np.facts.end(), f), f);
+          }
+          next.push_back(std::move(np));
+        }
+      }
+    } else {
+      // Hash the new table on the first key part; verify the rest.
+      std::unordered_multimap<size_t, uint32_t> index;
+      index.reserve(bt.surviving_rows.size());
+      for (uint32_t r : bt.surviving_rows) {
+        index.emplace(bt.table->row(r)[key_parts[0].new_col].Hash(), r);
+      }
+      for (const auto& pr : current) {
+        const size_t probe_order_pos = key_parts[0].placed_order_pos;
+        const size_t probe_table = order[probe_order_pos];
+        const Value& probe_val =
+            bound[probe_table].table->row(pr.row_indices[probe_order_pos])
+                [key_parts[0].placed_col];
+        auto range = index.equal_range(probe_val.Hash());
+        for (auto it = range.first; it != range.second; ++it) {
+          const uint32_t r = it->second;
+          if (bt.table->row(r)[key_parts[0].new_col] != probe_val) continue;
+          bool all_match = true;
+          for (size_t kp = 1; kp < key_parts.size(); ++kp) {
+            const auto& part = key_parts[kp];
+            const size_t pt = order[part.placed_order_pos];
+            const Value& lhs =
+                bound[pt].table->row(pr.row_indices[part.placed_order_pos])
+                    [part.placed_col];
+            if (bt.table->row(r)[part.new_col] != lhs) {
+              all_match = false;
+              break;
+            }
+          }
+          if (!all_match) continue;
+          PartialRow np = pr;
+          np.row_indices.push_back(r);
+          if (track_facts) {
+            const FactId f = bt.table->fact_id(r);
+            np.facts.insert(
+                std::upper_bound(np.facts.begin(), np.facts.end(), f), f);
+          }
+          next.push_back(std::move(np));
+        }
+      }
+    }
+    current = std::move(next);
+    if (current.empty()) return Status::Ok();
+  }
+
+  // Project with DISTINCT, accumulating one derivation clause per joined row.
+  struct ProjCol {
+    size_t order_pos;
+    size_t col;
+  };
+  std::vector<ProjCol> proj_cols;
+  proj_cols.reserve(block.projections.size());
+  for (const auto& proj : block.projections) {
+    const size_t ti = table_pos.at(proj.table);
+    proj_cols.push_back(
+        {order_pos[ti],
+         bound[ti].table->schema().ColumnIndex(proj.column).value()});
+  }
+
+  for (const auto& pr : current) {
+    OutputTuple tuple;
+    tuple.reserve(proj_cols.size());
+    for (const auto& pc : proj_cols) {
+      const size_t ti = order[pc.order_pos];
+      tuple.push_back(bound[ti].table->row(pr.row_indices[pc.order_pos])
+                          [pc.col]);
+    }
+    auto [it, inserted] =
+        result.index.emplace(tuple, result.tuples.size());
+    if (inserted) {
+      result.tuples.push_back(std::move(tuple));
+      pending_clauses.emplace_back();
+      if (capture == ProvenanceCapture::kLineageOnly) {
+        result.lineages.emplace_back();
+      }
+    }
+    switch (capture) {
+      case ProvenanceCapture::kNone:
+        break;
+      case ProvenanceCapture::kLineageOnly: {
+        // Merge the derivation's facts into the lineage set (kept sorted).
+        std::vector<FactId>& lineage = result.lineages[it->second];
+        std::vector<FactId> merged;
+        merged.reserve(lineage.size() + pr.facts.size());
+        std::set_union(lineage.begin(), lineage.end(), pr.facts.begin(),
+                       pr.facts.end(), std::back_inserter(merged));
+        lineage = std::move(merged);
+        break;
+      }
+      case ProvenanceCapture::kFull:
+        pending_clauses[it->second].push_back(pr.facts);
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<EvalResult> Evaluate(const Database& db, const Query& q,
+                            ProvenanceCapture capture) {
+  EvalResult result;
+  if (q.blocks.empty()) {
+    return Status::InvalidArgument("query with no SPJ blocks");
+  }
+  std::vector<std::vector<Clause>> pending_clauses;
+  for (const auto& block : q.blocks) {
+    Status s = EvaluateBlock(db, block, capture, result, pending_clauses);
+    if (!s.ok()) return s;
+  }
+  if (capture == ProvenanceCapture::kFull) {
+    result.provenance.reserve(pending_clauses.size());
+    for (auto& clauses : pending_clauses) {
+      result.provenance.emplace_back(std::move(clauses));
+    }
+  }
+  return result;
+}
+
+}  // namespace lshap

@@ -1,0 +1,56 @@
+#ifndef LSHAP_EVAL_EVALUATOR_H_
+#define LSHAP_EVAL_EVALUATOR_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "provenance/bool_expr.h"
+#include "query/ast.h"
+#include "relational/database.h"
+#include "relational/tuple.h"
+
+namespace lshap {
+
+// What the evaluator records per output tuple. Lineage-only capture stores
+// just the contributing fact set (what LearnShapley needs at inference);
+// full provenance additionally keeps the derivation structure (what exact
+// Shapley computation needs). kNone answers the query and nothing else —
+// the baseline for measuring capture overhead (`bench_ablation_capture`).
+enum class ProvenanceCapture { kNone, kLineageOnly, kFull };
+
+// The result of evaluating an SPJU query: the distinct output tuples and,
+// depending on the capture mode, per-tuple provenance (monotone DNF whose
+// clauses are the derivations) or just the lineage set.
+struct EvalResult {
+  std::vector<OutputTuple> tuples;
+  std::vector<Dnf> provenance;                  // kFull only
+  std::vector<std::vector<FactId>> lineages;    // kLineageOnly only
+  std::unordered_map<OutputTuple, size_t, OutputTupleHash> index;
+
+  // Requires kFull capture.
+  const Dnf& ProvenanceOf(size_t tuple_idx) const {
+    return provenance[tuple_idx];
+  }
+  // Works under kFull or kLineageOnly capture.
+  std::vector<FactId> LineageOf(size_t tuple_idx) const {
+    if (!provenance.empty()) return provenance[tuple_idx].Variables();
+    return lineages[tuple_idx];
+  }
+};
+
+// Evaluates `q` over `db`. Joins are executed with hash indexes in the
+// order the block lists its tables (greedily reordered so every step is
+// connected when possible). Errors on unknown tables/columns or repeated
+// table references (self-joins are outside the SPJU fragment this engine
+// targets).
+Result<EvalResult> Evaluate(const Database& db, const Query& q,
+                            ProvenanceCapture capture = ProvenanceCapture::kFull);
+
+// True if `value` satisfies `op literal` (numeric comparisons promote ints
+// to doubles; kStartsWith applies to strings only).
+bool MatchesPredicate(const Value& value, CompareOp op, const Value& literal);
+
+}  // namespace lshap
+
+#endif  // LSHAP_EVAL_EVALUATOR_H_

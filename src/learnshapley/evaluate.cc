@@ -1,0 +1,118 @@
+#include "learnshapley/evaluate.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "metrics/ranking_metrics.h"
+
+namespace lshap {
+
+namespace {
+
+// NDCG@10 restricted to a subset of the lineage: both the predicted ranking
+// and the gold relevances are filtered to `subset` before scoring.
+double PartialNdcg(const std::vector<FactId>& predicted,
+                   const ShapleyValues& gold,
+                   const std::unordered_set<FactId>& train_seen,
+                   bool want_seen) {
+  std::vector<FactId> filtered_pred;
+  ShapleyValues filtered_gold;
+  for (FactId f : predicted) {
+    const bool is_seen = train_seen.count(f) > 0;
+    if (is_seen == want_seen) filtered_pred.push_back(f);
+  }
+  for (const auto& [f, v] : gold) {
+    const bool is_seen = train_seen.count(f) > 0;
+    if (is_seen == want_seen) filtered_gold[f] = v;
+  }
+  return NdcgAtK(filtered_pred, filtered_gold, 10);
+}
+
+}  // namespace
+
+EvalSummary EvaluateScorer(const Corpus& corpus,
+                           const std::vector<size_t>& split,
+                           FactScorer& scorer,
+                           const std::unordered_set<FactId>& train_seen,
+                           ThreadPool& pool) {
+  struct Job {
+    size_t entry_idx;
+    size_t contrib_idx;
+  };
+  std::vector<Job> jobs;
+  for (size_t e : split) {
+    for (size_t c = 0; c < corpus.entries[e].contributions.size(); ++c) {
+      jobs.push_back({e, c});
+    }
+  }
+
+  EvalSummary summary;
+  summary.points.resize(jobs.size());
+
+  // Per-worker scorer clones; jobs are claimed off a shared counter.
+  const size_t num_workers = std::max<size_t>(1, pool.num_threads());
+  std::vector<std::unique_ptr<FactScorer>> clones;
+  clones.reserve(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) clones.push_back(scorer.Clone());
+
+  std::atomic<size_t> next{0};
+  auto work = [&](size_t worker) {
+    FactScorer& local = *clones[worker];
+    for (;;) {
+      const size_t j = next.fetch_add(1);
+      if (j >= jobs.size()) return;
+      const Job& job = jobs[j];
+      const CorpusEntry& entry = corpus.entries[job.entry_idx];
+      const TupleContribution& contrib = entry.contributions[job.contrib_idx];
+      const ShapleyValues& gold = contrib.shapley;
+
+      const ShapleyValues predicted =
+          local.Score(corpus, job.entry_idx, job.contrib_idx);
+      const std::vector<FactId> ranking = RankByScore(predicted);
+
+      EvalPoint& pt = summary.points[j];
+      pt.entry_idx = job.entry_idx;
+      pt.contrib_idx = job.contrib_idx;
+      pt.ndcg10 = NdcgAtK(ranking, gold, 10);
+      pt.p1 = PrecisionAtK(ranking, gold, 1);
+      pt.p3 = PrecisionAtK(ranking, gold, 3);
+      pt.p5 = PrecisionAtK(ranking, gold, 5);
+      pt.lineage_size = gold.size();
+      pt.num_tables = entry.query.NumTables();
+      if (!train_seen.empty()) {
+        size_t seen = 0;
+        for (const auto& [f, v] : gold) {
+          if (train_seen.count(f) > 0) ++seen;
+        }
+        pt.has_seen = seen > 0;
+        pt.has_unseen = seen < gold.size();
+        if (pt.has_seen) {
+          pt.seen_ndcg10 = PartialNdcg(ranking, gold, train_seen, true);
+        }
+        if (pt.has_unseen) {
+          pt.unseen_ndcg10 = PartialNdcg(ranking, gold, train_seen, false);
+        }
+      }
+    }
+  };
+  for (size_t w = 0; w < num_workers; ++w) {
+    pool.Schedule([&work, w] { work(w); });
+  }
+  pool.Wait();
+
+  std::vector<double> ndcg, p1, p3, p5;
+  ndcg.reserve(summary.points.size());
+  for (const auto& pt : summary.points) {
+    ndcg.push_back(pt.ndcg10);
+    p1.push_back(pt.p1);
+    p3.push_back(pt.p3);
+    p5.push_back(pt.p5);
+  }
+  summary.ndcg10 = Mean(ndcg);
+  summary.p1 = Mean(p1);
+  summary.p3 = Mean(p3);
+  summary.p5 = Mean(p5);
+  return summary;
+}
+
+}  // namespace lshap

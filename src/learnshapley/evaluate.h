@@ -1,0 +1,50 @@
+#ifndef LSHAP_LEARNSHAPLEY_EVALUATE_H_
+#define LSHAP_LEARNSHAPLEY_EVALUATE_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "learnshapley/scorer.h"
+
+namespace lshap {
+
+// Metrics for one (query, output tuple) pair, plus the covariates the
+// paper's analysis figures plot against.
+struct EvalPoint {
+  size_t entry_idx = 0;
+  size_t contrib_idx = 0;
+  double ndcg10 = 0.0;
+  double p1 = 0.0;
+  double p3 = 0.0;
+  double p5 = 0.0;
+  size_t lineage_size = 0;
+  size_t num_tables = 0;
+  // Partial NDCG@10 over the seen / unseen fact subsets (Figure 12); valid
+  // only when the corresponding has_* flag is set.
+  double seen_ndcg10 = 0.0;
+  double unseen_ndcg10 = 0.0;
+  bool has_seen = false;
+  bool has_unseen = false;
+};
+
+struct EvalSummary {
+  double ndcg10 = 0.0;  // means over points
+  double p1 = 0.0;
+  double p3 = 0.0;
+  double p5 = 0.0;
+  std::vector<EvalPoint> points;
+};
+
+// Evaluates `scorer` on every contribution of the given corpus split,
+// in parallel with per-worker scorer clones. `train_seen` (may be empty)
+// enables the seen/unseen partial metrics.
+EvalSummary EvaluateScorer(const Corpus& corpus,
+                           const std::vector<size_t>& split,
+                           FactScorer& scorer,
+                           const std::unordered_set<FactId>& train_seen,
+                           ThreadPool& pool);
+
+}  // namespace lshap
+
+#endif  // LSHAP_LEARNSHAPLEY_EVALUATE_H_

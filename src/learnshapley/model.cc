@@ -1,0 +1,113 @@
+#include "learnshapley/model.h"
+
+namespace lshap {
+
+LearnShapleyModel::LearnShapleyModel(const EncoderConfig& encoder_config,
+                                     uint64_t seed) {
+  EncoderConfig cfg = encoder_config;
+  cfg.seed = seed;
+  encoder_ = TransformerEncoder(cfg);
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  head_rank_ = Linear(cfg.dim, 1, rng);
+  head_witness_ = Linear(cfg.dim, 1, rng);
+  head_syntax_ = Linear(cfg.dim, 1, rng);
+  head_shapley_ = Linear(cfg.dim, 1, rng);
+}
+
+namespace {
+
+// Extracts the [CLS] row (row 0) as a 1×dim tensor.
+Tensor ClsRow(const Tensor& hidden) {
+  Tensor cls(1, hidden.cols());
+  std::copy(hidden.row_data(0), hidden.row_data(0) + hidden.cols(),
+            cls.row_data(0));
+  return cls;
+}
+
+}  // namespace
+
+float LearnShapleyModel::PretrainStep(const EncodedPair& pair,
+                                      double sim_rank, double sim_witness,
+                                      double sim_syntax,
+                                      const PretrainObjectives& objectives) {
+  const Tensor hidden = encoder_.Forward(pair.ids, pair.mask);
+  const Tensor cls = ClsRow(hidden);
+
+  float loss = 0.0f;
+  Tensor d_cls(1, cls.cols());
+  auto run_head = [&](Linear& head, double target) {
+    const Tensor pred = head.Forward(cls);
+    const float err = pred.at(0, 0) - static_cast<float>(target);
+    loss += err * err;
+    Tensor d_pred(1, 1);
+    d_pred.at(0, 0) = 2.0f * err;
+    d_cls.Add(head.Backward(d_pred));
+  };
+  if (objectives.rank) run_head(head_rank_, sim_rank);
+  if (objectives.witness) run_head(head_witness_, sim_witness);
+  if (objectives.syntax) run_head(head_syntax_, sim_syntax);
+
+  Tensor d_hidden(hidden.rows(), hidden.cols());
+  std::copy(d_cls.row_data(0), d_cls.row_data(0) + d_cls.cols(),
+            d_hidden.row_data(0));
+  encoder_.Backward(d_hidden);
+  return loss;
+}
+
+LearnShapleyModel::Similarities LearnShapleyModel::PredictSimilarities(
+    const EncodedPair& pair) {
+  const Tensor hidden = encoder_.Forward(pair.ids, pair.mask);
+  const Tensor cls = ClsRow(hidden);
+  Similarities out;
+  out.rank = head_rank_.Forward(cls).at(0, 0);
+  out.witness = head_witness_.Forward(cls).at(0, 0);
+  out.syntax = head_syntax_.Forward(cls).at(0, 0);
+  return out;
+}
+
+float LearnShapleyModel::FinetuneStep(const EncodedPair& input, float target) {
+  const Tensor hidden = encoder_.Forward(input.ids, input.mask);
+  const Tensor cls = ClsRow(hidden);
+  const Tensor pred = head_shapley_.Forward(cls);
+  const float err = pred.at(0, 0) - target;
+
+  Tensor d_pred(1, 1);
+  d_pred.at(0, 0) = 2.0f * err;
+  const Tensor d_cls = head_shapley_.Backward(d_pred);
+  Tensor d_hidden(hidden.rows(), hidden.cols());
+  std::copy(d_cls.row_data(0), d_cls.row_data(0) + d_cls.cols(),
+            d_hidden.row_data(0));
+  encoder_.Backward(d_hidden);
+  return err * err;
+}
+
+float LearnShapleyModel::PredictShapley(const EncodedPair& input) {
+  const Tensor hidden = encoder_.Forward(input.ids, input.mask);
+  const Tensor cls = ClsRow(hidden);
+  return head_shapley_.Forward(cls).at(0, 0);
+}
+
+std::vector<Param*> LearnShapleyModel::Params() {
+  std::vector<Param*> params = encoder_.Params();
+  head_rank_.CollectParams(params);
+  head_witness_.CollectParams(params);
+  head_syntax_.CollectParams(params);
+  head_shapley_.CollectParams(params);
+  return params;
+}
+
+std::vector<Tensor> LearnShapleyModel::SnapshotWeights() {
+  std::vector<Tensor> out;
+  for (Param* p : Params()) out.push_back(p->value);
+  return out;
+}
+
+void LearnShapleyModel::RestoreWeights(const std::vector<Tensor>& snapshot) {
+  std::vector<Param*> params = Params();
+  LSHAP_CHECK_EQ(params.size(), snapshot.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = snapshot[i];
+  }
+}
+
+}  // namespace lshap

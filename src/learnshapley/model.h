@@ -1,0 +1,78 @@
+#ifndef LSHAP_LEARNSHAPLEY_MODEL_H_
+#define LSHAP_LEARNSHAPLEY_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/adam.h"
+#include "ml/encoder.h"
+#include "ml/tokenizer.h"
+
+namespace lshap {
+
+// Which pre-training similarity objectives are enabled (the Table 4
+// ablation switches these off individually).
+struct PretrainObjectives {
+  bool rank = true;
+  bool witness = true;
+  bool syntax = true;
+
+  bool AnyEnabled() const { return rank || witness || syntax; }
+};
+
+// The LearnShapley network (Figure 4): a shared MiniBERT encoder with three
+// similarity regression heads used during pre-training and one Shapley
+// regression head used during fine-tuning and inference. All heads read the
+// [CLS] representation.
+//
+// The model is copyable; copies share nothing, which is how evaluation
+// parallelizes across threads.
+class LearnShapleyModel {
+ public:
+  LearnShapleyModel() = default;
+  LearnShapleyModel(const EncoderConfig& encoder_config, uint64_t seed);
+
+  // --- Pre-training (query-pair similarity regression) ---
+
+  // Runs one pair through the encoder and the enabled heads, accumulates
+  // gradients of the summed MSE losses, and returns the loss value.
+  float PretrainStep(const EncodedPair& pair, double sim_rank,
+                     double sim_witness, double sim_syntax,
+                     const PretrainObjectives& objectives);
+
+  // Predicted similarities for a pair (inference; no gradients).
+  struct Similarities {
+    float rank = 0.0f;
+    float witness = 0.0f;
+    float syntax = 0.0f;
+  };
+  Similarities PredictSimilarities(const EncodedPair& pair);
+
+  // --- Fine-tuning (Shapley regression) ---
+
+  // One (query, tuple, fact) sample; `target` is the Shapley value already
+  // scaled (×1000 per the paper). Returns the sample loss.
+  float FinetuneStep(const EncodedPair& input, float target);
+
+  // Predicted (scaled) Shapley value.
+  float PredictShapley(const EncodedPair& input);
+
+  std::vector<Param*> Params();
+
+  // Deep snapshot/restore of all weights, for best-checkpoint selection.
+  std::vector<Tensor> SnapshotWeights();
+  void RestoreWeights(const std::vector<Tensor>& snapshot);
+
+  const EncoderConfig& encoder_config() const { return encoder_.config(); }
+
+ private:
+  TransformerEncoder encoder_;
+  Linear head_rank_;
+  Linear head_witness_;
+  Linear head_syntax_;
+  Linear head_shapley_;
+};
+
+}  // namespace lshap
+
+#endif  // LSHAP_LEARNSHAPLEY_MODEL_H_

@@ -1,0 +1,129 @@
+#include "learnshapley/model_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace lshap {
+
+Status SaveRanker(LearnShapleyRanker& ranker, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open '" + path + "' for write");
+
+  const EncoderConfig& cfg = ranker.model().encoder_config();
+  out << "LSHAP_MODEL 1\n";
+  out << "name " << ranker.name() << '\n';
+  out << "config " << cfg.vocab_size << ' ' << cfg.max_len << ' ' << cfg.dim
+      << ' ' << cfg.num_heads << ' ' << cfg.num_layers << ' ' << cfg.ffn_dim
+      << ' ' << cfg.seed << '\n';
+  out << "ranker " << ranker.max_len() << '\n';
+
+  // Vocabulary (skip the builtin specials; they are recreated on load).
+  const Vocab& vocab = ranker.vocab();
+  out << "vocab " << (vocab.size() - Vocab::kNumSpecial) << '\n';
+  for (size_t i = Vocab::kNumSpecial; i < vocab.size(); ++i) {
+    out << vocab.token(static_cast<int>(i)) << '\n';
+  }
+
+  // Weights: one tensor per line, lossless hex floats.
+  std::vector<Param*> params = ranker.model().Params();
+  out << "tensors " << params.size() << '\n';
+  for (Param* p : params) {
+    out << p->value.rows() << ' ' << p->value.cols();
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      out << ' ' << StrFormat("%a", static_cast<double>(p->value.data()[i]));
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::Internal("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<LearnShapleyRanker>> LoadRanker(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  auto bad = [&](const std::string& what) {
+    return Status::InvalidArgument("model file '" + path + "': " + what);
+  };
+
+  std::string line;
+  if (!std::getline(in, line) || line != "LSHAP_MODEL 1") {
+    return bad("missing header");
+  }
+  if (!std::getline(in, line) || !StartsWith(line, "name ")) {
+    return bad("missing name");
+  }
+  const std::string name = line.substr(5);
+
+  EncoderConfig cfg;
+  {
+    if (!std::getline(in, line)) return bad("missing config");
+    std::istringstream ls(line);
+    std::string word;
+    ls >> word >> cfg.vocab_size >> cfg.max_len >> cfg.dim >> cfg.num_heads >>
+        cfg.num_layers >> cfg.ffn_dim >> cfg.seed;
+    if (word != "config" || !ls) return bad("malformed config");
+  }
+  size_t ranker_max_len = 0;
+  {
+    if (!std::getline(in, line)) return bad("missing ranker line");
+    std::istringstream ls(line);
+    std::string word;
+    ls >> word >> ranker_max_len;
+    if (word != "ranker" || !ls) return bad("malformed ranker line");
+  }
+
+  auto vocab = std::make_shared<Vocab>();
+  {
+    if (!std::getline(in, line)) return bad("missing vocab");
+    std::istringstream ls(line);
+    std::string word;
+    size_t count = 0;
+    ls >> word >> count;
+    if (word != "vocab" || !ls) return bad("malformed vocab line");
+    for (size_t i = 0; i < count; ++i) {
+      if (!std::getline(in, line)) return bad("truncated vocab");
+      vocab->AddTokens({line});
+    }
+    if (vocab->size() != cfg.vocab_size) return bad("vocab size mismatch");
+  }
+
+  LearnShapleyModel model(cfg, cfg.seed);
+  std::vector<Param*> params = model.Params();
+  {
+    if (!std::getline(in, line)) return bad("missing tensors");
+    std::istringstream ls(line);
+    std::string word;
+    size_t count = 0;
+    ls >> word >> count;
+    if (word != "tensors" || count != params.size()) {
+      return bad("tensor count mismatch");
+    }
+  }
+  for (Param* p : params) {
+    if (!std::getline(in, line)) return bad("truncated tensors");
+    std::istringstream ls(line);
+    size_t rows = 0;
+    size_t cols = 0;
+    ls >> rows >> cols;
+    if (rows != p->value.rows() || cols != p->value.cols()) {
+      return bad("tensor shape mismatch");
+    }
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      std::string hex;
+      if (!(ls >> hex)) return bad("truncated tensor data");
+      p->value.data()[i] = std::strtof(hex.c_str(), nullptr);
+    }
+  }
+
+  // The shapley_scale only affects the (monotone) rescaling of scores, not
+  // the ranking; rankers are saved post-training so we keep the default.
+  return std::make_unique<LearnShapleyRanker>(std::move(model),
+                                              std::move(vocab),
+                                              ranker_max_len, 1000.0f, name);
+}
+
+}  // namespace lshap

@@ -1,0 +1,25 @@
+#ifndef LSHAP_LEARNSHAPLEY_MODEL_IO_H_
+#define LSHAP_LEARNSHAPLEY_MODEL_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "learnshapley/ranker.h"
+
+namespace lshap {
+
+// Persists a trained LearnShapley ranker — encoder configuration,
+// vocabulary, and every weight tensor — to a line-oriented text file, so a
+// model trained once can be deployed without retraining (the paper's
+// "offline training / online inference" split).
+Status SaveRanker(LearnShapleyRanker& ranker, const std::string& path);
+
+// Loads a ranker saved by SaveRanker. Predictions are bit-identical to the
+// saved model's.
+Result<std::unique_ptr<LearnShapleyRanker>> LoadRanker(
+    const std::string& path);
+
+}  // namespace lshap
+
+#endif  // LSHAP_LEARNSHAPLEY_MODEL_IO_H_

@@ -1,0 +1,49 @@
+#include "learnshapley/ranker.h"
+
+#include "learnshapley/serialization.h"
+
+namespace lshap {
+
+LearnShapleyRanker::LearnShapleyRanker(LearnShapleyModel model,
+                                       std::shared_ptr<const Vocab> vocab,
+                                       size_t max_len, float shapley_scale,
+                                       std::string name)
+    : model_(std::move(model)),
+      vocab_(std::move(vocab)),
+      max_len_(max_len),
+      shapley_scale_(shapley_scale),
+      name_(std::move(name)) {}
+
+ShapleyValues LearnShapleyRanker::ScoreLineage(
+    const Database& db, const Query& q, const OutputTuple& t,
+    const std::vector<FactId>& lineage) {
+  const std::vector<std::string> q_tokens = QueryTokens(q);
+  const std::vector<std::string> t_tokens = TupleTokens(t);
+  ShapleyValues out;
+  out.reserve(lineage.size());
+  for (FactId f : lineage) {
+    const EncodedPair input = EncodeSegments(
+        *vocab_, {q_tokens, t_tokens, FactTokensWithContext(db, f, t_tokens)},
+        max_len_);
+    out[f] = static_cast<double>(model_.PredictShapley(input)) /
+             static_cast<double>(shapley_scale_);
+  }
+  return out;
+}
+
+ShapleyValues LearnShapleyRanker::Score(const Corpus& corpus,
+                                        size_t entry_idx,
+                                        size_t contrib_idx) {
+  const CorpusEntry& entry = corpus.entries[entry_idx];
+  const TupleContribution& contrib = entry.contributions[contrib_idx];
+  std::vector<FactId> lineage;
+  lineage.reserve(contrib.shapley.size());
+  for (const auto& [f, v] : contrib.shapley) lineage.push_back(f);
+  return ScoreLineage(*corpus.db, entry.query, contrib.tuple, lineage);
+}
+
+std::unique_ptr<FactScorer> LearnShapleyRanker::Clone() const {
+  return std::make_unique<LearnShapleyRanker>(*this);
+}
+
+}  // namespace lshap

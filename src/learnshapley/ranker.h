@@ -1,0 +1,48 @@
+#ifndef LSHAP_LEARNSHAPLEY_RANKER_H_
+#define LSHAP_LEARNSHAPLEY_RANKER_H_
+
+#include <memory>
+#include <string>
+
+#include "learnshapley/model.h"
+#include "learnshapley/scorer.h"
+#include "ml/tokenizer.h"
+
+namespace lshap {
+
+// The deployable LearnShapley artifact: a trained model plus its vocabulary.
+// At inference it needs only the query, the output tuple and the lineage —
+// no provenance — matching the paper's deployment contract.
+class LearnShapleyRanker : public FactScorer {
+ public:
+  LearnShapleyRanker(LearnShapleyModel model,
+                     std::shared_ptr<const Vocab> vocab, size_t max_len,
+                     float shapley_scale, std::string name);
+
+  // Direct API for library users: scores an arbitrary (query, tuple,
+  // lineage) triple against `db`.
+  ShapleyValues ScoreLineage(const Database& db, const Query& q,
+                             const OutputTuple& t,
+                             const std::vector<FactId>& lineage);
+
+  // FactScorer interface (reads only the lineage keys).
+  ShapleyValues Score(const Corpus& corpus, size_t entry_idx,
+                      size_t contrib_idx) override;
+  std::unique_ptr<FactScorer> Clone() const override;
+  std::string name() const override { return name_; }
+
+  LearnShapleyModel& model() { return model_; }
+  const Vocab& vocab() const { return *vocab_; }
+  size_t max_len() const { return max_len_; }
+
+ private:
+  LearnShapleyModel model_;
+  std::shared_ptr<const Vocab> vocab_;
+  size_t max_len_;
+  float shapley_scale_;
+  std::string name_;
+};
+
+}  // namespace lshap
+
+#endif  // LSHAP_LEARNSHAPLEY_RANKER_H_

@@ -1,0 +1,34 @@
+#ifndef LSHAP_LEARNSHAPLEY_SCORER_H_
+#define LSHAP_LEARNSHAPLEY_SCORER_H_
+
+#include <memory>
+#include <string>
+
+#include "corpus/corpus.h"
+#include "shapley/shapley.h"
+
+namespace lshap {
+
+// Anything that can score the lineage facts of one (query, output tuple)
+// pair: LearnShapley, the Nearest Queries baselines, or the exact engine.
+// Implementations may only read the contribution's *lineage* (the key set of
+// its Shapley map) — never the gold values — except for baselines the paper
+// explicitly marks as controlled experiments (rank-based Nearest Queries).
+class FactScorer {
+ public:
+  virtual ~FactScorer() = default;
+
+  // Scores every lineage fact of corpus.entries[entry_idx]
+  // .contributions[contrib_idx]. Higher = more contributing.
+  virtual ShapleyValues Score(const Corpus& corpus, size_t entry_idx,
+                              size_t contrib_idx) = 0;
+
+  // Independent copy for parallel evaluation.
+  virtual std::unique_ptr<FactScorer> Clone() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace lshap
+
+#endif  // LSHAP_LEARNSHAPLEY_SCORER_H_

@@ -1,0 +1,49 @@
+#include "learnshapley/serialization.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "ml/tokenizer.h"
+
+namespace lshap {
+
+std::vector<std::string> QueryTokens(const Query& q) {
+  return TokenizeText(q.ToSql());
+}
+
+std::vector<std::string> TupleTokens(const OutputTuple& t) {
+  return TokenizeText(OutputTupleToString(t));
+}
+
+std::vector<std::string> FactTokens(const Database& db, FactId f) {
+  return TokenizeText(db.FactToString(f));
+}
+
+namespace {
+
+bool IsContentToken(const std::string& t) {
+  // Skip pure punctuation; single characters other than digits carry little
+  // matching signal.
+  return t.size() > 1 || (t.size() == 1 && std::isalnum(static_cast<unsigned char>(t[0])));
+}
+
+}  // namespace
+
+std::vector<std::string> FactTokensWithContext(
+    const Database& db, FactId f,
+    const std::vector<std::string>& tuple_tokens) {
+  std::vector<std::string> fact_tokens = FactTokens(db, f);
+  std::unordered_set<std::string> tuple_set;
+  for (const auto& t : tuple_tokens) {
+    if (IsContentToken(t)) tuple_set.insert(t);
+  }
+  size_t overlap = 0;
+  for (const auto& t : fact_tokens) {
+    if (IsContentToken(t) && tuple_set.count(t) > 0) ++overlap;
+  }
+  const char* marker = overlap == 0 ? "ovl0" : (overlap == 1 ? "ovl1" : "ovl2");
+  fact_tokens.insert(fact_tokens.begin(), marker);
+  return fact_tokens;
+}
+
+}  // namespace lshap

@@ -1,0 +1,32 @@
+#ifndef LSHAP_LEARNSHAPLEY_SERIALIZATION_H_
+#define LSHAP_LEARNSHAPLEY_SERIALIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "query/ast.h"
+#include "relational/database.h"
+#include "relational/tuple.h"
+
+namespace lshap {
+
+// Token streams the model consumes. Queries serialize as their SQL text,
+// output tuples as their value list, facts as "table(v1, ..., vk)" — all
+// through the shared SQL tokenizer, so table names, column names and values
+// share vocabulary entries across the three kinds of segments.
+std::vector<std::string> QueryTokens(const Query& q);
+std::vector<std::string> TupleTokens(const OutputTuple& t);
+std::vector<std::string> FactTokens(const Database& db, FactId f);
+
+// Fact serialization for the fine-tuning/inference input: the fact's tokens
+// prefixed with an overlap marker (ovl0 / ovl1 / ovl2) bucketing how many
+// content tokens the fact shares with the output tuple. BERT-scale models
+// learn this cross-segment matching on their own; at MiniBERT scale the
+// explicit marker recovers it (a capacity-compensating preprocessing step,
+// documented in DESIGN.md — both inputs are available at deployment).
+std::vector<std::string> FactTokensWithContext(
+    const Database& db, FactId f, const std::vector<std::string>& tuple_tokens);
+
+}  // namespace lshap
+
+#endif  // LSHAP_LEARNSHAPLEY_SERIALIZATION_H_

@@ -1,0 +1,380 @@
+#include "learnshapley/trainer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+#include "common/timer.h"
+#include "learnshapley/evaluate.h"
+#include "learnshapley/serialization.h"
+#include "ml/adam.h"
+
+namespace lshap {
+
+namespace {
+
+struct PairSample {
+  EncodedPair input;
+  double sim_rank;
+  double sim_witness;
+  double sim_syntax;
+};
+
+struct FinetuneSample {
+  EncodedPair input;
+  float target;
+};
+
+// Runs batches across worker-local model clones, summing gradients into the
+// main model. Weights are re-broadcast to the clones before every batch.
+class DataParallelRunner {
+ public:
+  DataParallelRunner(LearnShapleyModel* main, ThreadPool* pool)
+      : main_(main), pool_(pool) {
+    const size_t n = std::max<size_t>(1, pool->num_threads());
+    clones_.reserve(n);
+    for (size_t i = 0; i < n; ++i) clones_.push_back(*main);
+  }
+
+  // fn(model, index) must run the sample at `index` through `model`
+  // (accumulating grads inside the model) and return its loss.
+  template <typename Fn>
+  float RunBatch(size_t batch_begin, size_t batch_end, const Fn& fn) {
+    Broadcast();
+    std::atomic<size_t> next{batch_begin};
+    std::vector<float> losses(clones_.size(), 0.0f);
+    for (size_t w = 0; w < clones_.size(); ++w) {
+      pool_->Schedule([&, w] {
+        for (;;) {
+          const size_t i = next.fetch_add(1);
+          if (i >= batch_end) return;
+          losses[w] += fn(clones_[w], i);
+        }
+      });
+    }
+    pool_->Wait();
+    // Sum clone gradients into the main model, normalized by batch size.
+    const float inv = 1.0f / static_cast<float>(batch_end - batch_begin);
+    std::vector<Param*> main_params = main_->Params();
+    for (auto& clone : clones_) {
+      std::vector<Param*> clone_params = clone.Params();
+      for (size_t p = 0; p < main_params.size(); ++p) {
+        main_params[p]->grad.AddScaled(clone_params[p]->grad, inv);
+        clone_params[p]->ZeroGrad();
+      }
+    }
+    float total = 0.0f;
+    for (float l : losses) total += l;
+    return total;
+  }
+
+ private:
+  void Broadcast() {
+    std::vector<Param*> main_params = main_->Params();
+    for (auto& clone : clones_) {
+      std::vector<Param*> clone_params = clone.Params();
+      for (size_t p = 0; p < main_params.size(); ++p) {
+        clone_params[p]->value = main_params[p]->value;
+      }
+    }
+  }
+
+  LearnShapleyModel* main_;
+  ThreadPool* pool_;
+  std::vector<LearnShapleyModel> clones_;
+};
+
+EncoderConfig MakeEncoderConfig(TrainConfig::ModelSize size,
+                                size_t vocab_size, size_t max_len,
+                                uint64_t seed) {
+  EncoderConfig cfg;
+  switch (size) {
+    case TrainConfig::ModelSize::kBase:
+      cfg = EncoderConfig::Base(vocab_size);
+      break;
+    case TrainConfig::ModelSize::kLarge:
+      cfg = EncoderConfig::Large(vocab_size);
+      break;
+    case TrainConfig::ModelSize::kSmallAblation:
+      cfg = EncoderConfig::SmallAblation(vocab_size);
+      break;
+  }
+  cfg.max_len = max_len;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// Mean MSE of the enabled similarity heads over a set of pair samples,
+// evaluated in parallel with per-worker clones.
+double PairMse(const std::vector<PairSample>& pairs,
+               const PretrainObjectives& objectives,
+               const LearnShapleyModel& model, ThreadPool& pool) {
+  if (pairs.empty()) return 0.0;
+  const size_t num_workers = std::max<size_t>(1, pool.num_threads());
+  std::vector<LearnShapleyModel> clones(num_workers, model);
+  std::vector<double> sums(num_workers, 0.0);
+  std::atomic<size_t> next{0};
+  for (size_t w = 0; w < num_workers; ++w) {
+    pool.Schedule([&, w] {
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= pairs.size()) return;
+        const auto sims = clones[w].PredictSimilarities(pairs[i].input);
+        double err = 0.0;
+        int terms = 0;
+        if (objectives.rank) {
+          const double d = sims.rank - pairs[i].sim_rank;
+          err += d * d;
+          ++terms;
+        }
+        if (objectives.witness) {
+          const double d = sims.witness - pairs[i].sim_witness;
+          err += d * d;
+          ++terms;
+        }
+        if (objectives.syntax) {
+          const double d = sims.syntax - pairs[i].sim_syntax;
+          err += d * d;
+          ++terms;
+        }
+        sums[w] += terms > 0 ? err / terms : 0.0;
+      }
+    });
+  }
+  pool.Wait();
+  double total = 0.0;
+  for (double s : sums) total += s;
+  return total / static_cast<double>(pairs.size());
+}
+
+}  // namespace
+
+TrainResult TrainLearnShapley(const Corpus& corpus,
+                              const SimilarityMatrices& sims,
+                              const TrainConfig& config, ThreadPool& pool) {
+  WallTimer timer;
+  Rng rng(config.seed);
+
+  const std::vector<size_t>& train =
+      config.train_subset.empty() ? corpus.train_idx : config.train_subset;
+
+  // ---- Vocabulary and cached token streams (train split only). ----
+  auto vocab = std::make_shared<Vocab>();
+  std::vector<std::vector<std::string>> query_tokens(corpus.entries.size());
+  for (size_t e = 0; e < corpus.entries.size(); ++e) {
+    query_tokens[e] = QueryTokens(corpus.entries[e].query);
+  }
+  for (size_t e : train) {
+    vocab->AddTokens(query_tokens[e]);
+    for (const auto& c : corpus.entries[e].contributions) {
+      vocab->AddTokens(TupleTokens(c.tuple));
+      for (const auto& [f, v] : c.shapley) {
+        vocab->AddTokens(FactTokens(*corpus.db, f));
+      }
+    }
+  }
+  // Overlap markers emitted by FactTokensWithContext.
+  vocab->AddTokens({"ovl0", "ovl1", "ovl2"});
+
+  // ---- Model. ----
+  const EncoderConfig encoder_cfg = MakeEncoderConfig(
+      config.model_size, vocab->size(), config.max_len, config.seed);
+  LearnShapleyModel model(encoder_cfg, config.seed);
+  DataParallelRunner runner(&model, &pool);
+
+  TrainResult result;
+
+  // ---- Pre-training on similarity objectives. ----
+  if (config.do_pretrain && config.objectives.AnyEnabled()) {
+    // All train-train pairs (i < j) as candidates.
+    std::vector<std::pair<size_t, size_t>> train_pairs;
+    for (size_t a = 0; a < train.size(); ++a) {
+      for (size_t b = a + 1; b < train.size(); ++b) {
+        train_pairs.emplace_back(train[a], train[b]);
+      }
+    }
+    // Dev pairs (dev × train) for checkpoint selection, capped.
+    std::vector<PairSample> dev_pairs;
+    {
+      std::vector<std::pair<size_t, size_t>> cands;
+      for (size_t d : corpus.dev_idx) {
+        for (size_t t : train) cands.emplace_back(d, t);
+      }
+      rng.Shuffle(cands);
+      const size_t take = std::min<size_t>(cands.size(), 256);
+      for (size_t i = 0; i < take; ++i) {
+        const auto [a, b] = cands[i];
+        PairSample ps;
+        ps.input = EncodeSegments(
+            *vocab, {query_tokens[a], query_tokens[b]}, config.max_len);
+        ps.sim_rank = sims.rank[a][b];
+        ps.sim_witness = sims.witness[a][b];
+        ps.sim_syntax = sims.syntax[a][b];
+        dev_pairs.push_back(std::move(ps));
+      }
+    }
+
+    Adam optimizer(model.Params(), [&] {
+      AdamConfig a;
+      a.lr = config.pretrain_lr;
+      return a;
+    }());
+
+    double best_mse = 1e30;
+    std::vector<Tensor> best_weights = model.SnapshotWeights();
+    for (size_t epoch = 0; epoch < config.pretrain_epochs; ++epoch) {
+      rng.Shuffle(train_pairs);
+      const size_t take =
+          std::min(train_pairs.size(), config.pretrain_pairs_per_epoch);
+      std::vector<PairSample> samples;
+      samples.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        const auto [a, b] = train_pairs[i];
+        PairSample ps;
+        ps.input = EncodeSegments(
+            *vocab, {query_tokens[a], query_tokens[b]}, config.max_len);
+        ps.sim_rank = sims.rank[a][b];
+        ps.sim_witness = sims.witness[a][b];
+        ps.sim_syntax = sims.syntax[a][b];
+        samples.push_back(std::move(ps));
+      }
+      float epoch_loss = 0.0f;
+      for (size_t begin = 0; begin < samples.size();
+           begin += config.batch_size) {
+        const size_t end =
+            std::min(samples.size(), begin + config.batch_size);
+        epoch_loss += runner.RunBatch(begin, end, [&](LearnShapleyModel& m,
+                                                      size_t i) {
+          return m.PretrainStep(samples[i].input, samples[i].sim_rank,
+                                samples[i].sim_witness, samples[i].sim_syntax,
+                                config.objectives);
+        });
+        optimizer.Step();
+      }
+      const double dev_mse =
+          PairMse(dev_pairs, config.objectives, model, pool);
+      if (config.verbose) {
+        std::fprintf(stderr,
+                     "[pretrain] epoch %zu loss %.4f dev-mse %.5f\n", epoch,
+                     static_cast<double>(epoch_loss) /
+                         static_cast<double>(std::max<size_t>(1, take)),
+                     dev_mse);
+      }
+      if (dev_mse < best_mse) {
+        best_mse = dev_mse;
+        best_weights = model.SnapshotWeights();
+      }
+      optimizer.set_lr(optimizer.lr() * config.lr_decay);
+    }
+    model.RestoreWeights(best_weights);
+    result.pretrain_dev_mse = best_mse;
+  }
+
+  // ---- Fine-tuning on Shapley regression. ----
+  std::vector<FinetuneSample> all_samples;
+  for (size_t e : train) {
+    const CorpusEntry& entry = corpus.entries[e];
+    for (const auto& c : entry.contributions) {
+      const std::vector<std::string> t_tokens = TupleTokens(c.tuple);
+      double norm = 1.0;
+      if (config.normalize_targets_per_tuple) {
+        double max_v = 0.0;
+        for (const auto& [f, v] : c.shapley) max_v = std::max(max_v, v);
+        if (max_v > 0.0) norm = 1.0 / max_v;
+      }
+      for (const auto& [f, v] : c.shapley) {
+        FinetuneSample fs;
+        fs.input = EncodeSegments(
+            *vocab,
+            {query_tokens[e], t_tokens,
+             FactTokensWithContext(*corpus.db, f, t_tokens)},
+            config.max_len);
+        fs.target = static_cast<float>(v * norm) * config.shapley_scale;
+        all_samples.push_back(std::move(fs));
+      }
+      // Extension: zero-target samples for facts outside the lineage, so
+      // the model learns to rank non-contributing facts below contributing
+      // ones (needed for lineage-free deployment).
+      for (size_t neg = 0; neg < config.negative_samples_per_contribution;
+           ++neg) {
+        const FactId f = static_cast<FactId>(
+            rng.NextBounded(corpus.db->num_facts()));
+        if (c.shapley.count(f) > 0) continue;  // accidentally positive
+        FinetuneSample fs;
+        fs.input = EncodeSegments(
+            *vocab,
+            {query_tokens[e], t_tokens,
+             FactTokensWithContext(*corpus.db, f, t_tokens)},
+            config.max_len);
+        fs.target = 0.0f;
+        all_samples.push_back(std::move(fs));
+      }
+    }
+  }
+
+  Adam optimizer(model.Params(), [&] {
+    AdamConfig a;
+    a.lr = config.finetune_lr;
+    return a;
+  }());
+
+  double best_ndcg = -1.0;
+  std::vector<Tensor> best_weights = model.SnapshotWeights();
+  std::vector<size_t> sample_order(all_samples.size());
+  for (size_t i = 0; i < sample_order.size(); ++i) sample_order[i] = i;
+
+  for (size_t epoch = 0; epoch < config.finetune_epochs; ++epoch) {
+    rng.Shuffle(sample_order);
+    const size_t take =
+        std::min(sample_order.size(), config.finetune_samples_per_epoch);
+    float epoch_loss = 0.0f;
+    for (size_t begin = 0; begin < take; begin += config.batch_size) {
+      const size_t end = std::min(take, begin + config.batch_size);
+      epoch_loss +=
+          runner.RunBatch(begin, end, [&](LearnShapleyModel& m, size_t i) {
+            const FinetuneSample& fs = all_samples[sample_order[i]];
+            return m.FinetuneStep(fs.input, fs.target);
+          });
+      optimizer.Step();
+    }
+    // Dev NDCG@10 for checkpoint selection.
+    LearnShapleyRanker dev_ranker(model, vocab, config.max_len,
+                                  config.shapley_scale, "dev");
+    const EvalSummary dev = EvaluateScorer(corpus, corpus.dev_idx, dev_ranker,
+                                           {}, pool);
+    if (config.verbose) {
+      std::fprintf(stderr, "[finetune] epoch %zu loss %.2f dev-ndcg %.4f\n",
+                   epoch,
+                   static_cast<double>(epoch_loss) /
+                       static_cast<double>(std::max<size_t>(1, take)),
+                   dev.ndcg10);
+    }
+    if (dev.ndcg10 > best_ndcg) {
+      best_ndcg = dev.ndcg10;
+      best_weights = model.SnapshotWeights();
+    }
+    optimizer.set_lr(optimizer.lr() * config.lr_decay);
+  }
+  model.RestoreWeights(best_weights);
+  result.best_dev_ndcg10 = best_ndcg;
+
+  std::string name = "LearnShapley-";
+  switch (config.model_size) {
+    case TrainConfig::ModelSize::kBase:
+      name += "base";
+      break;
+    case TrainConfig::ModelSize::kLarge:
+      name += "large";
+      break;
+    case TrainConfig::ModelSize::kSmallAblation:
+      name += "small";
+      break;
+  }
+  if (!config.do_pretrain) name += " (no pre-train)";
+  result.ranker = std::make_unique<LearnShapleyRanker>(
+      std::move(model), vocab, config.max_len, config.shapley_scale, name);
+  result.train_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace lshap

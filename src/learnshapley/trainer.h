@@ -1,0 +1,81 @@
+#ifndef LSHAP_LEARNSHAPLEY_TRAINER_H_
+#define LSHAP_LEARNSHAPLEY_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "corpus/corpus.h"
+#include "learnshapley/ranker.h"
+
+namespace lshap {
+
+// Training configuration for the full LearnShapley pipeline (pre-train on
+// similarity objectives, fine-tune on Shapley regression, checkpoint on the
+// dev split).
+struct TrainConfig {
+  enum class ModelSize { kBase, kLarge, kSmallAblation };
+
+  ModelSize model_size = ModelSize::kBase;
+  PretrainObjectives objectives;
+  // Section 5.5 ablation: skip pre-training entirely ("BERT fine-tune only"
+  // corresponds to do_pretrain = false on the base model; the
+  // small-transformer ablation uses kSmallAblation + do_pretrain = false).
+  bool do_pretrain = true;
+
+  size_t pretrain_epochs = 3;
+  size_t pretrain_pairs_per_epoch = 1024;
+  size_t finetune_epochs = 4;
+  size_t finetune_samples_per_epoch = 4096;
+  size_t batch_size = 64;
+  // A gentler pre-training rate preserves the fine-tunability of the small
+  // encoder (at 2e-3 the similarity objectives distort the embeddings
+  // enough to erase the pre-training benefit).
+  float pretrain_lr = 5e-4f;
+  float finetune_lr = 2e-3f;
+  // Per-epoch multiplicative learning-rate decay (both stages).
+  float lr_decay = 0.9f;
+  // Target scaling. The paper multiplies raw Shapley values by 1000 before
+  // regression (suited to BERT's pretrained optimization regime); for the
+  // from-scratch MiniBERT a small scale over per-tuple-normalized targets
+  // conditions the loss far better (measured +0.03 NDCG / +0.2 p@1). Set
+  // shapley_scale = 1000 and normalize_targets_per_tuple = false to follow
+  // the paper literally.
+  float shapley_scale = 10.0f;
+  // Divide each fact's target by the maximum Shapley value in its tuple's
+  // lineage before scaling. The induced per-tuple ranking is unchanged, but
+  // the regression becomes scale-free: absolute Shapley magnitudes depend on
+  // the (hidden) lineage size, which a from-scratch MiniBERT wastes capacity
+  // estimating. Set false to reproduce the paper's raw-value regression.
+  bool normalize_targets_per_tuple = true;
+  size_t max_len = 80;
+  uint64_t seed = 42;
+  // Extension beyond the paper (its Limitations section notes LearnShapley
+  // is trained only on positive samples and so cannot separate contributing
+  // from non-contributing facts): add this many random non-lineage facts
+  // per contribution as zero-target samples during fine-tuning. 0 disables
+  // the extension and reproduces the paper's training exactly.
+  size_t negative_samples_per_contribution = 0;
+  // Restrict training to these corpus entries (Figure 11 log-size sweep);
+  // empty means corpus.train_idx.
+  std::vector<size_t> train_subset;
+  bool verbose = false;
+};
+
+struct TrainResult {
+  std::unique_ptr<LearnShapleyRanker> ranker;
+  double pretrain_dev_mse = 0.0;   // of the selected pre-train checkpoint
+  double best_dev_ndcg10 = 0.0;    // of the selected fine-tune checkpoint
+  double train_seconds = 0.0;
+};
+
+// Trains LearnShapley on the corpus' train split (data-parallel across
+// `pool` workers with summed-gradient batches) and returns the deployable
+// ranker with the best dev-NDCG@10 fine-tune checkpoint restored.
+TrainResult TrainLearnShapley(const Corpus& corpus,
+                              const SimilarityMatrices& sims,
+                              const TrainConfig& config, ThreadPool& pool);
+
+}  // namespace lshap
+
+#endif  // LSHAP_LEARNSHAPLEY_TRAINER_H_

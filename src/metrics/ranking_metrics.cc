@@ -1,0 +1,67 @@
+#include "metrics/ranking_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lshap {
+
+double NdcgAtK(const std::vector<FactId>& predicted,
+               const ShapleyValues& gold, size_t k) {
+  const size_t depth = std::min(k, predicted.size());
+  double dcg = 0.0;
+  for (size_t i = 0; i < depth; ++i) {
+    auto it = gold.find(predicted[i]);
+    const double rel = it != gold.end() ? it->second : 0.0;
+    dcg += rel / std::log2(static_cast<double>(i) + 2.0);
+  }
+  const std::vector<FactId> ideal = RankByScore(gold);
+  double idcg = 0.0;
+  const size_t ideal_depth = std::min(k, ideal.size());
+  for (size_t i = 0; i < ideal_depth; ++i) {
+    idcg += gold.at(ideal[i]) / std::log2(static_cast<double>(i) + 2.0);
+  }
+  if (idcg <= 0.0) return 1.0;
+  return dcg / idcg;
+}
+
+double PrecisionAtK(const std::vector<FactId>& predicted,
+                    const ShapleyValues& gold, size_t k) {
+  const std::vector<FactId> ideal = RankByScore(gold);
+  const size_t depth = std::min({k, predicted.size(), ideal.size()});
+  if (depth == 0) return 0.0;
+  std::vector<FactId> top_pred(predicted.begin(),
+                               predicted.begin() + static_cast<ptrdiff_t>(
+                                   std::min(k, predicted.size())));
+  std::vector<FactId> top_gold(ideal.begin(),
+                               ideal.begin() + static_cast<ptrdiff_t>(
+                                   std::min(k, ideal.size())));
+  std::sort(top_pred.begin(), top_pred.end());
+  std::sort(top_gold.begin(), top_gold.end());
+  std::vector<FactId> inter;
+  std::set_intersection(top_pred.begin(), top_pred.end(), top_gold.begin(),
+                        top_gold.end(), std::back_inserter(inter));
+  return static_cast<double>(inter.size()) / static_cast<double>(depth);
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double MeanSquaredError(const std::vector<double>& pred,
+                        const std::vector<double>& gold) {
+  LSHAP_CHECK_EQ(pred.size(), gold.size());
+  if (pred.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - gold[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(pred.size());
+}
+
+}  // namespace lshap

@@ -1,0 +1,34 @@
+#ifndef LSHAP_METRICS_RANKING_METRICS_H_
+#define LSHAP_METRICS_RANKING_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "relational/database.h"
+#include "shapley/shapley.h"
+
+namespace lshap {
+
+// NDCG@k of a predicted fact ranking against graded gold relevances (the
+// true Shapley values): DCG@k = Σ_{i<k} rel(pred_i) / log2(i + 2), divided
+// by the ideal DCG of the gold-sorted prefix. Returns 1.0 when the ideal
+// DCG is 0 (no relevant facts — every ranking is vacuously perfect).
+double NdcgAtK(const std::vector<FactId>& predicted,
+               const ShapleyValues& gold, size_t k);
+
+// Precision@k: |top-k(predicted) ∩ top-k(gold)| / min(k, n). The gold top-k
+// is by descending Shapley value with fact-id tiebreak (the deterministic
+// gold ranking).
+double PrecisionAtK(const std::vector<FactId>& predicted,
+                    const ShapleyValues& gold, size_t k);
+
+// Mean of a vector; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+// Mean squared error between parallel vectors.
+double MeanSquaredError(const std::vector<double>& pred,
+                        const std::vector<double>& gold);
+
+}  // namespace lshap
+
+#endif  // LSHAP_METRICS_RANKING_METRICS_H_

@@ -1,0 +1,55 @@
+#include "ml/adam.h"
+
+#include <cmath>
+
+namespace lshap {
+
+Adam::Adam(std::vector<Param*> params, const AdamConfig& config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  float scale = 1.0f;
+  if (config_.clip_norm > 0.0f) {
+    double norm_sq = 0.0;
+    for (Param* p : params_) {
+      for (size_t i = 0; i < p->grad.size(); ++i) {
+        const float g = p->grad.data()[i];
+        norm_sq += static_cast<double>(g) * g;
+      }
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm > config_.clip_norm) {
+      scale = config_.clip_norm / static_cast<float>(norm);
+    }
+  }
+  const float bc1 =
+      1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bc2 =
+      1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    Param* p = params_[pi];
+    float* w = p->value.data();
+    float* g = p->grad.data();
+    float* m = m_[pi].data();
+    float* v = v_[pi].data();
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      const float grad = g[i] * scale;
+      m[i] = config_.beta1 * m[i] + (1.0f - config_.beta1) * grad;
+      v[i] = config_.beta2 * v[i] + (1.0f - config_.beta2) * grad * grad;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      w[i] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
+    }
+    p->grad.Zero();
+  }
+}
+
+}  // namespace lshap

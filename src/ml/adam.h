@@ -1,0 +1,40 @@
+#ifndef LSHAP_ML_ADAM_H_
+#define LSHAP_ML_ADAM_H_
+
+#include <vector>
+
+#include "ml/layers.h"
+
+namespace lshap {
+
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  // Global gradient-norm clip; 0 disables clipping.
+  float clip_norm = 1.0f;
+};
+
+// Adam optimizer with bias correction and global-norm gradient clipping.
+// Step() consumes and zeroes the accumulated gradients.
+class Adam {
+ public:
+  Adam(std::vector<Param*> params, const AdamConfig& config);
+
+  void Step();
+
+  void set_lr(float lr) { config_.lr = lr; }
+  float lr() const { return config_.lr; }
+
+ private:
+  std::vector<Param*> params_;
+  AdamConfig config_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  long t_ = 0;
+};
+
+}  // namespace lshap
+
+#endif  // LSHAP_ML_ADAM_H_

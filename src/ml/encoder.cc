@@ -1,0 +1,79 @@
+#include "ml/encoder.h"
+
+namespace lshap {
+
+EncoderConfig EncoderConfig::Base(size_t vocab_size) {
+  EncoderConfig c;
+  c.vocab_size = vocab_size;
+  c.dim = 48;
+  c.num_heads = 4;
+  c.num_layers = 2;
+  c.ffn_dim = 96;
+  c.max_len = 80;
+  return c;
+}
+
+EncoderConfig EncoderConfig::Large(size_t vocab_size) {
+  EncoderConfig c;
+  c.vocab_size = vocab_size;
+  c.dim = 64;
+  c.num_heads = 8;
+  c.num_layers = 3;
+  c.ffn_dim = 128;
+  c.max_len = 80;
+  return c;
+}
+
+EncoderConfig EncoderConfig::SmallAblation(size_t vocab_size) {
+  EncoderConfig c;
+  c.vocab_size = vocab_size;
+  c.dim = 32;
+  c.num_heads = 4;
+  c.num_layers = 1;
+  c.ffn_dim = 48;
+  c.max_len = 80;
+  return c;
+}
+
+TransformerEncoder::TransformerEncoder(const EncoderConfig& config)
+    : config_(config), final_ln_(config.dim) {
+  Rng rng(config.seed);
+  tok_emb_ = Embedding(config.vocab_size, config.dim, rng);
+  pos_emb_ = Embedding(config.max_len, config.dim, rng);
+  layers_.reserve(config.num_layers);
+  for (size_t i = 0; i < config.num_layers; ++i) {
+    layers_.emplace_back(config.dim, config.num_heads, config.ffn_dim, rng);
+  }
+}
+
+Tensor TransformerEncoder::Forward(const std::vector<int>& ids,
+                                   const std::vector<bool>& mask) {
+  LSHAP_CHECK_LE(ids.size(), config_.max_len);
+  LSHAP_CHECK_EQ(ids.size(), mask.size());
+  std::vector<int> pos(ids.size());
+  for (size_t i = 0; i < pos.size(); ++i) pos[i] = static_cast<int>(i);
+  Tensor h = tok_emb_.Forward(ids);
+  h.Add(pos_emb_.Forward(pos));
+  for (auto& layer : layers_) h = layer.Forward(h, mask);
+  return final_ln_.Forward(h);
+}
+
+void TransformerEncoder::Backward(const Tensor& d_hidden) {
+  Tensor d = final_ln_.Backward(d_hidden);
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    d = it->Backward(d);
+  }
+  tok_emb_.Backward(d);
+  pos_emb_.Backward(d);
+}
+
+std::vector<Param*> TransformerEncoder::Params() {
+  std::vector<Param*> params;
+  tok_emb_.CollectParams(params);
+  pos_emb_.CollectParams(params);
+  for (auto& layer : layers_) layer.CollectParams(params);
+  final_ln_.CollectParams(params);
+  return params;
+}
+
+}  // namespace lshap

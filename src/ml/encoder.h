@@ -1,0 +1,54 @@
+#ifndef LSHAP_ML_ENCODER_H_
+#define LSHAP_ML_ENCODER_H_
+
+#include <vector>
+
+#include "ml/layers.h"
+
+namespace lshap {
+
+// Architecture hyper-parameters of the MiniBERT encoder. The two named
+// presets mirror the paper's BERT-base / BERT-large distinction at a scale
+// trainable from scratch on a laptop (see DESIGN.md substitution table).
+struct EncoderConfig {
+  size_t vocab_size = 0;     // set from the tokenizer
+  size_t max_len = 64;
+  size_t dim = 32;
+  size_t num_heads = 4;
+  size_t num_layers = 2;
+  size_t ffn_dim = 64;
+  uint64_t seed = 1234;
+
+  static EncoderConfig Base(size_t vocab_size);
+  static EncoderConfig Large(size_t vocab_size);
+  // The randomly initialized small-transformer ablation of Section 5.5.
+  static EncoderConfig SmallAblation(size_t vocab_size);
+};
+
+// A BERT-style bidirectional transformer encoder: learned token + position
+// embeddings, pre-LN encoder blocks, final LayerNorm. The [CLS] position
+// (row 0) is the sequence representation for regression heads.
+class TransformerEncoder {
+ public:
+  TransformerEncoder() = default;
+  explicit TransformerEncoder(const EncoderConfig& config);
+
+  // ids.size() must be ≤ max_len; mask[i] marks non-pad positions.
+  Tensor Forward(const std::vector<int>& ids, const std::vector<bool>& mask);
+  void Backward(const Tensor& d_hidden);
+
+  std::vector<Param*> Params();
+
+  const EncoderConfig& config() const { return config_; }
+
+ private:
+  EncoderConfig config_;
+  Embedding tok_emb_;
+  Embedding pos_emb_;
+  std::vector<TransformerLayer> layers_;
+  LayerNorm final_ln_;
+};
+
+}  // namespace lshap
+
+#endif  // LSHAP_ML_ENCODER_H_

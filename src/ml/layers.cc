@@ -1,0 +1,362 @@
+#include "ml/layers.h"
+
+#include <cmath>
+
+namespace lshap {
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+}  // namespace
+
+// ---------------------------------------------------------------- Linear
+
+Linear::Linear(size_t in, size_t out, Rng& rng) {
+  // Xavier-style init.
+  const float stddev = std::sqrt(2.0f / static_cast<float>(in + out));
+  w_.Init(Tensor::Randn(in, out, stddev, rng));
+  b_.Init(Tensor::Zeros(1, out));
+}
+
+Tensor Linear::Forward(const Tensor& x) {
+  x_ = x;
+  Tensor y = MatMul(x, w_.value);
+  AddRowBroadcast(y, b_.value);
+  return y;
+}
+
+Tensor Linear::Backward(const Tensor& dy) {
+  // dW = xᵀ·dy ; db = column sums of dy ; dx = dy·Wᵀ.
+  Tensor dw = MatMulATB(x_, dy);
+  w_.grad.Add(dw);
+  for (size_t r = 0; r < dy.rows(); ++r) {
+    const float* row = dy.row_data(r);
+    float* g = b_.grad.row_data(0);
+    for (size_t c = 0; c < dy.cols(); ++c) g[c] += row[c];
+  }
+  return MatMulABT(dy, w_.value);
+}
+
+void Linear::CollectParams(std::vector<Param*>& out) {
+  out.push_back(&w_);
+  out.push_back(&b_);
+}
+
+// ------------------------------------------------------------- Embedding
+
+Embedding::Embedding(size_t vocab, size_t dim, Rng& rng) {
+  table_.Init(Tensor::Randn(vocab, dim, 0.02f, rng));
+}
+
+Tensor Embedding::Forward(const std::vector<int>& ids) {
+  ids_ = ids;
+  Tensor out(ids.size(), table_.value.cols());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    LSHAP_CHECK_LT(static_cast<size_t>(ids[i]), table_.value.rows());
+    const float* src = table_.value.row_data(static_cast<size_t>(ids[i]));
+    float* dst = out.row_data(i);
+    std::copy(src, src + table_.value.cols(), dst);
+  }
+  return out;
+}
+
+void Embedding::Backward(const Tensor& dy) {
+  LSHAP_CHECK_EQ(dy.rows(), ids_.size());
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    float* g = table_.grad.row_data(static_cast<size_t>(ids_[i]));
+    const float* src = dy.row_data(i);
+    for (size_t c = 0; c < dy.cols(); ++c) g[c] += src[c];
+  }
+}
+
+void Embedding::CollectParams(std::vector<Param*>& out) {
+  out.push_back(&table_);
+}
+
+// ------------------------------------------------------------- LayerNorm
+
+LayerNorm::LayerNorm(size_t dim) {
+  Tensor ones(1, dim);
+  ones.Fill(1.0f);
+  gamma_.Init(std::move(ones));
+  beta_.Init(Tensor::Zeros(1, dim));
+}
+
+Tensor LayerNorm::Forward(const Tensor& x) {
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  xhat_ = Tensor(n, d);
+  rstd_.assign(n, 0.0f);
+  Tensor y(n, d);
+  for (size_t r = 0; r < n; ++r) {
+    const float* row = x.row_data(r);
+    float mean = 0.0f;
+    for (size_t c = 0; c < d; ++c) mean += row[c];
+    mean /= static_cast<float>(d);
+    float var = 0.0f;
+    for (size_t c = 0; c < d; ++c) {
+      const float diff = row[c] - mean;
+      var += diff * diff;
+    }
+    var /= static_cast<float>(d);
+    const float rstd = 1.0f / std::sqrt(var + 1e-5f);
+    rstd_[r] = rstd;
+    float* xh = xhat_.row_data(r);
+    float* out = y.row_data(r);
+    const float* g = gamma_.value.row_data(0);
+    const float* b = beta_.value.row_data(0);
+    for (size_t c = 0; c < d; ++c) {
+      xh[c] = (row[c] - mean) * rstd;
+      out[c] = xh[c] * g[c] + b[c];
+    }
+  }
+  return y;
+}
+
+Tensor LayerNorm::Backward(const Tensor& dy) {
+  const size_t n = dy.rows();
+  const size_t d = dy.cols();
+  Tensor dx(n, d);
+  const float* g = gamma_.value.row_data(0);
+  for (size_t r = 0; r < n; ++r) {
+    const float* dyr = dy.row_data(r);
+    const float* xh = xhat_.row_data(r);
+    float* gg = gamma_.grad.row_data(0);
+    float* bg = beta_.grad.row_data(0);
+    float sum_dxhat = 0.0f;
+    float sum_dxhat_xhat = 0.0f;
+    for (size_t c = 0; c < d; ++c) {
+      gg[c] += dyr[c] * xh[c];
+      bg[c] += dyr[c];
+      const float dxhat = dyr[c] * g[c];
+      sum_dxhat += dxhat;
+      sum_dxhat_xhat += dxhat * xh[c];
+    }
+    const float inv_d = 1.0f / static_cast<float>(d);
+    float* dxr = dx.row_data(r);
+    for (size_t c = 0; c < d; ++c) {
+      const float dxhat = dyr[c] * g[c];
+      dxr[c] = rstd_[r] *
+               (dxhat - inv_d * sum_dxhat - xh[c] * inv_d * sum_dxhat_xhat);
+    }
+  }
+  return dx;
+}
+
+void LayerNorm::CollectParams(std::vector<Param*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+// ------------------------------------------------------------------ Gelu
+
+Tensor Gelu::Forward(const Tensor& x) {
+  x_ = x;
+  Tensor y(x.rows(), x.cols());
+  for (size_t i = 0; i < x.size(); ++i) {
+    const float v = x.data()[i];
+    const float t = std::tanh(kGeluC * (v + 0.044715f * v * v * v));
+    y.data()[i] = 0.5f * v * (1.0f + t);
+  }
+  return y;
+}
+
+Tensor Gelu::Backward(const Tensor& dy) {
+  Tensor dx(dy.rows(), dy.cols());
+  for (size_t i = 0; i < dy.size(); ++i) {
+    const float v = x_.data()[i];
+    const float u = kGeluC * (v + 0.044715f * v * v * v);
+    const float t = std::tanh(u);
+    const float sech2 = 1.0f - t * t;
+    const float du = kGeluC * (1.0f + 3.0f * 0.044715f * v * v);
+    const float grad = 0.5f * (1.0f + t) + 0.5f * v * sech2 * du;
+    dx.data()[i] = dy.data()[i] * grad;
+  }
+  return dx;
+}
+
+// -------------------------------------------------- MultiHeadSelfAttention
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(size_t dim, size_t num_heads,
+                                               Rng& rng)
+    : dim_(dim),
+      num_heads_(num_heads),
+      head_dim_(dim / num_heads),
+      q_proj_(dim, dim, rng),
+      k_proj_(dim, dim, rng),
+      v_proj_(dim, dim, rng),
+      out_proj_(dim, dim, rng) {
+  LSHAP_CHECK_EQ(head_dim_ * num_heads_, dim_);
+}
+
+Tensor MultiHeadSelfAttention::Forward(const Tensor& x,
+                                       const std::vector<bool>& mask) {
+  const size_t n = x.rows();
+  mask_ = mask;
+  q_ = q_proj_.Forward(x);
+  k_ = k_proj_.Forward(x);
+  v_ = v_proj_.Forward(x);
+
+  attn_.assign(num_heads_, Tensor());
+  Tensor concat(n, dim_);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  for (size_t h = 0; h < num_heads_; ++h) {
+    const size_t off = h * head_dim_;
+    // Scores: s[i][j] = (q_i · k_j) * scale over this head's slice.
+    Tensor scores(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      const float* qi = q_.row_data(i) + off;
+      float* srow = scores.row_data(i);
+      for (size_t j = 0; j < n; ++j) {
+        if (!mask_[j]) {
+          srow[j] = -1e30f;
+          continue;
+        }
+        const float* kj = k_.row_data(j) + off;
+        float dot = 0.0f;
+        for (size_t c = 0; c < head_dim_; ++c) dot += qi[c] * kj[c];
+        srow[j] = dot * scale;
+      }
+    }
+    // Row softmax.
+    for (size_t i = 0; i < n; ++i) {
+      float* srow = scores.row_data(i);
+      float max_v = -1e30f;
+      for (size_t j = 0; j < n; ++j) max_v = std::max(max_v, srow[j]);
+      float sum = 0.0f;
+      for (size_t j = 0; j < n; ++j) {
+        srow[j] = std::exp(srow[j] - max_v);
+        sum += srow[j];
+      }
+      const float inv = 1.0f / sum;
+      for (size_t j = 0; j < n; ++j) srow[j] *= inv;
+    }
+    // Head output: attn · V_head, written into the concat slice.
+    for (size_t i = 0; i < n; ++i) {
+      const float* arow = scores.row_data(i);
+      float* orow = concat.row_data(i) + off;
+      for (size_t c = 0; c < head_dim_; ++c) orow[c] = 0.0f;
+      for (size_t j = 0; j < n; ++j) {
+        const float a = arow[j];
+        if (a == 0.0f) continue;
+        const float* vj = v_.row_data(j) + off;
+        for (size_t c = 0; c < head_dim_; ++c) orow[c] += a * vj[c];
+      }
+    }
+    attn_[h] = std::move(scores);
+  }
+  return out_proj_.Forward(concat);
+}
+
+Tensor MultiHeadSelfAttention::Backward(const Tensor& dy) {
+  const size_t n = dy.rows();
+  Tensor d_concat = out_proj_.Backward(dy);
+
+  Tensor dq(n, dim_);
+  Tensor dk(n, dim_);
+  Tensor dv(n, dim_);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  for (size_t h = 0; h < num_heads_; ++h) {
+    const size_t off = h * head_dim_;
+    const Tensor& attn = attn_[h];
+
+    // dV_head[j] += Σ_i attn[i][j] · d_out[i];  d_attn[i][j] = d_out[i]·V[j].
+    Tensor d_attn(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      const float* doi = d_concat.row_data(i) + off;
+      const float* arow = attn.row_data(i);
+      float* darow = d_attn.row_data(i);
+      for (size_t j = 0; j < n; ++j) {
+        const float* vj = v_.row_data(j) + off;
+        float dot = 0.0f;
+        for (size_t c = 0; c < head_dim_; ++c) dot += doi[c] * vj[c];
+        darow[j] = dot;
+        const float a = arow[j];
+        if (a != 0.0f) {
+          float* dvj = dv.row_data(j) + off;
+          for (size_t c = 0; c < head_dim_; ++c) dvj[c] += a * doi[c];
+        }
+      }
+    }
+    // Softmax backward per row: ds = a ⊙ (d_attn − Σ_j a_j d_attn_j).
+    for (size_t i = 0; i < n; ++i) {
+      const float* arow = attn.row_data(i);
+      float* darow = d_attn.row_data(i);
+      float dot = 0.0f;
+      for (size_t j = 0; j < n; ++j) dot += arow[j] * darow[j];
+      for (size_t j = 0; j < n; ++j) {
+        darow[j] = arow[j] * (darow[j] - dot);
+      }
+    }
+    // Scores backward: dq_i += Σ_j ds[i][j]·k_j·scale; dk_j += Σ_i ds·q_i.
+    for (size_t i = 0; i < n; ++i) {
+      const float* dsrow = d_attn.row_data(i);
+      const float* qi = q_.row_data(i) + off;
+      float* dqi = dq.row_data(i) + off;
+      for (size_t j = 0; j < n; ++j) {
+        const float ds = dsrow[j] * scale;
+        if (ds == 0.0f) continue;
+        const float* kj = k_.row_data(j) + off;
+        float* dkj = dk.row_data(j) + off;
+        for (size_t c = 0; c < head_dim_; ++c) {
+          dqi[c] += ds * kj[c];
+          dkj[c] += ds * qi[c];
+        }
+      }
+    }
+  }
+
+  Tensor dx = q_proj_.Backward(dq);
+  dx.Add(k_proj_.Backward(dk));
+  dx.Add(v_proj_.Backward(dv));
+  return dx;
+}
+
+void MultiHeadSelfAttention::CollectParams(std::vector<Param*>& out) {
+  q_proj_.CollectParams(out);
+  k_proj_.CollectParams(out);
+  v_proj_.CollectParams(out);
+  out_proj_.CollectParams(out);
+}
+
+// ------------------------------------------------------- TransformerLayer
+
+TransformerLayer::TransformerLayer(size_t dim, size_t num_heads,
+                                   size_t ffn_dim, Rng& rng)
+    : ln1_(dim),
+      ln2_(dim),
+      attn_(dim, num_heads, rng),
+      ffn1_(dim, ffn_dim, rng),
+      ffn2_(ffn_dim, dim, rng) {}
+
+Tensor TransformerLayer::Forward(const Tensor& x,
+                                 const std::vector<bool>& mask) {
+  Tensor h = x;
+  h.Add(attn_.Forward(ln1_.Forward(x), mask));
+  Tensor out = h;
+  out.Add(ffn2_.Forward(gelu_.Forward(ffn1_.Forward(ln2_.Forward(h)))));
+  return out;
+}
+
+Tensor TransformerLayer::Backward(const Tensor& dy) {
+  // FFN residual branch.
+  Tensor d_ffn = ln2_.Backward(
+      ffn1_.Backward(gelu_.Backward(ffn2_.Backward(dy))));
+  Tensor dh = dy;
+  dh.Add(d_ffn);
+  // Attention residual branch.
+  Tensor d_attn = ln1_.Backward(attn_.Backward(dh));
+  Tensor dx = dh;
+  dx.Add(d_attn);
+  return dx;
+}
+
+void TransformerLayer::CollectParams(std::vector<Param*>& out) {
+  ln1_.CollectParams(out);
+  ln2_.CollectParams(out);
+  attn_.CollectParams(out);
+  ffn1_.CollectParams(out);
+  ffn2_.CollectParams(out);
+}
+
+}  // namespace lshap

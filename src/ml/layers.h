@@ -1,0 +1,135 @@
+#ifndef LSHAP_ML_LAYERS_H_
+#define LSHAP_ML_LAYERS_H_
+
+#include <vector>
+
+#include "ml/tensor.h"
+
+namespace lshap {
+
+// A trainable weight with its gradient accumulator.
+struct Param {
+  Tensor value;
+  Tensor grad;
+
+  void Init(Tensor v) {
+    grad = Tensor::Zeros(v.rows(), v.cols());
+    value = std::move(v);
+  }
+  void ZeroGrad() { grad.Zero(); }
+};
+
+// Affine map y = x·W + b. Caches x for the backward pass, so one instance
+// handles one forward/backward pair at a time (sequential SGD over samples).
+class Linear {
+ public:
+  Linear() = default;
+  Linear(size_t in, size_t out, Rng& rng);
+
+  Tensor Forward(const Tensor& x);
+  // Accumulates parameter grads; returns dL/dx.
+  Tensor Backward(const Tensor& dy);
+
+  void CollectParams(std::vector<Param*>& out);
+
+  const Param& w() const { return w_; }
+
+ private:
+  Param w_;  // in×out
+  Param b_;  // 1×out
+  Tensor x_;
+};
+
+// Learned token/position embedding lookup.
+class Embedding {
+ public:
+  Embedding() = default;
+  Embedding(size_t vocab, size_t dim, Rng& rng);
+
+  Tensor Forward(const std::vector<int>& ids);
+  void Backward(const Tensor& dy);
+
+  void CollectParams(std::vector<Param*>& out);
+
+  size_t vocab_size() const { return table_.value.rows(); }
+
+ private:
+  Param table_;  // vocab×dim
+  std::vector<int> ids_;
+};
+
+// Layer normalization over the feature dimension with learned gain/bias.
+class LayerNorm {
+ public:
+  LayerNorm() = default;
+  explicit LayerNorm(size_t dim);
+
+  Tensor Forward(const Tensor& x);
+  Tensor Backward(const Tensor& dy);
+
+  void CollectParams(std::vector<Param*>& out);
+
+ private:
+  Param gamma_;  // 1×dim
+  Param beta_;   // 1×dim
+  Tensor xhat_;
+  std::vector<float> rstd_;
+};
+
+// GELU activation (tanh approximation) with cached input.
+class Gelu {
+ public:
+  Tensor Forward(const Tensor& x);
+  Tensor Backward(const Tensor& dy);
+
+ private:
+  Tensor x_;
+};
+
+// Multi-head scaled-dot-product self-attention with padding mask.
+class MultiHeadSelfAttention {
+ public:
+  MultiHeadSelfAttention() = default;
+  MultiHeadSelfAttention(size_t dim, size_t num_heads, Rng& rng);
+
+  // mask[i] == true means position i is a real token; padded positions are
+  // excluded as keys (they still produce outputs which downstream ignores).
+  Tensor Forward(const Tensor& x, const std::vector<bool>& mask);
+  Tensor Backward(const Tensor& dy);
+
+  void CollectParams(std::vector<Param*>& out);
+
+ private:
+  size_t dim_ = 0;
+  size_t num_heads_ = 0;
+  size_t head_dim_ = 0;
+  Linear q_proj_, k_proj_, v_proj_, out_proj_;
+
+  // Forward caches.
+  Tensor q_, k_, v_;
+  std::vector<Tensor> attn_;  // per-head n×n softmax weights
+  std::vector<bool> mask_;
+};
+
+// One pre-LayerNorm transformer encoder block:
+//   x ← x + Attn(LN1(x));  x ← x + FFN(LN2(x)).
+class TransformerLayer {
+ public:
+  TransformerLayer() = default;
+  TransformerLayer(size_t dim, size_t num_heads, size_t ffn_dim, Rng& rng);
+
+  Tensor Forward(const Tensor& x, const std::vector<bool>& mask);
+  Tensor Backward(const Tensor& dy);
+
+  void CollectParams(std::vector<Param*>& out);
+
+ private:
+  LayerNorm ln1_, ln2_;
+  MultiHeadSelfAttention attn_;
+  Linear ffn1_, ffn2_;
+  Gelu gelu_;
+};
+
+}  // namespace lshap
+
+#endif  // LSHAP_ML_LAYERS_H_

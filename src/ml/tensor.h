@@ -1,0 +1,67 @@
+#ifndef LSHAP_ML_TENSOR_H_
+#define LSHAP_ML_TENSOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace lshap {
+
+// A dense row-major 2-D float matrix. The entire neural stack works on
+// (sequence_length x feature) matrices; batching is a loop over sequences
+// with gradient accumulation, which keeps every op two-dimensional.
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(size_t rows, size_t cols) : rows_(rows), cols_(cols),
+                                     data_(rows * cols, 0.0f) {}
+
+  static Tensor Zeros(size_t rows, size_t cols) { return Tensor(rows, cols); }
+
+  // Gaussian init with standard deviation `stddev`.
+  static Tensor Randn(size_t rows, size_t cols, float stddev, Rng& rng);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  float at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  float* row_data(size_t r) { return data_.data() + r * cols_; }
+  const float* row_data(size_t r) const { return data_.data() + r * cols_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void Zero() { Fill(0.0f); }
+
+  // this += other (same shape).
+  void Add(const Tensor& other);
+  // this += scale * other.
+  void AddScaled(const Tensor& other, float scale);
+  void Scale(float s);
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+// C = A · B. Shapes: (n×k)·(k×m) → (n×m).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+// C = Aᵀ · B. Shapes: (k×n)ᵀ·(k×m) → (n×m).
+Tensor MatMulATB(const Tensor& a, const Tensor& b);
+// C = A · Bᵀ. Shapes: (n×k)·(m×k)ᵀ → (n×m).
+Tensor MatMulABT(const Tensor& a, const Tensor& b);
+
+// out[r] = a[r] + bias[0] for a 1×cols bias.
+void AddRowBroadcast(Tensor& a, const Tensor& bias);
+
+}  // namespace lshap
+
+#endif  // LSHAP_ML_TENSOR_H_

@@ -1,0 +1,103 @@
+#include "ml/tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/check.h"
+
+namespace lshap {
+
+std::vector<std::string> TokenizeText(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+  for (char raw : text) {
+    const char c = static_cast<char>(std::tolower(static_cast<unsigned char>(raw)));
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      current += c;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      flush();
+    } else {
+      flush();
+      tokens.push_back(std::string(1, c));
+    }
+  }
+  flush();
+  return tokens;
+}
+
+Vocab::Vocab() {
+  for (const char* special : {"[PAD]", "[CLS]", "[SEP]", "[UNK]", "[MASK]"}) {
+    token_to_id_.emplace(special, static_cast<int>(id_to_token_.size()));
+    id_to_token_.emplace_back(special);
+  }
+}
+
+void Vocab::AddTokens(const std::vector<std::string>& tokens) {
+  for (const auto& t : tokens) {
+    auto [it, inserted] =
+        token_to_id_.emplace(t, static_cast<int>(id_to_token_.size()));
+    if (inserted) id_to_token_.push_back(t);
+  }
+}
+
+int Vocab::Encode(const std::string& token) const {
+  auto it = token_to_id_.find(token);
+  return it == token_to_id_.end() ? kUnk : it->second;
+}
+
+EncodedPair EncodeSegments(
+    const Vocab& vocab,
+    const std::vector<std::vector<std::string>>& segments, size_t max_len) {
+  LSHAP_CHECK(!segments.empty());
+  // Budget: [CLS] + per-segment trailing [SEP]-like separators. We spend
+  // 1 + num_segments special positions and split the rest proportionally to
+  // segment length (each segment gets at least one token if non-empty).
+  const size_t specials = 1 + segments.size() - 1;
+  LSHAP_CHECK_GT(max_len, specials);
+  size_t budget = max_len - specials;
+
+  size_t total = 0;
+  for (const auto& s : segments) total += s.size();
+  std::vector<size_t> take(segments.size());
+  if (total <= budget) {
+    for (size_t i = 0; i < segments.size(); ++i) take[i] = segments[i].size();
+  } else {
+    // Shortest-segment-first allocation: short segments (the output tuple
+    // and the fact, whose tokens are the most discriminative) are kept
+    // whole; only the longest segments (typically the SQL text) get
+    // truncated. Processing in ascending length order with an equal-share
+    // cap achieves this: each segment takes min(len, remaining / left).
+    std::vector<size_t> order(segments.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return segments[a].size() < segments[b].size();
+    });
+    size_t remaining = budget;
+    size_t left = segments.size();
+    for (size_t i : order) {
+      const size_t share = remaining / left;
+      take[i] = std::min(segments[i].size(), share);
+      remaining -= take[i];
+      --left;
+    }
+  }
+
+  EncodedPair out;
+  out.ids.push_back(Vocab::kCls);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    for (size_t j = 0; j < take[i]; ++j) {
+      out.ids.push_back(vocab.Encode(segments[i][j]));
+    }
+    if (i + 1 < segments.size()) out.ids.push_back(Vocab::kSep);
+  }
+  out.mask.assign(out.ids.size(), true);
+  return out;
+}
+
+}  // namespace lshap

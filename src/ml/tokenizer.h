@@ -1,0 +1,56 @@
+#ifndef LSHAP_ML_TOKENIZER_H_
+#define LSHAP_ML_TOKENIZER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lshap {
+
+// Splits SQL text (and fact/tuple serializations) into lowercase word and
+// punctuation tokens: identifiers and numbers stay whole, every punctuation
+// character is its own token.
+std::vector<std::string> TokenizeText(const std::string& text);
+
+// A fixed vocabulary with BERT-style special tokens. Ids:
+//   0 [PAD]  1 [CLS]  2 [SEP]  3 [UNK]  4 [MASK], then corpus tokens.
+class Vocab {
+ public:
+  static constexpr int kPad = 0;
+  static constexpr int kCls = 1;
+  static constexpr int kSep = 2;
+  static constexpr int kUnk = 3;
+  static constexpr int kMask = 4;
+  static constexpr int kNumSpecial = 5;
+
+  Vocab();
+
+  // Adds every token of `tokens` to the vocabulary (idempotent).
+  void AddTokens(const std::vector<std::string>& tokens);
+
+  // Token id, or kUnk for out-of-vocabulary tokens.
+  int Encode(const std::string& token) const;
+
+  size_t size() const { return id_to_token_.size(); }
+  const std::string& token(int id) const { return id_to_token_[static_cast<size_t>(id)]; }
+
+ private:
+  std::unordered_map<std::string, int> token_to_id_;
+  std::vector<std::string> id_to_token_;
+};
+
+// Builds [CLS] a… [SEP] b… ([SEP] c…) sequences, truncating the segments
+// proportionally to fit max_len. Returns ids and the matching non-pad mask
+// (no padding is appended; sequences are variable length).
+struct EncodedPair {
+  std::vector<int> ids;
+  std::vector<bool> mask;
+};
+
+EncodedPair EncodeSegments(const Vocab& vocab,
+                           const std::vector<std::vector<std::string>>& segments,
+                           size_t max_len);
+
+}  // namespace lshap
+
+#endif  // LSHAP_ML_TOKENIZER_H_

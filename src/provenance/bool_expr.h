@@ -1,0 +1,66 @@
+#ifndef LSHAP_PROVENANCE_BOOL_EXPR_H_
+#define LSHAP_PROVENANCE_BOOL_EXPR_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+
+namespace lshap {
+
+// A conjunction of positive fact variables (one derivation of an output
+// tuple). Always kept sorted and duplicate-free.
+using Clause = std::vector<FactId>;
+
+// Monotone boolean provenance in disjunctive normal form: the output tuple
+// is present iff at least one clause has all its facts present. SPJU
+// provenance is always of this shape (positive DNF).
+class Dnf {
+ public:
+  Dnf() = default;
+  explicit Dnf(std::vector<Clause> clauses);
+
+  // Adds one derivation; facts need not be sorted. Duplicate clauses are
+  // dropped.
+  void AddClause(Clause clause);
+
+  // Removes clauses that are supersets of other clauses. The represented
+  // function is unchanged, but compilation becomes cheaper. Note that
+  // variables appearing only in absorbed clauses are logically irrelevant
+  // (their Shapley value is exactly 0).
+  void Absorb();
+
+  bool empty() const { return clauses_.empty(); }
+  size_t num_clauses() const { return clauses_.size(); }
+  const std::vector<Clause>& clauses() const { return clauses_; }
+
+  // Sorted set of all variables (the tuple's lineage).
+  std::vector<FactId> Variables() const;
+
+  // Evaluates the DNF where exactly the facts in `present` (sorted) are true.
+  bool Evaluate(const std::vector<FactId>& present) const;
+
+  // Φ[x := value]: clauses containing x either lose x (true) or vanish
+  // (false). Returns normalized result.
+  Dnf Restrict(FactId var, bool value) const;
+
+  // Canonical serialization usable as a cache key.
+  std::string CacheKey() const;
+
+  std::string ToString() const;
+
+ private:
+  void Normalize();
+
+  std::vector<Clause> clauses_;  // each sorted; clause list sorted
+};
+
+// Splits the variables of `dnf` into connected components, where two
+// variables are connected if they co-occur in a clause. Returns for each
+// component the indices of the clauses it contains. Used by the compiler to
+// expose decomposability (variable-disjoint AND).
+std::vector<std::vector<size_t>> ClauseComponents(const Dnf& dnf);
+
+}  // namespace lshap
+
+#endif  // LSHAP_PROVENANCE_BOOL_EXPR_H_

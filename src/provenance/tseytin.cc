@@ -1,0 +1,58 @@
+#include "provenance/tseytin.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace lshap {
+
+bool CnfFormula::Evaluate(const std::vector<bool>& assignment) const {
+  LSHAP_CHECK_EQ(assignment.size(), num_variables);
+  for (const auto& clause : clauses) {
+    bool satisfied = false;
+    for (const auto& lit : clause) {
+      if (assignment[lit.var] == lit.positive) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+CnfFormula TseytinFromDnf(const Dnf& dnf) {
+  CnfFormula cnf;
+  // Map fact variables to dense indices.
+  std::unordered_map<FactId, uint32_t> var_index;
+  for (FactId f : dnf.Variables()) {
+    var_index.emplace(f, static_cast<uint32_t>(cnf.original_facts.size()));
+    cnf.original_facts.push_back(f);
+  }
+  cnf.num_original = cnf.original_facts.size();
+
+  const auto& clauses = dnf.clauses();
+  const size_t m = clauses.size();
+  cnf.num_variables = cnf.num_original + m;
+
+  CnfClause disjunction;
+  disjunction.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    const uint32_t aux = static_cast<uint32_t>(cnf.num_original + i);
+    // a_i → x for every x in clause i:  (¬a_i ∨ x).
+    for (FactId f : clauses[i]) {
+      cnf.clauses.push_back({{aux, false}, {var_index.at(f), true}});
+    }
+    // (x_1 ∧ ... ∧ x_k) → a_i:  (¬x_1 ∨ ... ∨ ¬x_k ∨ a_i).
+    CnfClause back;
+    back.reserve(clauses[i].size() + 1);
+    for (FactId f : clauses[i]) back.push_back({var_index.at(f), false});
+    back.push_back({aux, true});
+    cnf.clauses.push_back(std::move(back));
+    disjunction.push_back({aux, true});
+  }
+  cnf.clauses.push_back(std::move(disjunction));
+  return cnf;
+}
+
+}  // namespace lshap

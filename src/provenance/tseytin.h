@@ -1,0 +1,42 @@
+#ifndef LSHAP_PROVENANCE_TSEYTIN_H_
+#define LSHAP_PROVENANCE_TSEYTIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "provenance/bool_expr.h"
+
+namespace lshap {
+
+// A literal of a CNF clause: a variable index (into CnfFormula::variables)
+// and a sign.
+struct CnfLiteral {
+  uint32_t var;   // index into CnfFormula::num_variables
+  bool positive;
+};
+
+using CnfClause = std::vector<CnfLiteral>;
+
+// A CNF over an extended variable set: the first `num_original` variables
+// correspond 1:1 to the DNF's fact variables (in CnfFormula::original_facts
+// order); the rest are Tseytin auxiliaries.
+struct CnfFormula {
+  size_t num_variables = 0;
+  size_t num_original = 0;
+  std::vector<FactId> original_facts;  // fact id of variable i < num_original
+  std::vector<CnfClause> clauses;
+
+  // Evaluates the CNF under a full assignment (indexed by variable).
+  bool Evaluate(const std::vector<bool>& assignment) const;
+};
+
+// Tseytin transformation of a monotone DNF Φ = c_1 ∨ ... ∨ c_m:
+// auxiliary a_i ⇔ c_i, plus the disjunction clause (a_1 ∨ ... ∨ a_m).
+// This is the non-factorized CNF form the CNF Proxy of Deutch et al. starts
+// from; it is equisatisfiable and its aux variables are functionally
+// determined by the originals.
+CnfFormula TseytinFromDnf(const Dnf& dnf);
+
+}  // namespace lshap
+
+#endif  // LSHAP_PROVENANCE_TSEYTIN_H_

@@ -1,0 +1,82 @@
+#ifndef LSHAP_QUERY_AST_H_
+#define LSHAP_QUERY_AST_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace lshap {
+
+// A reference to a column of a named table, e.g. movies.year.
+struct ColumnRef {
+  std::string table;
+  std::string column;
+
+  std::string ToString() const { return table + "." + column; }
+
+  friend bool operator==(const ColumnRef& a, const ColumnRef& b) {
+    return a.table == b.table && a.column == b.column;
+  }
+  friend bool operator<(const ColumnRef& a, const ColumnRef& b) {
+    return a.table != b.table ? a.table < b.table : a.column < b.column;
+  }
+};
+
+// Comparison operators allowed in selection predicates.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe, kStartsWith };
+
+const char* CompareOpSql(CompareOp op);
+
+// A selection predicate: column OP literal.
+struct Selection {
+  ColumnRef column;
+  CompareOp op = CompareOp::kEq;
+  Value literal;
+
+  std::string ToSql() const;
+};
+
+// An equi-join predicate: left.column = right.column. Stored normalized
+// (lexicographically smaller ColumnRef first) so that syntactically flipped
+// joins compare equal in operations(q).
+struct JoinPred {
+  ColumnRef left;
+  ColumnRef right;
+
+  void Normalize();
+  std::string ToSql() const;
+};
+
+// One Select-Project-Join block. All paper queries use SELECT DISTINCT.
+struct SpjBlock {
+  std::vector<std::string> tables;       // FROM clause
+  std::vector<JoinPred> joins;           // equi-join conditions
+  std::vector<Selection> selections;     // constant predicates
+  std::vector<ColumnRef> projections;    // SELECT list
+
+  std::string ToSql() const;
+};
+
+// An SPJU query: a union of SPJ blocks (set semantics). A single block is
+// the common case.
+struct Query {
+  std::string id;  // stable identifier within a query log, e.g. "imdb_q017"
+  std::vector<SpjBlock> blocks;
+
+  std::string ToSql() const;
+
+  // Number of distinct tables referenced (the paper's measure of query
+  // complexity in Figure 9b).
+  size_t NumTables() const;
+};
+
+// The operation-set representation from Section 2.3, used by syntax-based
+// similarity: each projection, selection and join becomes one canonical
+// string. Union queries contribute the union of their blocks' operations.
+std::set<std::string> Operations(const Query& q);
+
+}  // namespace lshap
+
+#endif  // LSHAP_QUERY_AST_H_

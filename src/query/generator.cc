@@ -1,0 +1,213 @@
+#include "query/generator.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace lshap {
+
+QueryGenerator::QueryGenerator(const Database* db, SchemaGraph graph,
+                               QueryGenConfig config, uint64_t seed)
+    : db_(db), graph_(std::move(graph)), config_(config), rng_(seed) {
+  LSHAP_CHECK(db != nullptr);
+  LSHAP_CHECK(!graph_.tables.empty());
+}
+
+Value QueryGenerator::SampleLiteral(const std::string& table,
+                                    size_t column_index) {
+  const Table* t = db_->FindTable(table).value();
+  LSHAP_CHECK_GT(t->num_rows(), 0u);
+  const size_t row = rng_.NextBounded(t->num_rows());
+  return t->row(row)[column_index];
+}
+
+ColumnRef QueryGenerator::RandomColumn(const std::vector<std::string>& tables) {
+  const std::string& table = tables[rng_.NextBounded(tables.size())];
+  const Table* t = db_->FindTable(table).value();
+  const size_t col = rng_.NextBounded(t->schema().num_columns());
+  return {table, t->schema().columns()[col].name};
+}
+
+Selection QueryGenerator::RandomSelection(const std::string& table) {
+  const Table* t = db_->FindTable(table).value();
+  const size_t col = rng_.NextBounded(t->schema().num_columns());
+  const Column& column = t->schema().columns()[col];
+  Selection sel;
+  sel.column = {table, column.name};
+  Value sample = SampleLiteral(table, col);
+  switch (column.type) {
+    case ColumnType::kInt:
+    case ColumnType::kDouble: {
+      // Equality on numeric keys tends to be too selective; mix in ranges.
+      const double r = rng_.NextDouble();
+      if (r < 0.4) {
+        sel.op = CompareOp::kEq;
+      } else if (r < 0.7) {
+        sel.op = CompareOp::kGt;
+      } else {
+        sel.op = CompareOp::kLt;
+      }
+      sel.literal = sample;
+      break;
+    }
+    case ColumnType::kString: {
+      if (!sample.is_string() || sample.AsString().empty() ||
+          rng_.NextDouble() < 0.7) {
+        sel.op = CompareOp::kEq;
+        sel.literal = sample;
+      } else {
+        sel.op = CompareOp::kStartsWith;
+        sel.literal = Value(sample.AsString().substr(0, 1));
+      }
+      break;
+    }
+  }
+  return sel;
+}
+
+SpjBlock QueryGenerator::GenerateBlock() {
+  SpjBlock block;
+  const int target_tables = static_cast<int>(
+      rng_.NextInt(config_.min_tables, config_.max_tables));
+
+  // Grow a connected set of tables along join edges, starting from a random
+  // table that has at least one edge (or any table if target is 1).
+  std::set<std::string> used;
+  std::string start = graph_.tables[rng_.NextBounded(graph_.tables.size())];
+  used.insert(start);
+  block.tables.push_back(start);
+
+  while (static_cast<int>(used.size()) < target_tables) {
+    // Collect frontier edges: one endpoint in `used`, the other not.
+    std::vector<const JoinEdge*> frontier;
+    for (const auto& e : graph_.edges) {
+      const bool a_in = used.count(e.a.table) > 0;
+      const bool b_in = used.count(e.b.table) > 0;
+      if (a_in != b_in) frontier.push_back(&e);
+    }
+    if (frontier.empty()) break;  // start table may be isolated
+    const JoinEdge* e = frontier[rng_.NextBounded(frontier.size())];
+    const std::string& new_table =
+        used.count(e->a.table) > 0 ? e->b.table : e->a.table;
+    used.insert(new_table);
+    block.tables.push_back(new_table);
+    JoinPred pred{e->a, e->b};
+    pred.Normalize();
+    block.joins.push_back(pred);
+  }
+
+  AddSelections(block);
+
+  const int num_proj = static_cast<int>(
+      rng_.NextInt(config_.min_projections, config_.max_projections));
+  std::set<ColumnRef> proj_set;
+  for (int i = 0; i < num_proj; ++i) {
+    proj_set.insert(RandomColumn(block.tables));
+  }
+  block.projections.assign(proj_set.begin(), proj_set.end());
+  return block;
+}
+
+void QueryGenerator::AddSelections(SpjBlock& block) {
+  for (const auto& table : block.tables) {
+    if (rng_.NextDouble() < config_.selection_prob) {
+      block.selections.push_back(RandomSelection(table));
+    }
+  }
+}
+
+Query QueryGenerator::Generate(const std::string& id) {
+  Query q;
+  q.id = id;
+  q.blocks.push_back(GenerateBlock());
+  if (rng_.NextDouble() < config_.union_prob) {
+    // A union branch with the same projection but re-sampled filters, the
+    // common shape of hand-written SPJU queries.
+    SpjBlock second = q.blocks[0];
+    second.selections.clear();
+    AddSelections(second);
+    if (second.ToSql() != q.blocks[0].ToSql()) {
+      q.blocks.push_back(std::move(second));
+    }
+  }
+  return q;
+}
+
+Query QueryGenerator::Mutate(const Query& base, const std::string& id) {
+  Query q = base;
+  q.id = id;
+  SpjBlock& block = q.blocks[rng_.NextBounded(q.blocks.size())];
+  const int kind = static_cast<int>(rng_.NextBounded(4));
+  switch (kind) {
+    case 0: {  // Change the projection (rank-similar, witness-dissimilar).
+      std::set<ColumnRef> proj_set;
+      const size_t n = std::max<size_t>(1, block.projections.size());
+      for (size_t i = 0; i < n; ++i) {
+        proj_set.insert(RandomColumn(block.tables));
+      }
+      block.projections.assign(proj_set.begin(), proj_set.end());
+      break;
+    }
+    case 1: {  // Re-sample a selection literal.
+      if (!block.selections.empty()) {
+        Selection& sel =
+            block.selections[rng_.NextBounded(block.selections.size())];
+        sel = RandomSelection(sel.column.table);
+      } else {
+        block.selections.push_back(
+            RandomSelection(block.tables[rng_.NextBounded(
+                block.tables.size())]));
+      }
+      break;
+    }
+    case 2: {  // Add a selection.
+      block.selections.push_back(RandomSelection(
+          block.tables[rng_.NextBounded(block.tables.size())]));
+      break;
+    }
+    case 3: {  // Drop a selection.
+      if (!block.selections.empty()) {
+        const size_t i = rng_.NextBounded(block.selections.size());
+        block.selections.erase(block.selections.begin() +
+                               static_cast<ptrdiff_t>(i));
+      } else {
+        block.selections.push_back(RandomSelection(
+            block.tables[rng_.NextBounded(block.tables.size())]));
+      }
+      break;
+    }
+  }
+  return q;
+}
+
+std::vector<Query> QueryGenerator::GenerateLog(size_t num_base,
+                                               const std::string& prefix) {
+  std::vector<Query> log;
+  std::unordered_set<std::string> seen_sql;
+  size_t counter = 0;
+  auto add = [&](Query q) {
+    const std::string sql = q.ToSql();
+    if (seen_sql.insert(sql).second) {
+      log.push_back(std::move(q));
+      return true;
+    }
+    return false;
+  };
+  for (size_t b = 0; b < num_base; ++b) {
+    Query base = Generate(prefix + "_q" + std::to_string(counter++));
+    const bool added = add(base);
+    if (!added) continue;
+    const int variants = static_cast<int>(
+        rng_.NextInt(config_.min_variants, config_.max_variants));
+    for (int v = 0; v < variants; ++v) {
+      Query mutated =
+          Mutate(log.back(), prefix + "_q" + std::to_string(counter));
+      if (add(std::move(mutated))) ++counter;
+    }
+  }
+  return log;
+}
+
+}  // namespace lshap

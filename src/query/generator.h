@@ -1,0 +1,80 @@
+#ifndef LSHAP_QUERY_GENERATOR_H_
+#define LSHAP_QUERY_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "query/ast.h"
+#include "relational/database.h"
+
+namespace lshap {
+
+// A possible equi-join between two columns of the schema (typically a
+// foreign-key edge). The generator only emits joins along these edges.
+struct JoinEdge {
+  ColumnRef a;
+  ColumnRef b;
+};
+
+// The join graph of a database schema: which tables exist and how they can
+// be connected. Produced by the dataset generators alongside the data.
+struct SchemaGraph {
+  std::vector<std::string> tables;
+  std::vector<JoinEdge> edges;
+};
+
+// Tuning knobs for the query-log generator.
+struct QueryGenConfig {
+  // Number of tables an SPJ block joins, inclusive bounds.
+  int min_tables = 1;
+  int max_tables = 5;
+  // Probability that a given table in the block receives a selection.
+  double selection_prob = 0.6;
+  // Probability a query is a union of two SPJ blocks.
+  double union_prob = 0.15;
+  // Number of projected columns, inclusive bounds.
+  int min_projections = 1;
+  int max_projections = 2;
+  // How many mutated variants to derive per base query (min..max). Variants
+  // model an analyst iterating on a query and give the log its similarity
+  // structure (Figure 7 heatmaps).
+  int min_variants = 1;
+  int max_variants = 3;
+};
+
+// Generates random SPJU queries (and mutated families thereof) over a
+// database's join graph, sampling selection literals from actual column
+// values so queries tend to have non-empty results.
+class QueryGenerator {
+ public:
+  QueryGenerator(const Database* db, SchemaGraph graph, QueryGenConfig config,
+                 uint64_t seed);
+
+  // One fresh random query. `id` becomes Query::id.
+  Query Generate(const std::string& id);
+
+  // A structural mutation of `base` (projection change, literal change,
+  // selection add/drop). Used to create query families.
+  Query Mutate(const Query& base, const std::string& id);
+
+  // A full query log: `num_base` random queries, each followed by a random
+  // number of mutated variants, deduplicated by SQL text.
+  std::vector<Query> GenerateLog(size_t num_base, const std::string& prefix);
+
+ private:
+  SpjBlock GenerateBlock();
+  void AddSelections(SpjBlock& block);
+  Selection RandomSelection(const std::string& table);
+  Value SampleLiteral(const std::string& table, size_t column_index);
+  ColumnRef RandomColumn(const std::vector<std::string>& tables);
+
+  const Database* db_;
+  SchemaGraph graph_;
+  QueryGenConfig config_;
+  Rng rng_;
+};
+
+}  // namespace lshap
+
+#endif  // LSHAP_QUERY_GENERATOR_H_

@@ -1,0 +1,35 @@
+#ifndef LSHAP_QUERY_PARSER_H_
+#define LSHAP_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "query/ast.h"
+#include "relational/database.h"
+
+namespace lshap {
+
+// Parses the SPJU SQL dialect this engine evaluates:
+//
+//   SELECT DISTINCT t1.c1 [, t2.c2 ...]
+//   FROM t1 [, t2 ...]
+//   [WHERE cond [AND cond ...]]
+//   [UNION <another select>]
+//
+// where each cond is either an equi-join `ta.ca = tb.cb` or a constant
+// predicate `t.c OP literal` with OP in {=, <>, !=, <, <=, >, >=, LIKE}.
+// LIKE supports prefix patterns only ('abc%'). Literals are integers,
+// floating-point numbers, or single-quoted strings ('' escapes a quote).
+//
+// The database is used to resolve whether `x = y` compares two columns or a
+// column with a literal, and to type-check column references. Keywords are
+// case-insensitive; identifiers are case-sensitive.
+//
+// Round-trip guarantee: ParseQuery(db, q.ToSql()) reproduces `q` for every
+// query the generator emits.
+Result<Query> ParseQuery(const Database& db, const std::string& sql,
+                         const std::string& id = "parsed");
+
+}  // namespace lshap
+
+#endif  // LSHAP_QUERY_PARSER_H_

@@ -1,0 +1,77 @@
+#include "relational/database.h"
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace lshap {
+
+Status Database::AddTable(Schema schema) {
+  const std::string& name = schema.table_name();
+  if (table_index_.count(name) > 0) {
+    return Status::InvalidArgument("duplicate table '" + name + "'");
+  }
+  table_index_[name] = static_cast<uint32_t>(tables_.size());
+  tables_.emplace_back(std::move(schema));
+  return Status::Ok();
+}
+
+Result<FactId> Database::Insert(const std::string& table_name,
+                                std::vector<Value> values) {
+  auto idx = TableIndex(table_name);
+  if (!idx.ok()) return idx.status();
+  Table& table = tables_[*idx];
+  if (values.size() != table.schema().num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("arity mismatch inserting into '%s': got %zu, want %zu",
+                  table_name.c_str(), values.size(),
+                  table.schema().num_columns()));
+  }
+  const FactId id = static_cast<FactId>(fact_locations_.size());
+  fact_locations_.push_back(
+      {*idx, static_cast<uint32_t>(table.num_rows())});
+  table.AppendRow(std::move(values), id);
+  return id;
+}
+
+Result<const Table*> Database::FindTable(const std::string& name) const {
+  auto it = table_index_.find(name);
+  if (it == table_index_.end()) {
+    return Status::NotFound("no table '" + name + "' in database '" + name_ +
+                            "'");
+  }
+  return static_cast<const Table*>(&tables_[it->second]);
+}
+
+Result<uint32_t> Database::TableIndex(const std::string& name) const {
+  auto it = table_index_.find(name);
+  if (it == table_index_.end()) {
+    return Status::NotFound("no table '" + name + "' in database '" + name_ +
+                            "'");
+  }
+  return it->second;
+}
+
+const std::vector<Value>& Database::FactValues(FactId id) const {
+  LSHAP_CHECK_LT(id, fact_locations_.size());
+  const FactLocation& loc = fact_locations_[id];
+  return tables_[loc.table_index].row(loc.row_index);
+}
+
+uint32_t Database::FactTableIndex(FactId id) const {
+  LSHAP_CHECK_LT(id, fact_locations_.size());
+  return fact_locations_[id].table_index;
+}
+
+const std::string& Database::FactTableName(FactId id) const {
+  return tables_[FactTableIndex(id)].schema().table_name();
+}
+
+std::string Database::FactToString(FactId id) const {
+  const std::vector<Value>& vals = FactValues(id);
+  std::vector<std::string> parts;
+  parts.reserve(vals.size());
+  for (const auto& v : vals) parts.push_back(v.ToString());
+  return FactTableName(id) + "(" + Join(parts, ", ") + ")";
+}
+
+}  // namespace lshap

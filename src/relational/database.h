@@ -1,0 +1,101 @@
+#ifndef LSHAP_RELATIONAL_DATABASE_H_
+#define LSHAP_RELATIONAL_DATABASE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace lshap {
+
+// Globally unique identifier of a database fact (the "annotation" of
+// provenance semirings). FactIds double as the boolean variables of
+// provenance expressions.
+using FactId = uint32_t;
+inline constexpr FactId kInvalidFactId = static_cast<FactId>(-1);
+
+// One input tuple ("fact" in the paper's terminology).
+struct Fact {
+  FactId id = kInvalidFactId;
+  uint32_t table_index = 0;
+  std::vector<Value> values;
+};
+
+// A relation instance: schema plus annotated rows.
+class Table {
+ public:
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  const std::vector<Value>& row(size_t i) const { return rows_[i]; }
+  FactId fact_id(size_t i) const { return fact_ids_[i]; }
+
+  const std::vector<std::vector<Value>>& rows() const { return rows_; }
+  const std::vector<FactId>& fact_ids() const { return fact_ids_; }
+
+ private:
+  friend class Database;
+
+  void AppendRow(std::vector<Value> values, FactId id) {
+    rows_.push_back(std::move(values));
+    fact_ids_.push_back(id);
+  }
+
+  Schema schema_;
+  std::vector<std::vector<Value>> rows_;
+  std::vector<FactId> fact_ids_;
+};
+
+// A database: a disjoint union of named relations plus a fact registry that
+// resolves FactIds back to (table, row).
+class Database {
+ public:
+  explicit Database(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // Registers a new empty table; fails on duplicate names.
+  Status AddTable(Schema schema);
+
+  // Appends a row; values must match the schema arity. Returns the new
+  // fact's id.
+  Result<FactId> Insert(const std::string& table_name,
+                        std::vector<Value> values);
+
+  size_t num_tables() const { return tables_.size(); }
+  size_t num_facts() const { return fact_locations_.size(); }
+
+  const Table& table(size_t i) const { return tables_[i]; }
+  Result<const Table*> FindTable(const std::string& name) const;
+  Result<uint32_t> TableIndex(const std::string& name) const;
+
+  // Resolves a fact id to its table index and row values.
+  const std::vector<Value>& FactValues(FactId id) const;
+  uint32_t FactTableIndex(FactId id) const;
+  const std::string& FactTableName(FactId id) const;
+
+  // Renders a fact as "table(v1, v2, ...)" — used for logging, examples and
+  // as the model's fact serialization source.
+  std::string FactToString(FactId id) const;
+
+ private:
+  struct FactLocation {
+    uint32_t table_index;
+    uint32_t row_index;
+  };
+
+  std::string name_;
+  std::vector<Table> tables_;
+  std::unordered_map<std::string, uint32_t> table_index_;
+  std::vector<FactLocation> fact_locations_;
+};
+
+}  // namespace lshap
+
+#endif  // LSHAP_RELATIONAL_DATABASE_H_

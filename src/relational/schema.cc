@@ -1,0 +1,28 @@
+#include "relational/schema.h"
+
+#include "common/strings.h"
+
+namespace lshap {
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column '" + name + "' in table '" + table_name_ +
+                          "'");
+}
+
+bool Schema::HasColumn(const std::string& name) const {
+  return ColumnIndex(name).ok();
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> cols;
+  cols.reserve(columns_.size());
+  for (const auto& c : columns_) {
+    cols.push_back(c.name + " " + ColumnTypeName(c.type));
+  }
+  return table_name_ + "(" + Join(cols, ", ") + ")";
+}
+
+}  // namespace lshap

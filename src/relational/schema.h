@@ -1,0 +1,43 @@
+#ifndef LSHAP_RELATIONAL_SCHEMA_H_
+#define LSHAP_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/value.h"
+
+namespace lshap {
+
+// A named, typed column.
+struct Column {
+  std::string name;
+  ColumnType type;
+};
+
+// The schema of one relation: its name plus ordered columns.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::string table_name, std::vector<Column> columns)
+      : table_name_(std::move(table_name)), columns_(std::move(columns)) {}
+
+  const std::string& table_name() const { return table_name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  // Index of the named column, or kNotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  bool HasColumn(const std::string& name) const;
+
+  std::string ToString() const;
+
+ private:
+  std::string table_name_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace lshap
+
+#endif  // LSHAP_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,30 @@
+#ifndef LSHAP_RELATIONAL_TUPLE_H_
+#define LSHAP_RELATIONAL_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace lshap {
+
+// An output tuple of a query (the paper's "tuple", as opposed to input
+// "facts"). Output tuples are plain value vectors; identity is by value,
+// which is what witness-based similarity compares.
+using OutputTuple = std::vector<Value>;
+
+struct OutputTupleHash {
+  size_t operator()(const OutputTuple& t) const {
+    size_t h = 0x51ed270b;
+    for (const Value& v : t) {
+      h ^= v.Hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+std::string OutputTupleToString(const OutputTuple& t);
+
+}  // namespace lshap
+
+#endif  // LSHAP_RELATIONAL_TUPLE_H_

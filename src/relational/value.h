@@ -1,0 +1,57 @@
+#ifndef LSHAP_RELATIONAL_VALUE_H_
+#define LSHAP_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace lshap {
+
+// Column data types supported by the engine. SPJU workloads in DBShap use
+// integers, floats and strings; NULLs appear only as generator artifacts.
+enum class ColumnType { kInt, kDouble, kString };
+
+const char* ColumnTypeName(ColumnType type);
+
+// A dynamically typed cell value. Small, regular, hashable and ordered, so
+// tuples can live in hash maps (join indexes, witness sets) and be sorted.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(const char* s) : v_(std::string(s)) {}
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+
+  int64_t AsInt() const;
+  double AsDouble() const;  // Promotes ints.
+  const std::string& AsString() const;
+
+  // Human-readable rendering ("Universal", "2007", "0.5").
+  std::string ToString() const;
+  // SQL literal rendering ("'Universal'", "2007").
+  std::string ToSqlLiteral() const;
+
+  size_t Hash() const;
+
+  friend bool operator==(const Value& a, const Value& b) { return a.v_ == b.v_; }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  // Total order: null < int/double (numeric order) < string.
+  friend bool operator<(const Value& a, const Value& b);
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace lshap
+
+#endif  // LSHAP_RELATIONAL_VALUE_H_

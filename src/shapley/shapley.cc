@@ -1,0 +1,209 @@
+#include "shapley/shapley.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "provenance/circuit.h"
+#include "provenance/compiler.h"
+#include "provenance/tseytin.h"
+
+namespace lshap {
+
+namespace {
+
+// Shapley coalition weight for coalition size k out of n players:
+// k!(n-k-1)!/n! = 1 / (n * C(n-1, k)).
+long double ShapleyWeight(size_t n, size_t k) {
+  const CountVec& row = BinomialRow(n - 1);
+  return 1.0L / (static_cast<long double>(n) * row[k]);
+}
+
+}  // namespace
+
+ShapleyValues ComputeShapleyExact(const Dnf& provenance) {
+  ShapleyValues out;
+  const std::vector<FactId> lineage = provenance.Variables();
+  const size_t n = lineage.size();
+  if (n == 0) return out;
+
+  DnfCompiler compiler;
+  std::unique_ptr<Circuit> circuit = compiler.Compile(provenance);
+  const NodeId root = circuit->root();
+  CountingSession session(circuit.get());
+
+  for (FactId f : lineage) {
+    // Counts of subsets E ⊆ lineage \ {f} of each size satisfying Φ with f
+    // forced true / false. The circuit support may be smaller than the
+    // lineage (absorbed-clause variables are null players); extension adds
+    // the missing variables as free.
+    CountVec c1 = ExtendCounts(session.Forced(root, f, true), n - 1);
+    CountVec c0 = ExtendCounts(session.Forced(root, f, false), n - 1);
+    long double value = 0.0L;
+    for (size_t k = 0; k < n; ++k) {
+      const long double pivotal = c1[k] - c0[k];
+      if (pivotal != 0.0L) value += ShapleyWeight(n, k) * pivotal;
+    }
+    out[f] = static_cast<double>(value);
+  }
+  return out;
+}
+
+ShapleyValues ComputeBanzhafExact(const Dnf& provenance) {
+  ShapleyValues out;
+  const std::vector<FactId> lineage = provenance.Variables();
+  const size_t n = lineage.size();
+  if (n == 0) return out;
+
+  DnfCompiler compiler;
+  std::unique_ptr<Circuit> circuit = compiler.Compile(provenance);
+  const NodeId root = circuit->root();
+  CountingSession session(circuit.get());
+
+  // Banzhaf(f) = (#E with Φ[f=1] − #E with Φ[f=0]) / 2^(n-1): total model
+  // counts, uniformly weighted over coalition sizes.
+  const long double denom = std::pow(2.0L, static_cast<long double>(n - 1));
+  for (FactId f : lineage) {
+    CountVec c1 = ExtendCounts(session.Forced(root, f, true), n - 1);
+    CountVec c0 = ExtendCounts(session.Forced(root, f, false), n - 1);
+    long double pivotal = 0.0L;
+    for (size_t k = 0; k < n; ++k) pivotal += c1[k] - c0[k];
+    out[f] = static_cast<double>(pivotal / denom);
+  }
+  return out;
+}
+
+ShapleyValues ComputeShapleyBrute(const Dnf& provenance) {
+  ShapleyValues out;
+  const std::vector<FactId> lineage = provenance.Variables();
+  const size_t n = lineage.size();
+  if (n == 0) return out;
+  LSHAP_CHECK_LE(n, 25u);
+
+  // Evaluate Φ for every subset mask once.
+  const size_t num_masks = size_t{1} << n;
+  std::vector<bool> sat(num_masks);
+  std::vector<FactId> present;
+  present.reserve(n);
+  for (size_t mask = 0; mask < num_masks; ++mask) {
+    present.clear();
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (size_t{1} << i)) present.push_back(lineage[i]);
+    }
+    sat[mask] = provenance.Evaluate(present);
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    const size_t bit = size_t{1} << i;
+    long double value = 0.0L;
+    for (size_t mask = 0; mask < num_masks; ++mask) {
+      if (mask & bit) continue;  // E must exclude f
+      const int delta = static_cast<int>(sat[mask | bit]) -
+                        static_cast<int>(sat[mask]);
+      if (delta == 0) continue;
+      const size_t k = static_cast<size_t>(__builtin_popcountll(mask));
+      value += ShapleyWeight(n, k) * delta;
+    }
+    out[lineage[i]] = static_cast<double>(value);
+  }
+  return out;
+}
+
+ShapleyValues ComputeShapleyMonteCarlo(const Dnf& provenance,
+                                       size_t num_samples, Rng& rng) {
+  ShapleyValues out;
+  std::vector<FactId> lineage = provenance.Variables();
+  const size_t n = lineage.size();
+  if (n == 0) return out;
+  for (FactId f : lineage) out[f] = 0.0;
+
+  std::vector<FactId> order = lineage;
+  std::vector<FactId> present;
+  present.reserve(n);
+  for (size_t s = 0; s < num_samples; ++s) {
+    rng.Shuffle(order);
+    present.clear();
+    bool prev = provenance.Evaluate(present);  // false unless empty clause
+    for (FactId f : order) {
+      present.insert(std::upper_bound(present.begin(), present.end(), f), f);
+      const bool now = prev || provenance.Evaluate(present);
+      if (now && !prev) out[f] += 1.0;
+      prev = now;
+      // Monotone: once satisfied, later players are never pivotal in this
+      // permutation.
+      if (prev) break;
+    }
+  }
+  for (auto& [f, v] : out) v /= static_cast<double>(num_samples);
+  return out;
+}
+
+ShapleyValues ComputeCnfProxy(const Dnf& provenance) {
+  ShapleyValues out;
+  const std::vector<FactId> lineage = provenance.Variables();
+  if (lineage.empty()) return out;
+  for (FactId f : lineage) out[f] = 0.0;
+
+  const CnfFormula cnf = TseytinFromDnf(provenance);
+  const size_t n = cnf.num_variables;
+
+  // Shapley value, in the single-clause OR-game over universe size n, of a
+  // positive/negative literal. For a clause with p positive and q negative
+  // literals:
+  //   positive lit x: pivotal coalitions E (excluding x) contain all q
+  //     negated vars, none of the other p-1 positive vars; with m free vars
+  //     the count at size k is C(m, k - q).
+  //   negative lit x: pivotal (negatively) E contain the other q-1 negated
+  //     vars, none of the p positive vars; contribution is negative.
+  std::vector<double> scores(n, 0.0);
+  for (const auto& clause : cnf.clauses) {
+    size_t p = 0;
+    size_t q = 0;
+    for (const auto& lit : clause) {
+      if (lit.positive) {
+        ++p;
+      } else {
+        ++q;
+      }
+    }
+    const size_t m = n - p - q;  // vars not mentioned by the clause
+    for (const auto& lit : clause) {
+      const CountVec& free_row = BinomialRow(m);
+      long double value = 0.0L;
+      if (lit.positive) {
+        // E = (all q negated) ∪ (j of m free), size k = q + j.
+        for (size_t j = 0; j <= m; ++j) {
+          const size_t k = q + j;
+          value += ShapleyWeight(n, k) * free_row[j];
+        }
+        scores[lit.var] += static_cast<double>(value);
+      } else {
+        // E = (other q-1 negated) ∪ (j of m free), size k = q - 1 + j,
+        // and adding x destroys satisfaction: negative contribution.
+        for (size_t j = 0; j <= m; ++j) {
+          const size_t k = q - 1 + j;
+          value += ShapleyWeight(n, k) * free_row[j];
+        }
+        scores[lit.var] -= static_cast<double>(value);
+      }
+    }
+  }
+  for (size_t i = 0; i < cnf.num_original; ++i) {
+    out[cnf.original_facts[i]] = scores[i];
+  }
+  return out;
+}
+
+std::vector<FactId> RankByScore(const ShapleyValues& scores) {
+  std::vector<std::pair<FactId, double>> items(scores.begin(), scores.end());
+  std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::vector<FactId> out;
+  out.reserve(items.size());
+  for (const auto& [f, v] : items) out.push_back(f);
+  return out;
+}
+
+}  // namespace lshap

@@ -1,0 +1,58 @@
+#ifndef LSHAP_SHAPLEY_SHAPLEY_H_
+#define LSHAP_SHAPLEY_SHAPLEY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "provenance/bool_expr.h"
+#include "relational/database.h"
+
+namespace lshap {
+
+// Shapley values of all lineage facts with respect to one (query, output
+// tuple) pair, keyed by fact id. Values are in [0, 1] and — for monotone
+// provenance that is satisfiable with all facts present — sum to 1.
+using ShapleyValues = std::unordered_map<FactId, double>;
+
+// Exact Shapley values of every variable of the provenance DNF, computed by
+// compiling the DNF into a decision-DNNF circuit and counting satisfying
+// assignments by size (the SIGMOD 2022 algorithm of Deutch et al.). The
+// player universe is the lineage (facts outside it are null players, which
+// by the Shapley null-player/dummy property does not change any value).
+ShapleyValues ComputeShapleyExact(const Dnf& provenance);
+
+// Exact Shapley values by brute-force subset enumeration. Exponential in the
+// lineage size; refuse (CHECK) above 25 variables. Used as an independent
+// oracle in tests.
+ShapleyValues ComputeShapleyBrute(const Dnf& provenance);
+
+// Monte-Carlo permutation-sampling estimate with `num_samples` random
+// permutations. Unbiased; error ~ O(1/sqrt(num_samples)).
+ShapleyValues ComputeShapleyMonteCarlo(const Dnf& provenance,
+                                       size_t num_samples, Rng& rng);
+
+// Exact Banzhaf values over the same circuits: the Banzhaf index replaces
+// the Shapley coalition weights with a uniform 1/2^(n-1), i.e. the
+// probability that f is pivotal for a uniformly random coalition. It is the
+// other standard power index in fact attribution (studied by the same
+// line of work as a cheaper alternative) and usually induces a very similar
+// ranking; `bench_ext_banzhaf` quantifies the agreement.
+ShapleyValues ComputeBanzhafExact(const Dnf& provenance);
+
+// The inexact "CNF Proxy" comparator of Deutch et al.: apply the Tseytin
+// transformation to the provenance DNF and score each original fact by its
+// exact Shapley value in the *clause-counting game* of the resulting CNF
+// (value of a coalition = number of CNF clauses it satisfies). Each clause
+// is an OR-game whose Shapley values have a closed form, and Shapley is
+// linear across games, so the proxy is cheap to evaluate. Only the induced
+// ranking is meaningful, not the magnitudes.
+ShapleyValues ComputeCnfProxy(const Dnf& provenance);
+
+// Ranks fact ids by descending score; ties broken by ascending fact id so
+// rankings are deterministic.
+std::vector<FactId> RankByScore(const ShapleyValues& scores);
+
+}  // namespace lshap
+
+#endif  // LSHAP_SHAPLEY_SHAPLEY_H_

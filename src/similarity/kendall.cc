@@ -1,0 +1,29 @@
+#include "similarity/kendall.h"
+
+#include "common/check.h"
+
+namespace lshap {
+
+double KendallTauDistance(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  LSHAP_CHECK_EQ(a.size(), b.size());
+  const size_t n = a.size();
+  if (n < 2) return 0.0;
+  double penalty = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double da = a[i] - a[j];
+      const double db = b[i] - b[j];
+      if (da == 0.0 && db == 0.0) continue;           // tied in both: free
+      if (da == 0.0 || db == 0.0) {
+        penalty += 0.5;                                // tied in exactly one
+      } else if ((da > 0.0) != (db > 0.0)) {
+        penalty += 1.0;                                // discordant
+      }
+    }
+  }
+  const double total_pairs = static_cast<double>(n) * (n - 1) / 2.0;
+  return penalty / total_pairs;
+}
+
+}  // namespace lshap

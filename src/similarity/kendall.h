@@ -1,0 +1,19 @@
+#ifndef LSHAP_SIMILARITY_KENDALL_H_
+#define LSHAP_SIMILARITY_KENDALL_H_
+
+#include <vector>
+
+namespace lshap {
+
+// Normalized Kendall tau distance between two rankings given as score
+// vectors over a shared item universe (higher score = better rank). Ties are
+// handled with the K^(1/2) convention of Fagin et al.: a pair tied in one
+// ranking but ordered in the other costs 1/2; a pair ordered oppositely
+// costs 1. The result is in [0, 1] (0 = identical rankings). A universe of
+// fewer than two items has distance 0 by convention.
+double KendallTauDistance(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+}  // namespace lshap
+
+#endif  // LSHAP_SIMILARITY_KENDALL_H_

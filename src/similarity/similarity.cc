@@ -1,0 +1,77 @@
+#include "similarity/similarity.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "similarity/hungarian.h"
+#include "similarity/kendall.h"
+
+namespace lshap {
+
+double SyntaxSimilarity(const Query& a, const Query& b) {
+  const std::set<std::string> ops_a = Operations(a);
+  const std::set<std::string> ops_b = Operations(b);
+  if (ops_a.empty() && ops_b.empty()) return 0.0;
+  size_t intersection = 0;
+  for (const auto& op : ops_a) {
+    if (ops_b.count(op) > 0) ++intersection;
+  }
+  const size_t uni = ops_a.size() + ops_b.size() - intersection;
+  return static_cast<double>(intersection) / static_cast<double>(uni);
+}
+
+double WitnessSimilarity(const std::vector<OutputTuple>& a,
+                         const std::vector<OutputTuple>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  std::unordered_set<OutputTuple, OutputTupleHash> set_a(a.begin(), a.end());
+  std::unordered_set<OutputTuple, OutputTupleHash> set_b(b.begin(), b.end());
+  size_t intersection = 0;
+  for (const auto& t : set_a) {
+    if (set_b.count(t) > 0) ++intersection;
+  }
+  const size_t uni = set_a.size() + set_b.size() - intersection;
+  return static_cast<double>(intersection) / static_cast<double>(uni);
+}
+
+double RankSimilarity(const std::vector<TupleContribution>& a,
+                      const std::vector<TupleContribution>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+
+  std::vector<std::vector<double>> weights(
+      a.size(), std::vector<double>(b.size(), 0.0));
+  std::vector<FactId> universe;
+  std::vector<double> scores_a;
+  std::vector<double> scores_b;
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < b.size(); ++j) {
+      // Union of the two lineages; facts missing from one side score 0.
+      universe.clear();
+      universe.reserve(a[i].shapley.size() + b[j].shapley.size());
+      for (const auto& [f, v] : a[i].shapley) universe.push_back(f);
+      for (const auto& [f, v] : b[j].shapley) universe.push_back(f);
+      std::sort(universe.begin(), universe.end());
+      universe.erase(std::unique(universe.begin(), universe.end()),
+                     universe.end());
+      scores_a.assign(universe.size(), 0.0);
+      scores_b.assign(universe.size(), 0.0);
+      for (size_t u = 0; u < universe.size(); ++u) {
+        auto it_a = a[i].shapley.find(universe[u]);
+        if (it_a != a[i].shapley.end()) scores_a[u] = it_a->second;
+        auto it_b = b[j].shapley.find(universe[u]);
+        if (it_b != b[j].shapley.end()) scores_b[u] = it_b->second;
+      }
+      weights[i][j] = 1.0 - KendallTauDistance(scores_a, scores_b);
+    }
+  }
+
+  const std::vector<int> match = MaxWeightMatching(weights);
+  const double total = MatchingWeight(weights, match);
+  const double matching_size =
+      static_cast<double>(std::min(a.size(), b.size()));
+  const double denom =
+      static_cast<double>(a.size() + b.size()) - matching_size;
+  return total / denom;
+}
+
+}  // namespace lshap

@@ -1,0 +1,39 @@
+#ifndef LSHAP_SIMILARITY_SIMILARITY_H_
+#define LSHAP_SIMILARITY_SIMILARITY_H_
+
+#include <vector>
+
+#include "query/ast.h"
+#include "relational/tuple.h"
+#include "shapley/shapley.h"
+
+namespace lshap {
+
+// One output tuple together with the Shapley values of its lineage facts —
+// the unit of comparison for rank-based similarity.
+struct TupleContribution {
+  OutputTuple tuple;
+  ShapleyValues shapley;
+};
+
+// Syntax-based similarity (Section 2.3): Jaccard similarity of the queries'
+// operation sets (projections, selections, equi-joins).
+double SyntaxSimilarity(const Query& a, const Query& b);
+
+// Witness-based similarity (Section 2.3): Jaccard similarity of the output
+// tuple sets. Tuples compare by value, so queries with different projection
+// clauses rarely share witnesses.
+double WitnessSimilarity(const std::vector<OutputTuple>& a,
+                         const std::vector<OutputTuple>& b);
+
+// Rank-based similarity (Section 3.2): build the complete bipartite graph
+// between the two queries' output tuples, weight each edge by
+// 1 − KendallTauDistance between the tuples' fact rankings (over the union
+// of the two lineages, facts absent from a lineage scoring 0), take a
+// maximum-weight matching M and return Σ_e∈M w(e) / (|a| + |b| − |M|).
+double RankSimilarity(const std::vector<TupleContribution>& a,
+                      const std::vector<TupleContribution>& b);
+
+}  // namespace lshap
+
+#endif  // LSHAP_SIMILARITY_SIMILARITY_H_

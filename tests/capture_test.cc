@@ -1,0 +1,75 @@
+// Tests of the evaluator's provenance-capture modes.
+#include <gtest/gtest.h>
+
+#include "datasets/imdb.h"
+#include "eval/evaluator.h"
+#include "paper_fixture.h"
+#include "query/generator.h"
+
+namespace lshap {
+namespace {
+
+TEST(CaptureTest, TuplesIdenticalAcrossModes) {
+  PaperExample ex = MakePaperExample();
+  auto full = Evaluate(*ex.db, ex.q_inf, ProvenanceCapture::kFull);
+  auto lineage = Evaluate(*ex.db, ex.q_inf, ProvenanceCapture::kLineageOnly);
+  auto none = Evaluate(*ex.db, ex.q_inf, ProvenanceCapture::kNone);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(lineage.ok());
+  ASSERT_TRUE(none.ok());
+  ASSERT_EQ(full->tuples.size(), lineage->tuples.size());
+  ASSERT_EQ(full->tuples.size(), none->tuples.size());
+  for (const auto& [tuple, idx] : full->index) {
+    EXPECT_TRUE(lineage->index.count(tuple));
+    EXPECT_TRUE(none->index.count(tuple));
+  }
+}
+
+TEST(CaptureTest, LineageOnlyMatchesFullLineage) {
+  PaperExample ex = MakePaperExample();
+  auto full = Evaluate(*ex.db, ex.q_inf, ProvenanceCapture::kFull);
+  auto lineage = Evaluate(*ex.db, ex.q_inf, ProvenanceCapture::kLineageOnly);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(lineage.ok());
+  for (const auto& [tuple, idx] : full->index) {
+    const size_t lidx = lineage->index.at(tuple);
+    EXPECT_EQ(full->LineageOf(idx), lineage->LineageOf(lidx))
+        << OutputTupleToString(tuple);
+  }
+}
+
+TEST(CaptureTest, StorageShapePerMode) {
+  PaperExample ex = MakePaperExample();
+  auto full = Evaluate(*ex.db, ex.q_inf, ProvenanceCapture::kFull);
+  auto lineage = Evaluate(*ex.db, ex.q_inf, ProvenanceCapture::kLineageOnly);
+  auto none = Evaluate(*ex.db, ex.q_inf, ProvenanceCapture::kNone);
+  EXPECT_EQ(full->provenance.size(), full->tuples.size());
+  EXPECT_TRUE(full->lineages.empty());
+  EXPECT_TRUE(lineage->provenance.empty());
+  EXPECT_EQ(lineage->lineages.size(), lineage->tuples.size());
+  EXPECT_TRUE(none->provenance.empty());
+  EXPECT_TRUE(none->lineages.empty());
+}
+
+TEST(CaptureTest, PropertyLineageAgreesOnRandomQueries) {
+  GeneratedDb data = MakeImdbDatabase({});
+  QueryGenConfig cfg;
+  cfg.max_tables = 3;
+  cfg.union_prob = 0.25;
+  QueryGenerator gen(data.db.get(), data.graph, cfg, 909);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Query q = gen.Generate("cap" + std::to_string(trial));
+    auto full = Evaluate(*data.db, q, ProvenanceCapture::kFull);
+    auto lineage = Evaluate(*data.db, q, ProvenanceCapture::kLineageOnly);
+    ASSERT_TRUE(full.ok());
+    ASSERT_TRUE(lineage.ok());
+    ASSERT_EQ(full->tuples.size(), lineage->tuples.size()) << q.ToSql();
+    for (const auto& [tuple, idx] : full->index) {
+      const size_t lidx = lineage->index.at(tuple);
+      EXPECT_EQ(full->LineageOf(idx), lineage->LineageOf(lidx)) << q.ToSql();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lshap

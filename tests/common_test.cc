@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+
+namespace lshap {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad arity");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad arity");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallIndices) {
+  Rng rng(17);
+  ZipfSampler zipf(100, 1.2);
+  size_t low = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Sample(rng) < 10) ++low;
+  }
+  // With s=1.2 the first 10 of 100 items carry well over half the mass.
+  EXPECT_GT(low, static_cast<size_t>(n) / 2);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(19);
+  auto sample = rng.SampleWithoutReplacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (size_t v : sample) EXPECT_LT(v, 50u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, SplitWhitespace) {
+  EXPECT_EQ(SplitWhitespace("  foo \t bar\nbaz "),
+            (std::vector<std::string>{"foo", "bar", "baz"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringsTest, ToLowerAndStartsWith) {
+  EXPECT_EQ(ToLower("SELECT Name"), "select name");
+  EXPECT_TRUE(StartsWith("Warner Home Video", "Warner"));
+  EXPECT_FALSE(StartsWith("NBC", "Warner"));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.3f", 0.125), "0.125");
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  ParallelFor(pool, hits.size(),
+              [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Schedule([&] { count.fetch_add(1); });
+  pool.Wait();
+  pool.Schedule([&] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+}  // namespace
+}  // namespace lshap

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "corpus/corpus.h"
+#include "corpus/io.h"
+#include "datasets/imdb.h"
+
+namespace lshap {
+namespace {
+
+class CorpusIoTest : public ::testing::Test {
+ protected:
+  CorpusIoTest() : data_(MakeImdbDatabase({})), pool_(2) {
+    CorpusConfig cfg;
+    cfg.seed = 8;
+    cfg.num_base_queries = 8;
+    cfg.max_outputs_per_query = 6;
+    cfg.query_gen.max_tables = 3;
+    corpus_ = BuildCorpus(*data_.db, data_.graph, cfg, pool_);
+    path_ = ::testing::TempDir() + "/corpus_io_test.lshap";
+  }
+  ~CorpusIoTest() override { std::remove(path_.c_str()); }
+
+  GeneratedDb data_;
+  ThreadPool pool_;
+  Corpus corpus_;
+  std::string path_;
+};
+
+TEST_F(CorpusIoTest, RoundTripPreservesEverything) {
+  ASSERT_TRUE(SaveCorpus(corpus_, path_).ok());
+  auto loaded = LoadCorpus(data_.db.get(), path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  ASSERT_EQ(loaded->entries.size(), corpus_.entries.size());
+  for (size_t e = 0; e < corpus_.entries.size(); ++e) {
+    const CorpusEntry& a = corpus_.entries[e];
+    const CorpusEntry& b = loaded->entries[e];
+    EXPECT_EQ(a.query.id, b.query.id);
+    EXPECT_EQ(a.query.ToSql(), b.query.ToSql());
+    ASSERT_EQ(a.all_outputs.size(), b.all_outputs.size());
+    for (size_t i = 0; i < a.all_outputs.size(); ++i) {
+      EXPECT_EQ(a.all_outputs[i], b.all_outputs[i]);
+    }
+    ASSERT_EQ(a.contributions.size(), b.contributions.size());
+    for (size_t i = 0; i < a.contributions.size(); ++i) {
+      EXPECT_EQ(a.contributions[i].tuple, b.contributions[i].tuple);
+      ASSERT_EQ(a.contributions[i].shapley.size(),
+                b.contributions[i].shapley.size());
+      for (const auto& [f, v] : a.contributions[i].shapley) {
+        ASSERT_TRUE(b.contributions[i].shapley.count(f));
+        EXPECT_DOUBLE_EQ(b.contributions[i].shapley.at(f), v);
+      }
+    }
+  }
+  EXPECT_EQ(loaded->train_idx, corpus_.train_idx);
+  EXPECT_EQ(loaded->dev_idx, corpus_.dev_idx);
+  EXPECT_EQ(loaded->test_idx, corpus_.test_idx);
+}
+
+TEST_F(CorpusIoTest, RejectsWrongDatabase) {
+  ASSERT_TRUE(SaveCorpus(corpus_, path_).ok());
+  ImdbConfig other_cfg;
+  other_cfg.num_movies = 30;  // different fact count
+  GeneratedDb other = MakeImdbDatabase(other_cfg);
+  auto loaded = LoadCorpus(other.db.get(), path_);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CorpusIoTest, RejectsMissingFile) {
+  auto loaded = LoadCorpus(data_.db.get(), path_ + ".nope");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CorpusIoTest, RejectsCorruptHeader) {
+  {
+    std::ofstream out(path_);
+    out << "NOT_A_CORPUS\n";
+  }
+  auto loaded = LoadCorpus(data_.db.get(), path_);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CorpusIoTest, RejectsTruncatedBody) {
+  ASSERT_TRUE(SaveCorpus(corpus_, path_).ok());
+  // Chop the file in half.
+  std::ifstream in(path_);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path_);
+    out << content.substr(0, content.size() / 2);
+  }
+  auto loaded = LoadCorpus(data_.db.get(), path_);
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace lshap

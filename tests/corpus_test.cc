@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "corpus/corpus.h"
+#include "datasets/imdb.h"
+#include "shapley/shapley.h"
+
+namespace lshap {
+namespace {
+
+CorpusConfig SmallConfig() {
+  CorpusConfig cfg;
+  cfg.seed = 3;
+  cfg.num_base_queries = 10;
+  cfg.max_outputs_per_query = 8;
+  cfg.query_gen.max_tables = 3;
+  return cfg;
+}
+
+class CorpusTest : public ::testing::Test {
+ protected:
+  CorpusTest()
+      : data_(MakeImdbDatabase({})),
+        pool_(4),
+        corpus_(BuildCorpus(*data_.db, data_.graph, SmallConfig(), pool_)) {}
+
+  GeneratedDb data_;
+  ThreadPool pool_;
+  Corpus corpus_;
+};
+
+TEST_F(CorpusTest, BuildsNonEmptyCorpus) {
+  EXPECT_GT(corpus_.entries.size(), 5u);
+  for (const auto& e : corpus_.entries) {
+    EXPECT_FALSE(e.all_outputs.empty());
+    EXPECT_FALSE(e.contributions.empty());
+    EXPECT_LE(e.contributions.size(), SmallConfig().max_outputs_per_query);
+  }
+}
+
+TEST_F(CorpusTest, SplitPartitionsEntries) {
+  std::set<size_t> all;
+  for (size_t i : corpus_.train_idx) all.insert(i);
+  for (size_t i : corpus_.dev_idx) all.insert(i);
+  for (size_t i : corpus_.test_idx) all.insert(i);
+  EXPECT_EQ(all.size(), corpus_.entries.size());
+  EXPECT_EQ(corpus_.train_idx.size() + corpus_.dev_idx.size() +
+                corpus_.test_idx.size(),
+            corpus_.entries.size());
+  EXPECT_GT(corpus_.train_idx.size(), corpus_.test_idx.size());
+}
+
+TEST_F(CorpusTest, ShapleyValuesAreValidDistributions) {
+  for (const auto& e : corpus_.entries) {
+    for (const auto& c : e.contributions) {
+      ASSERT_FALSE(c.shapley.empty());
+      double sum = 0.0;
+      for (const auto& [f, v] : c.shapley) {
+        EXPECT_GE(v, -1e-9);
+        EXPECT_LE(v, 1.0 + 1e-9);
+        sum += v;
+      }
+      // Monotone provenance satisfied by the full DB: efficiency holds.
+      EXPECT_NEAR(sum, 1.0, 1e-6);
+    }
+  }
+}
+
+TEST_F(CorpusTest, DeterministicAcrossBuilds) {
+  ThreadPool pool(4);
+  Corpus again = BuildCorpus(*data_.db, data_.graph, SmallConfig(), pool);
+  ASSERT_EQ(again.entries.size(), corpus_.entries.size());
+  for (size_t i = 0; i < again.entries.size(); ++i) {
+    EXPECT_EQ(again.entries[i].query.ToSql(),
+              corpus_.entries[i].query.ToSql());
+    ASSERT_EQ(again.entries[i].contributions.size(),
+              corpus_.entries[i].contributions.size());
+    for (size_t c = 0; c < again.entries[i].contributions.size(); ++c) {
+      EXPECT_EQ(again.entries[i].contributions[c].tuple,
+                corpus_.entries[i].contributions[c].tuple);
+    }
+  }
+  EXPECT_EQ(again.train_idx, corpus_.train_idx);
+}
+
+TEST_F(CorpusTest, StatsAddUp) {
+  const SplitStats train = ComputeSplitStats(corpus_, corpus_.train_idx);
+  const SplitStats dev = ComputeSplitStats(corpus_, corpus_.dev_idx);
+  const SplitStats test = ComputeSplitStats(corpus_, corpus_.test_idx);
+  EXPECT_EQ(train.queries + dev.queries + test.queries,
+            corpus_.entries.size());
+  EXPECT_GT(train.results, 0u);
+  EXPECT_GT(train.facts, 0u);
+}
+
+TEST_F(CorpusTest, TrainSeenFactsComeFromTrainSplit) {
+  const auto seen = TrainSeenFacts(corpus_);
+  EXPECT_FALSE(seen.empty());
+  std::set<FactId> expected;
+  for (size_t i : corpus_.train_idx) {
+    for (const auto& c : corpus_.entries[i].contributions) {
+      for (const auto& [f, v] : c.shapley) expected.insert(f);
+    }
+  }
+  EXPECT_EQ(seen.size(), expected.size());
+}
+
+TEST_F(CorpusTest, SimilarityMatricesAreSymmetricWithUnitDiagonal) {
+  const SimilarityMatrices sims =
+      ComputeSimilarityMatrices(corpus_, 10, pool_);
+  const size_t n = corpus_.entries.size();
+  ASSERT_EQ(sims.syntax.size(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(sims.syntax[i][i], 1.0, 1e-9);
+    EXPECT_GE(sims.rank[i][i], 0.99);  // self rank-similarity is perfect
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(sims.syntax[i][j], sims.syntax[j][i]);
+      EXPECT_DOUBLE_EQ(sims.witness[i][j], sims.witness[j][i]);
+      EXPECT_DOUBLE_EQ(sims.rank[i][j], sims.rank[j][i]);
+      EXPECT_GE(sims.syntax[i][j], 0.0);
+      EXPECT_LE(sims.syntax[i][j], 1.0);
+      EXPECT_GE(sims.rank[i][j], 0.0);
+      EXPECT_LE(sims.rank[i][j], 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST_F(CorpusTest, MeanGroupSimilarityExcludesDiagonal) {
+  std::vector<std::vector<double>> m = {{1.0, 0.5}, {0.5, 1.0}};
+  EXPECT_DOUBLE_EQ(MeanGroupSimilarity(m, {0, 1}, {0, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(MeanGroupSimilarity(m, {0}, {0}), 0.0);
+}
+
+}  // namespace
+}  // namespace lshap

@@ -1,0 +1,155 @@
+// Property tests: the hash-join evaluator must agree exactly — tuples AND
+// provenance — with a naive cartesian-product reference evaluator, on random
+// queries over a small random database.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.h"
+#include "datasets/imdb.h"
+#include "eval/evaluator.h"
+#include "query/generator.h"
+
+namespace lshap {
+namespace {
+
+// Reference evaluation of one SPJ block by full cartesian enumeration.
+void NaiveBlock(const Database& db, const SpjBlock& block,
+                std::map<OutputTuple, std::vector<Clause>>& out) {
+  std::vector<const Table*> tables;
+  for (const auto& name : block.tables) {
+    tables.push_back(db.FindTable(name).value());
+  }
+  std::map<std::string, size_t> pos;
+  for (size_t i = 0; i < block.tables.size(); ++i) pos[block.tables[i]] = i;
+
+  std::vector<size_t> idx(tables.size(), 0);
+  for (;;) {
+    // Check selections.
+    bool pass = true;
+    for (const auto& sel : block.selections) {
+      const size_t t = pos.at(sel.column.table);
+      const size_t c =
+          tables[t]->schema().ColumnIndex(sel.column.column).value();
+      if (!MatchesPredicate(tables[t]->row(idx[t])[c], sel.op, sel.literal)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) {
+      for (const auto& join : block.joins) {
+        const size_t lt = pos.at(join.left.table);
+        const size_t lc =
+            tables[lt]->schema().ColumnIndex(join.left.column).value();
+        const size_t rt = pos.at(join.right.table);
+        const size_t rc =
+            tables[rt]->schema().ColumnIndex(join.right.column).value();
+        if (tables[lt]->row(idx[lt])[lc] != tables[rt]->row(idx[rt])[rc]) {
+          pass = false;
+          break;
+        }
+      }
+    }
+    if (pass) {
+      OutputTuple tuple;
+      for (const auto& proj : block.projections) {
+        const size_t t = pos.at(proj.table);
+        const size_t c =
+            tables[t]->schema().ColumnIndex(proj.column).value();
+        tuple.push_back(tables[t]->row(idx[t])[c]);
+      }
+      Clause clause;
+      for (size_t t = 0; t < tables.size(); ++t) {
+        clause.push_back(tables[t]->fact_id(idx[t]));
+      }
+      std::sort(clause.begin(), clause.end());
+      out[tuple].push_back(std::move(clause));
+    }
+    // Odometer increment.
+    size_t t = 0;
+    for (; t < tables.size(); ++t) {
+      if (++idx[t] < tables[t]->num_rows()) break;
+      idx[t] = 0;
+    }
+    if (t == tables.size()) break;
+  }
+}
+
+// A small database so that cartesian products stay tractable.
+GeneratedDb SmallImdb() {
+  ImdbConfig cfg;
+  cfg.seed = 99;
+  cfg.num_companies = 5;
+  cfg.num_actors = 8;
+  cfg.num_movies = 10;
+  cfg.num_roles = 20;
+  return MakeImdbDatabase(cfg);
+}
+
+TEST(EvalPropertyTest, MatchesNaiveEvaluatorOnRandomQueries) {
+  GeneratedDb data = SmallImdb();
+  QueryGenConfig gen_cfg;
+  gen_cfg.max_tables = 3;
+  gen_cfg.union_prob = 0.3;
+  QueryGenerator gen(data.db.get(), data.graph, gen_cfg, 1234);
+
+  size_t nonempty = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const Query q = gen.Generate("p" + std::to_string(trial));
+    auto got = Evaluate(*data.db, q);
+    ASSERT_TRUE(got.ok()) << q.ToSql();
+
+    std::map<OutputTuple, std::vector<Clause>> want;
+    for (const auto& block : q.blocks) NaiveBlock(*data.db, block, want);
+
+    ASSERT_EQ(got->tuples.size(), want.size()) << q.ToSql();
+    if (!want.empty()) ++nonempty;
+    for (const auto& [tuple, clauses] : want) {
+      auto it = got->index.find(tuple);
+      ASSERT_NE(it, got->index.end())
+          << q.ToSql() << " missing " << OutputTupleToString(tuple);
+      const Dnf expected(clauses);
+      EXPECT_EQ(got->ProvenanceOf(it->second).clauses(), expected.clauses())
+          << q.ToSql() << " tuple " << OutputTupleToString(tuple);
+    }
+  }
+  // The generator must produce a healthy share of non-empty queries for
+  // this test to mean anything.
+  EXPECT_GT(nonempty, 20u);
+}
+
+TEST(EvalPropertyTest, LineageEqualsProvenanceVariables) {
+  GeneratedDb data = SmallImdb();
+  QueryGenerator gen(data.db.get(), data.graph, {}, 77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Query q = gen.Generate("l" + std::to_string(trial));
+    auto result = Evaluate(*data.db, q);
+    ASSERT_TRUE(result.ok());
+    for (size_t i = 0; i < result->tuples.size(); ++i) {
+      EXPECT_EQ(result->LineageOf(i), result->ProvenanceOf(i).Variables());
+    }
+  }
+}
+
+TEST(EvalPropertyTest, EveryClauseJoinsOneFactPerTable) {
+  GeneratedDb data = SmallImdb();
+  QueryGenConfig cfg;
+  cfg.max_tables = 3;
+  QueryGenerator gen(data.db.get(), data.graph, cfg, 31);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Query q = gen.Generate("c" + std::to_string(trial));
+    if (q.blocks.size() != 1) continue;
+    auto result = Evaluate(*data.db, q);
+    ASSERT_TRUE(result.ok());
+    const size_t expected = q.blocks[0].tables.size();
+    for (const auto& prov : result->provenance) {
+      for (const auto& clause : prov.clauses()) {
+        EXPECT_EQ(clause.size(), expected) << q.ToSql();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lshap

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/ranking_metrics.h"
+
+namespace lshap {
+namespace {
+
+TEST(NdcgTest, PerfectRankingScoresOne) {
+  ShapleyValues gold = {{1, 0.5}, {2, 0.3}, {3, 0.2}};
+  EXPECT_DOUBLE_EQ(NdcgAtK({1, 2, 3}, gold, 10), 1.0);
+}
+
+TEST(NdcgTest, WorstRankingScoresBelowOne) {
+  ShapleyValues gold = {{1, 0.9}, {2, 0.05}, {3, 0.05}};
+  const double best = NdcgAtK({1, 2, 3}, gold, 10);
+  const double worst = NdcgAtK({3, 2, 1}, gold, 10);
+  EXPECT_DOUBLE_EQ(best, 1.0);
+  EXPECT_LT(worst, best);
+  EXPECT_GT(worst, 0.0);
+}
+
+TEST(NdcgTest, RespectsCutoff) {
+  // Perfect in the top-2; garbage afterwards is invisible to NDCG@2.
+  ShapleyValues gold = {{1, 0.5}, {2, 0.4}, {3, 0.1}, {4, 0.0}};
+  EXPECT_DOUBLE_EQ(NdcgAtK({1, 2, 4, 3}, gold, 2), 1.0);
+}
+
+TEST(NdcgTest, ExactValueForKnownSwap) {
+  // gold: a=3, b=2, c=1 (relevance). predicted order: b, a, c.
+  ShapleyValues gold = {{10, 3.0}, {20, 2.0}, {30, 1.0}};
+  const double dcg = 2.0 / std::log2(2) + 3.0 / std::log2(3) +
+                     1.0 / std::log2(4);
+  const double idcg = 3.0 / std::log2(2) + 2.0 / std::log2(3) +
+                      1.0 / std::log2(4);
+  EXPECT_NEAR(NdcgAtK({20, 10, 30}, gold, 10), dcg / idcg, 1e-12);
+}
+
+TEST(NdcgTest, AllZeroGoldIsVacuouslyPerfect) {
+  ShapleyValues gold = {{1, 0.0}, {2, 0.0}};
+  EXPECT_DOUBLE_EQ(NdcgAtK({2, 1}, gold, 10), 1.0);
+}
+
+TEST(NdcgTest, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(NdcgAtK({}, {}, 10), 1.0);
+}
+
+TEST(PrecisionTest, PerfectTopK) {
+  ShapleyValues gold = {{1, 0.5}, {2, 0.3}, {3, 0.15}, {4, 0.05}};
+  EXPECT_DOUBLE_EQ(PrecisionAtK({1, 2, 3, 4}, gold, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({1, 2, 3, 4}, gold, 3), 1.0);
+}
+
+TEST(PrecisionTest, SetBasedNotOrderBased) {
+  // Top-3 contains the right facts in the wrong order: still 1.0.
+  ShapleyValues gold = {{1, 0.5}, {2, 0.3}, {3, 0.15}, {4, 0.05}};
+  EXPECT_DOUBLE_EQ(PrecisionAtK({3, 1, 2, 4}, gold, 3), 1.0);
+  // But p@1 sees the wrong head.
+  EXPECT_DOUBLE_EQ(PrecisionAtK({3, 1, 2, 4}, gold, 1), 0.0);
+}
+
+TEST(PrecisionTest, PartialOverlap) {
+  ShapleyValues gold = {{1, 0.4}, {2, 0.3}, {3, 0.2}, {4, 0.1}};
+  // predicted top-3 {1, 4, 2} vs gold top-3 {1, 2, 3}: overlap 2.
+  EXPECT_NEAR(PrecisionAtK({1, 4, 2, 3}, gold, 3), 2.0 / 3.0, 1e-12);
+}
+
+TEST(PrecisionTest, ShortListsCapDepth) {
+  ShapleyValues gold = {{1, 0.7}, {2, 0.3}};
+  EXPECT_DOUBLE_EQ(PrecisionAtK({1, 2}, gold, 5), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({}, gold, 5), 0.0);
+}
+
+TEST(MeanTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0}), 3.0);
+}
+
+TEST(MseTest, Basics) {
+  EXPECT_DOUBLE_EQ(MeanSquaredError({1.0, 2.0}, {1.0, 4.0}), 2.0);
+  EXPECT_DOUBLE_EQ(MeanSquaredError({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace lshap

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/adam.h"
+#include "ml/encoder.h"
+#include "ml/layers.h"
+#include "ml/tensor.h"
+#include "ml/tokenizer.h"
+
+namespace lshap {
+namespace {
+
+TEST(TensorTest, MatMulKnownValues) {
+  Tensor a(2, 3);
+  Tensor b(3, 2);
+  float av = 1.0f;
+  for (size_t i = 0; i < a.size(); ++i) a.data()[i] = av++;
+  float bv = 1.0f;
+  for (size_t i = 0; i < b.size(); ++i) b.data()[i] = bv++;
+  const Tensor c = MatMul(a, b);
+  // a = [[1,2,3],[4,5,6]], b = [[1,2],[3,4],[5,6]]
+  EXPECT_FLOAT_EQ(c.at(0, 0), 22.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 28.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 49.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 64.0f);
+}
+
+TEST(TensorTest, TransposedMatMulsAgreeWithExplicit) {
+  Rng rng(5);
+  Tensor a = Tensor::Randn(4, 3, 1.0f, rng);
+  Tensor b = Tensor::Randn(4, 5, 1.0f, rng);
+  // ATB: (3×5) == transpose(a)·b
+  Tensor atb = MatMulATB(a, b);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      float want = 0.0f;
+      for (size_t k = 0; k < 4; ++k) want += a.at(k, i) * b.at(k, j);
+      EXPECT_NEAR(atb.at(i, j), want, 1e-5);
+    }
+  }
+  Tensor c = Tensor::Randn(6, 3, 1.0f, rng);
+  Tensor abt = MatMulABT(a, c);  // (4×3)·(6×3)ᵀ = 4×6
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      float want = 0.0f;
+      for (size_t k = 0; k < 3; ++k) want += a.at(i, k) * c.at(j, k);
+      EXPECT_NEAR(abt.at(i, j), want, 1e-5);
+    }
+  }
+}
+
+// ---- Gradient checking machinery ----
+
+// Loss L(out) = Σ coeff ⊙ out, whose gradient w.r.t. out is `coeff`.
+float WeightedSum(const Tensor& out, const Tensor& coeff) {
+  float total = 0.0f;
+  for (size_t i = 0; i < out.size(); ++i) {
+    total += out.data()[i] * coeff.data()[i];
+  }
+  return total;
+}
+
+// Checks analytic parameter gradients of `forward` (re-runnable) against
+// central finite differences on a sample of coordinates.
+template <typename ForwardFn>
+void CheckParamGradients(std::vector<Param*> params, const ForwardFn& forward,
+                         const Tensor& coeff, float tol) {
+  // Analytic gradients are assumed already accumulated by the caller.
+  Rng rng(99);
+  const float eps = 1e-3f;
+  for (Param* p : params) {
+    const size_t checks = std::min<size_t>(6, p->value.size());
+    for (size_t c = 0; c < checks; ++c) {
+      const size_t i = rng.NextBounded(p->value.size());
+      const float orig = p->value.data()[i];
+      p->value.data()[i] = orig + eps;
+      const float up = WeightedSum(forward(), coeff);
+      p->value.data()[i] = orig - eps;
+      const float down = WeightedSum(forward(), coeff);
+      p->value.data()[i] = orig;
+      const float numeric = (up - down) / (2.0f * eps);
+      const float analytic = p->grad.data()[i];
+      // Mixed absolute/relative tolerance: float32 finite differences lose
+      // precision when the loss (and hence gradient) magnitudes are large.
+      EXPECT_NEAR(analytic, numeric, tol + 0.005f * std::abs(numeric))
+          << "param size " << p->value.size() << " index " << i;
+    }
+  }
+}
+
+TEST(GradientCheck, Linear) {
+  Rng rng(1);
+  Linear lin(5, 4, rng);
+  const Tensor x = Tensor::Randn(3, 5, 1.0f, rng);
+  const Tensor coeff = Tensor::Randn(3, 4, 1.0f, rng);
+  lin.Forward(x);
+  lin.Backward(coeff);
+  std::vector<Param*> params;
+  lin.CollectParams(params);
+  CheckParamGradients(params, [&] { return lin.Forward(x); }, coeff, 2e-2f);
+}
+
+TEST(GradientCheck, LinearInputGradient) {
+  Rng rng(2);
+  Linear lin(4, 3, rng);
+  Tensor x = Tensor::Randn(2, 4, 1.0f, rng);
+  const Tensor coeff = Tensor::Randn(2, 3, 1.0f, rng);
+  lin.Forward(x);
+  const Tensor dx = lin.Backward(coeff);
+  const float eps = 1e-3f;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const float orig = x.data()[i];
+    x.data()[i] = orig + eps;
+    const float up = WeightedSum(lin.Forward(x), coeff);
+    x.data()[i] = orig - eps;
+    const float down = WeightedSum(lin.Forward(x), coeff);
+    x.data()[i] = orig;
+    EXPECT_NEAR(dx.data()[i], (up - down) / (2 * eps), 2e-2f);
+  }
+}
+
+TEST(GradientCheck, LayerNorm) {
+  Rng rng(3);
+  LayerNorm ln(6);
+  const Tensor x = Tensor::Randn(4, 6, 1.0f, rng);
+  const Tensor coeff = Tensor::Randn(4, 6, 1.0f, rng);
+  ln.Forward(x);
+  ln.Backward(coeff);
+  std::vector<Param*> params;
+  ln.CollectParams(params);
+  CheckParamGradients(params, [&] { return ln.Forward(x); }, coeff, 2e-2f);
+}
+
+TEST(GradientCheck, LayerNormInputGradient) {
+  Rng rng(4);
+  LayerNorm ln(5);
+  Tensor x = Tensor::Randn(2, 5, 1.0f, rng);
+  const Tensor coeff = Tensor::Randn(2, 5, 1.0f, rng);
+  ln.Forward(x);
+  const Tensor dx = ln.Backward(coeff);
+  const float eps = 1e-3f;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const float orig = x.data()[i];
+    x.data()[i] = orig + eps;
+    const float up = WeightedSum(ln.Forward(x), coeff);
+    x.data()[i] = orig - eps;
+    const float down = WeightedSum(ln.Forward(x), coeff);
+    x.data()[i] = orig;
+    EXPECT_NEAR(dx.data()[i], (up - down) / (2 * eps), 3e-2f);
+  }
+}
+
+TEST(GradientCheck, Gelu) {
+  Rng rng(5);
+  Gelu gelu;
+  Tensor x = Tensor::Randn(3, 4, 1.0f, rng);
+  const Tensor coeff = Tensor::Randn(3, 4, 1.0f, rng);
+  gelu.Forward(x);
+  const Tensor dx = gelu.Backward(coeff);
+  const float eps = 1e-3f;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const float orig = x.data()[i];
+    x.data()[i] = orig + eps;
+    const float up = WeightedSum(gelu.Forward(x), coeff);
+    x.data()[i] = orig - eps;
+    const float down = WeightedSum(gelu.Forward(x), coeff);
+    x.data()[i] = orig;
+    EXPECT_NEAR(dx.data()[i], (up - down) / (2 * eps), 2e-2f);
+  }
+}
+
+TEST(GradientCheck, MultiHeadAttention) {
+  Rng rng(6);
+  MultiHeadSelfAttention attn(8, 2, rng);
+  const Tensor x = Tensor::Randn(5, 8, 0.5f, rng);
+  const std::vector<bool> mask(5, true);
+  const Tensor coeff = Tensor::Randn(5, 8, 1.0f, rng);
+  attn.Forward(x, mask);
+  attn.Backward(coeff);
+  std::vector<Param*> params;
+  attn.CollectParams(params);
+  CheckParamGradients(params, [&] { return attn.Forward(x, mask); }, coeff,
+                      3e-2f);
+}
+
+TEST(GradientCheck, FullEncoder) {
+  EncoderConfig cfg;
+  cfg.vocab_size = 12;
+  cfg.max_len = 6;
+  cfg.dim = 8;
+  cfg.num_heads = 2;
+  cfg.num_layers = 1;
+  cfg.ffn_dim = 16;
+  cfg.seed = 7;
+  TransformerEncoder enc(cfg);
+  const std::vector<int> ids = {1, 5, 6, 2, 7};
+  const std::vector<bool> mask(5, true);
+  Rng rng(8);
+  const Tensor coeff = Tensor::Randn(5, 8, 1.0f, rng);
+  enc.Forward(ids, mask);
+  enc.Backward(coeff);
+  CheckParamGradients(enc.Params(), [&] { return enc.Forward(ids, mask); },
+                      coeff, 4e-2f);
+}
+
+TEST(AttentionTest, PaddingMaskExcludesKeys) {
+  Rng rng(9);
+  MultiHeadSelfAttention attn(8, 2, rng);
+  Tensor x = Tensor::Randn(4, 8, 0.5f, rng);
+  std::vector<bool> mask = {true, true, true, false};
+  const Tensor out_masked = attn.Forward(x, mask);
+  // Changing the masked position's content must not affect other outputs.
+  for (size_t c = 0; c < 8; ++c) x.at(3, c) += 10.0f;
+  const Tensor out_changed = attn.Forward(x, mask);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 8; ++c) {
+      EXPECT_NEAR(out_masked.at(r, c), out_changed.at(r, c), 1e-5);
+    }
+  }
+}
+
+TEST(AdamTest, LearnsLinearRegression) {
+  // y = x·W* with a learned Linear; Adam should drive the loss near zero.
+  Rng rng(10);
+  Linear model(3, 1, rng);
+  Tensor w_star(3, 1);
+  w_star.at(0, 0) = 0.5f;
+  w_star.at(1, 0) = -1.0f;
+  w_star.at(2, 0) = 2.0f;
+  std::vector<Param*> params;
+  model.CollectParams(params);
+  AdamConfig cfg;
+  cfg.lr = 5e-2f;
+  Adam opt(params, cfg);
+  float last_loss = 0.0f;
+  for (int step = 0; step < 300; ++step) {
+    const Tensor x = Tensor::Randn(8, 3, 1.0f, rng);
+    const Tensor target = MatMul(x, w_star);
+    const Tensor pred = model.Forward(x);
+    Tensor d(8, 1);
+    last_loss = 0.0f;
+    for (size_t i = 0; i < 8; ++i) {
+      const float err = pred.at(i, 0) - target.at(i, 0);
+      d.at(i, 0) = 2.0f * err / 8.0f;
+      last_loss += err * err / 8.0f;
+    }
+    model.Backward(d);
+    opt.Step();
+  }
+  EXPECT_LT(last_loss, 1e-3f);
+}
+
+TEST(TokenizerTest, SplitsSqlIntoWordsAndPunctuation) {
+  const auto tokens =
+      TokenizeText("SELECT DISTINCT actors.name FROM movies WHERE year = 2007");
+  const std::vector<std::string> want = {
+      "select", "distinct", "actors", ".", "name", "from",
+      "movies", "where",    "year",   "=", "2007"};
+  EXPECT_EQ(tokens, want);
+}
+
+TEST(TokenizerTest, HandlesQuotesAndLike) {
+  const auto tokens = TokenizeText("name LIKE 'B%'");
+  const std::vector<std::string> want = {"name", "like", "'", "b", "%", "'"};
+  EXPECT_EQ(tokens, want);
+}
+
+TEST(VocabTest, SpecialsAndGrowth) {
+  Vocab v;
+  EXPECT_EQ(v.size(), static_cast<size_t>(Vocab::kNumSpecial));
+  v.AddTokens({"select", "from", "select"});
+  EXPECT_EQ(v.size(), static_cast<size_t>(Vocab::kNumSpecial) + 2);
+  EXPECT_EQ(v.Encode("select"), Vocab::kNumSpecial);
+  EXPECT_EQ(v.Encode("never-seen"), Vocab::kUnk);
+  EXPECT_EQ(v.token(Vocab::kCls), "[CLS]");
+}
+
+TEST(EncodeSegmentsTest, LayoutAndTruncation) {
+  Vocab v;
+  v.AddTokens({"a", "b", "c", "d"});
+  const EncodedPair p =
+      EncodeSegments(v, {{"a", "b"}, {"c", "d"}}, /*max_len=*/16);
+  // [CLS] a b [SEP] c d
+  ASSERT_EQ(p.ids.size(), 6u);
+  EXPECT_EQ(p.ids[0], Vocab::kCls);
+  EXPECT_EQ(p.ids[3], Vocab::kSep);
+  EXPECT_EQ(p.mask, std::vector<bool>(6, true));
+
+  // Truncation keeps proportions and never exceeds max_len.
+  std::vector<std::string> longseg(30, "a");
+  const EncodedPair q = EncodeSegments(v, {longseg, {"c"}}, 10);
+  EXPECT_LE(q.ids.size(), 10u);
+  EXPECT_EQ(q.ids[0], Vocab::kCls);
+}
+
+}  // namespace
+}  // namespace lshap

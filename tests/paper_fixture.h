@@ -1,0 +1,99 @@
+#ifndef LSHAP_TESTS_PAPER_FIXTURE_H_
+#define LSHAP_TESTS_PAPER_FIXTURE_H_
+
+#include <memory>
+
+#include "common/check.h"
+#include "query/ast.h"
+#include "relational/database.h"
+
+namespace lshap {
+
+// The movie database of the paper's running example (Figure 1), sized so
+// that q_inf's output tuple "Alice" has exactly the provenance of
+// Example 2.1:  (a1 m1 c1 r1) ∨ (a1 m2 c1 r2) ∨ (a1 m3 c2 r3).
+struct PaperExample {
+  std::unique_ptr<Database> db;
+  // Fact ids, named after the paper's annotations.
+  FactId c1, c2, c3;        // Universal, Warner, Gaumont
+  FactId a1, a2, a3;        // Alice, Bob, David
+  FactId m1, m2, m3, m4;    // Superman, Batman, Spiderman, OldFilm
+  FactId r1, r2, r3, r4, r5;
+
+  Query q_inf;  // Figure 2a: actors in 2007 movies of American companies
+  Query q_1;    // Figure 2b-like: titles of 2007 American movies with Alice
+};
+
+inline PaperExample MakePaperExample() {
+  PaperExample ex;
+  ex.db = std::make_unique<Database>("paper");
+  Database& db = *ex.db;
+
+  LSHAP_CHECK(db.AddTable(Schema("companies",
+                                 {{"name", ColumnType::kString},
+                                  {"country", ColumnType::kString}}))
+                  .ok());
+  LSHAP_CHECK(db.AddTable(Schema("actors", {{"name", ColumnType::kString},
+                                            {"age", ColumnType::kInt}}))
+                  .ok());
+  LSHAP_CHECK(db.AddTable(Schema("movies",
+                                 {{"title", ColumnType::kString},
+                                  {"year", ColumnType::kInt},
+                                  {"company", ColumnType::kString}}))
+                  .ok());
+  LSHAP_CHECK(db.AddTable(Schema("roles", {{"movie", ColumnType::kString},
+                                           {"actor", ColumnType::kString}}))
+                  .ok());
+
+  ex.c1 = *db.Insert("companies", {Value("Universal"), Value("USA")});
+  ex.c2 = *db.Insert("companies", {Value("Warner"), Value("USA")});
+  ex.c3 = *db.Insert("companies", {Value("Gaumont"), Value("France")});
+
+  ex.a1 = *db.Insert("actors", {Value("Alice"), Value(int64_t{45})});
+  ex.a2 = *db.Insert("actors", {Value("Bob"), Value(int64_t{30})});
+  ex.a3 = *db.Insert("actors", {Value("David"), Value(int64_t{23})});
+
+  ex.m1 = *db.Insert(
+      "movies", {Value("Superman"), Value(int64_t{2007}), Value("Universal")});
+  ex.m2 = *db.Insert(
+      "movies", {Value("Batman"), Value(int64_t{2007}), Value("Universal")});
+  ex.m3 = *db.Insert(
+      "movies", {Value("Spiderman"), Value(int64_t{2007}), Value("Warner")});
+  ex.m4 = *db.Insert(
+      "movies", {Value("OldFilm"), Value(int64_t{1999}), Value("Gaumont")});
+
+  ex.r1 = *db.Insert("roles", {Value("Superman"), Value("Alice")});
+  ex.r2 = *db.Insert("roles", {Value("Batman"), Value("Alice")});
+  ex.r3 = *db.Insert("roles", {Value("Spiderman"), Value("Alice")});
+  ex.r4 = *db.Insert("roles", {Value("Superman"), Value("Bob")});
+  ex.r5 = *db.Insert("roles", {Value("OldFilm"), Value("David")});
+
+  SpjBlock block;
+  block.tables = {"movies", "actors", "companies", "roles"};
+  block.joins = {
+      {{"movies", "title"}, {"roles", "movie"}},
+      {{"actors", "name"}, {"roles", "actor"}},
+      {{"movies", "company"}, {"companies", "name"}},
+  };
+  block.selections = {
+      {{"companies", "country"}, CompareOp::kEq, Value("USA")},
+      {{"movies", "year"}, CompareOp::kEq, Value(int64_t{2007})},
+  };
+  block.projections = {{"actors", "name"}};
+  ex.q_inf.id = "q_inf";
+  ex.q_inf.blocks = {block};
+
+  // q_1: same shape but projects the movie title and pins the actor.
+  SpjBlock block1 = block;
+  block1.projections = {{"movies", "title"}};
+  block1.selections.push_back(
+      {{"actors", "name"}, CompareOp::kEq, Value("Alice")});
+  ex.q_1.id = "q_1";
+  ex.q_1.blocks = {block1};
+
+  return ex;
+}
+
+}  // namespace lshap
+
+#endif  // LSHAP_TESTS_PAPER_FIXTURE_H_

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "datasets/academic.h"
+#include "datasets/imdb.h"
+#include "eval/evaluator.h"
+#include "paper_fixture.h"
+#include "query/generator.h"
+#include "query/parser.h"
+
+namespace lshap {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  ParserTest() : ex_(MakePaperExample()) {}
+  PaperExample ex_;
+};
+
+TEST_F(ParserTest, ParsesPaperQuery) {
+  const std::string sql =
+      "SELECT DISTINCT actors.name FROM movies, actors, companies, roles "
+      "WHERE movies.title = roles.movie AND actors.name = roles.actor AND "
+      "movies.company = companies.name AND companies.country = 'USA' AND "
+      "movies.year = 2007";
+  auto q = ParseQuery(*ex_.db, sql);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->blocks.size(), 1u);
+  const SpjBlock& b = q->blocks[0];
+  EXPECT_EQ(b.tables.size(), 4u);
+  EXPECT_EQ(b.joins.size(), 3u);
+  EXPECT_EQ(b.selections.size(), 2u);
+  EXPECT_EQ(b.projections.size(), 1u);
+  EXPECT_EQ(b.projections[0].ToString(), "actors.name");
+  // Parsed query must be semantically identical to the fixture query.
+  EXPECT_EQ(Operations(*q), Operations(ex_.q_inf));
+}
+
+TEST_F(ParserTest, ParsedQueryEvaluatesSameAsAst) {
+  auto parsed = ParseQuery(*ex_.db, ex_.q_inf.ToSql());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto r1 = Evaluate(*ex_.db, ex_.q_inf);
+  auto r2 = Evaluate(*ex_.db, *parsed);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r1->tuples.size(), r2->tuples.size());
+  for (const auto& [tuple, idx] : r1->index) {
+    auto it = r2->index.find(tuple);
+    ASSERT_NE(it, r2->index.end());
+    EXPECT_EQ(r1->ProvenanceOf(idx).clauses(),
+              r2->ProvenanceOf(it->second).clauses());
+  }
+}
+
+TEST_F(ParserTest, LikePrefixPattern) {
+  auto q = ParseQuery(*ex_.db,
+                      "SELECT DISTINCT actors.name FROM actors "
+                      "WHERE actors.name LIKE 'B%'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->blocks[0].selections.size(), 1u);
+  const Selection& sel = q->blocks[0].selections[0];
+  EXPECT_EQ(sel.op, CompareOp::kStartsWith);
+  EXPECT_EQ(sel.literal.AsString(), "B");
+  auto r = Evaluate(*ex_.db, *q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->tuples.size(), 1u);
+  EXPECT_EQ(r->tuples[0][0].AsString(), "Bob");
+}
+
+TEST_F(ParserTest, UnionQueries) {
+  auto q = ParseQuery(
+      *ex_.db,
+      "SELECT DISTINCT movies.title FROM movies WHERE movies.year = 2007 "
+      "UNION SELECT DISTINCT movies.title FROM movies WHERE movies.year = "
+      "1999");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->blocks.size(), 2u);
+  auto r = Evaluate(*ex_.db, *q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->tuples.size(), 4u);
+}
+
+TEST_F(ParserTest, AllComparisonOperators) {
+  const char* const conds[] = {
+      "actors.age = 30",  "actors.age <> 30", "actors.age != 30",
+      "actors.age < 30",  "actors.age <= 30", "actors.age > 30",
+      "actors.age >= 30",
+  };
+  const CompareOp want[] = {CompareOp::kEq, CompareOp::kNe, CompareOp::kNe,
+                            CompareOp::kLt, CompareOp::kLe, CompareOp::kGt,
+                            CompareOp::kGe};
+  for (size_t i = 0; i < std::size(conds); ++i) {
+    auto q = ParseQuery(*ex_.db,
+                        std::string("SELECT DISTINCT actors.name FROM actors "
+                                    "WHERE ") +
+                            conds[i]);
+    ASSERT_TRUE(q.ok()) << conds[i] << ": " << q.status().ToString();
+    EXPECT_EQ(q->blocks[0].selections[0].op, want[i]) << conds[i];
+  }
+}
+
+TEST_F(ParserTest, StringEscapes) {
+  auto q = ParseQuery(*ex_.db,
+                      "SELECT DISTINCT movies.title FROM movies "
+                      "WHERE movies.title = 'O''Brien'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->blocks[0].selections[0].literal.AsString(), "O'Brien");
+}
+
+TEST_F(ParserTest, NegativeAndFloatLiterals) {
+  auto q = ParseQuery(*ex_.db,
+                      "SELECT DISTINCT actors.name FROM actors "
+                      "WHERE actors.age > -5");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->blocks[0].selections[0].literal.AsInt(), -5);
+
+  auto f = ParseQuery(*ex_.db,
+                      "SELECT DISTINCT actors.name FROM actors "
+                      "WHERE actors.age > 29.5");
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_DOUBLE_EQ(f->blocks[0].selections[0].literal.AsDouble(), 29.5);
+}
+
+TEST_F(ParserTest, CaseInsensitiveKeywords) {
+  auto q = ParseQuery(*ex_.db,
+                      "select distinct actors.name from actors where "
+                      "actors.age > 20");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+}
+
+TEST_F(ParserTest, ErrorsAreStatuses) {
+  // Unknown table.
+  EXPECT_FALSE(ParseQuery(*ex_.db, "SELECT DISTINCT foo.bar FROM foo").ok());
+  // Unknown column.
+  EXPECT_FALSE(
+      ParseQuery(*ex_.db, "SELECT DISTINCT actors.height FROM actors").ok());
+  // Unqualified column.
+  EXPECT_FALSE(ParseQuery(*ex_.db, "SELECT DISTINCT name FROM actors").ok());
+  // Missing FROM.
+  EXPECT_FALSE(ParseQuery(*ex_.db, "SELECT DISTINCT actors.name").ok());
+  // Non-equi column comparison.
+  EXPECT_FALSE(ParseQuery(*ex_.db,
+                          "SELECT DISTINCT actors.name FROM actors, roles "
+                          "WHERE actors.name < roles.actor")
+                   .ok());
+  // Infix LIKE without prefix pattern.
+  EXPECT_FALSE(ParseQuery(*ex_.db,
+                          "SELECT DISTINCT actors.name FROM actors WHERE "
+                          "actors.name LIKE '%b%'")
+                   .ok());
+  // Unterminated string.
+  EXPECT_FALSE(ParseQuery(*ex_.db,
+                          "SELECT DISTINCT actors.name FROM actors WHERE "
+                          "actors.name = 'oops")
+                   .ok());
+  // Trailing garbage.
+  EXPECT_FALSE(
+      ParseQuery(*ex_.db, "SELECT DISTINCT actors.name FROM actors extra")
+          .ok());
+}
+
+// The round-trip property: every generator query must survive
+// ToSql → ParseQuery with identical semantics (operations and results).
+TEST(ParserRoundTripTest, GeneratorQueriesRoundTrip) {
+  for (int which = 0; which < 2; ++which) {
+    GeneratedDb data =
+        which == 0 ? MakeImdbDatabase({}) : MakeAcademicDatabase({});
+    QueryGenConfig cfg;
+    cfg.union_prob = 0.3;
+    QueryGenerator gen(data.db.get(), data.graph, cfg, 555 + which);
+    for (int i = 0; i < 60; ++i) {
+      const Query q = gen.Generate("rt" + std::to_string(i));
+      auto parsed = ParseQuery(*data.db, q.ToSql());
+      ASSERT_TRUE(parsed.ok()) << q.ToSql() << "\n"
+                               << parsed.status().ToString();
+      EXPECT_EQ(parsed->ToSql(), q.ToSql());
+      EXPECT_EQ(Operations(*parsed), Operations(q));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lshap

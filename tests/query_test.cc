@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "datasets/imdb.h"
+#include "paper_fixture.h"
+#include "query/ast.h"
+#include "query/generator.h"
+
+namespace lshap {
+namespace {
+
+TEST(AstTest, SelectionToSql) {
+  Selection s{{"movies", "year"}, CompareOp::kEq, Value(int64_t{2007})};
+  EXPECT_EQ(s.ToSql(), "movies.year = 2007");
+  Selection str{{"companies", "country"}, CompareOp::kEq, Value("USA")};
+  EXPECT_EQ(str.ToSql(), "companies.country = 'USA'");
+  Selection like{{"actors", "name"}, CompareOp::kStartsWith, Value("B")};
+  EXPECT_EQ(like.ToSql(), "actors.name LIKE 'B%'");
+}
+
+TEST(AstTest, JoinNormalization) {
+  JoinPred a{{"roles", "movie"}, {"movies", "title"}};
+  a.Normalize();
+  EXPECT_EQ(a.left.table, "movies");
+  JoinPred b{{"movies", "title"}, {"roles", "movie"}};
+  b.Normalize();
+  EXPECT_EQ(a.ToSql(), b.ToSql());
+}
+
+TEST(AstTest, QueryToSqlShape) {
+  PaperExample ex = MakePaperExample();
+  const std::string sql = ex.q_inf.ToSql();
+  EXPECT_NE(sql.find("SELECT DISTINCT actors.name"), std::string::npos);
+  EXPECT_NE(sql.find("FROM movies, actors, companies, roles"),
+            std::string::npos);
+  EXPECT_NE(sql.find("companies.country = 'USA'"), std::string::npos);
+  EXPECT_NE(sql.find("movies.year = 2007"), std::string::npos);
+}
+
+TEST(AstTest, NumTablesCountsDistinct) {
+  PaperExample ex = MakePaperExample();
+  EXPECT_EQ(ex.q_inf.NumTables(), 4u);
+  Query u = ex.q_inf;
+  u.blocks.push_back(ex.q_1.blocks[0]);
+  EXPECT_EQ(u.NumTables(), 4u);  // same tables in both blocks
+}
+
+// Example 2.3: q_inf and q_1 differ in projection plus one extra selection;
+// 5 shared operations out of 8 total.
+TEST(AstTest, OperationsMatchPaperExample) {
+  PaperExample ex = MakePaperExample();
+  const auto ops_inf = Operations(ex.q_inf);
+  const auto ops_1 = Operations(ex.q_1);
+  EXPECT_EQ(ops_inf.size(), 6u);  // 1 proj + 3 joins + 2 selections
+  EXPECT_EQ(ops_1.size(), 7u);    // 1 proj + 3 joins + 3 selections
+  std::set<std::string> inter;
+  for (const auto& op : ops_inf) {
+    if (ops_1.count(op) > 0) inter.insert(op);
+  }
+  EXPECT_EQ(inter.size(), 5u);  // joins + the two shared selections
+}
+
+TEST(AstTest, UnionOperationsAreUnioned) {
+  PaperExample ex = MakePaperExample();
+  Query u = ex.q_inf;
+  u.blocks.push_back(ex.q_1.blocks[0]);
+  const auto ops = Operations(u);
+  // Union of the 6 and 7 op sets sharing 5 → 8 distinct operations.
+  EXPECT_EQ(ops.size(), 8u);
+}
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  GeneratorTest()
+      : data_(MakeImdbDatabase({})),
+        gen_(data_.db.get(), data_.graph, QueryGenConfig{}, 99) {}
+  GeneratedDb data_;
+  QueryGenerator gen_;
+};
+
+TEST_F(GeneratorTest, GeneratesValidBlocks) {
+  for (int i = 0; i < 50; ++i) {
+    Query q = gen_.Generate("q" + std::to_string(i));
+    ASSERT_FALSE(q.blocks.empty());
+    for (const auto& b : q.blocks) {
+      EXPECT_FALSE(b.tables.empty());
+      EXPECT_FALSE(b.projections.empty());
+      // Joins must connect the selected tables (tables - 1 joins at least
+      // when connected growth succeeded).
+      if (b.tables.size() > 1) {
+        EXPECT_GE(b.joins.size(), b.tables.size() - 1);
+      }
+      // Every join endpoint must reference a FROM table.
+      std::set<std::string> from(b.tables.begin(), b.tables.end());
+      for (const auto& j : b.joins) {
+        EXPECT_TRUE(from.count(j.left.table));
+        EXPECT_TRUE(from.count(j.right.table));
+      }
+      for (const auto& s : b.selections) {
+        EXPECT_TRUE(from.count(s.column.table));
+      }
+      for (const auto& p : b.projections) {
+        EXPECT_TRUE(from.count(p.table));
+      }
+    }
+  }
+}
+
+TEST_F(GeneratorTest, DeterministicForSameSeed) {
+  QueryGenerator a(data_.db.get(), data_.graph, QueryGenConfig{}, 7);
+  QueryGenerator b(data_.db.get(), data_.graph, QueryGenConfig{}, 7);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.Generate("q").ToSql(), b.Generate("q").ToSql());
+  }
+}
+
+TEST_F(GeneratorTest, MutateChangesSomething) {
+  Query base = gen_.Generate("base");
+  int changed = 0;
+  for (int i = 0; i < 20; ++i) {
+    Query m = gen_.Mutate(base, "m" + std::to_string(i));
+    if (m.ToSql() != base.ToSql()) ++changed;
+  }
+  EXPECT_GT(changed, 10);
+}
+
+TEST_F(GeneratorTest, LogHasUniqueSqlAndIds) {
+  const auto log = gen_.GenerateLog(30, "imdb");
+  EXPECT_GT(log.size(), 30u);  // variants inflate the log
+  std::unordered_set<std::string> sql;
+  std::unordered_set<std::string> ids;
+  for (const auto& q : log) {
+    EXPECT_TRUE(sql.insert(q.ToSql()).second) << q.ToSql();
+    EXPECT_TRUE(ids.insert(q.id).second) << q.id;
+  }
+}
+
+}  // namespace
+}  // namespace lshap

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "relational/database.h"
+#include "relational/tuple.h"
+#include "relational/value.h"
+
+namespace lshap {
+namespace {
+
+TEST(ValueTest, TypePredicates) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(int64_t{3}).is_int());
+  EXPECT_TRUE(Value(1.5).is_double());
+  EXPECT_TRUE(Value("x").is_string());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(int64_t{42}).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value(int64_t{42}).AsDouble(), 42.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(int64_t{7}).ToString(), "7");
+  EXPECT_EQ(Value("Universal").ToString(), "Universal");
+}
+
+TEST(ValueTest, SqlLiteralQuotesStrings) {
+  EXPECT_EQ(Value("USA").ToSqlLiteral(), "'USA'");
+  EXPECT_EQ(Value(int64_t{2007}).ToSqlLiteral(), "2007");
+}
+
+TEST(ValueTest, EqualityAndOrdering) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_NE(Value(int64_t{1}), Value("1"));
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value(), Value(int64_t{0}));         // null < numeric
+  EXPECT_LT(Value(int64_t{5}), Value("a"));      // numeric < string
+  EXPECT_LT(Value("a"), Value("b"));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{9}).Hash(), Value(int64_t{9}).Hash());
+  EXPECT_EQ(Value("hi").Hash(), Value("hi").Hash());
+}
+
+TEST(SchemaTest, ColumnLookup) {
+  Schema s("movies", {{"title", ColumnType::kString},
+                      {"year", ColumnType::kInt}});
+  EXPECT_EQ(s.table_name(), "movies");
+  EXPECT_EQ(s.num_columns(), 2u);
+  ASSERT_TRUE(s.ColumnIndex("year").ok());
+  EXPECT_EQ(*s.ColumnIndex("year"), 1u);
+  EXPECT_FALSE(s.ColumnIndex("rating").ok());
+  EXPECT_TRUE(s.HasColumn("title"));
+  EXPECT_FALSE(s.HasColumn("studio"));
+}
+
+TEST(DatabaseTest, InsertAndResolveFacts) {
+  Database db("test");
+  ASSERT_TRUE(db.AddTable(Schema("t", {{"a", ColumnType::kInt},
+                                       {"b", ColumnType::kString}}))
+                  .ok());
+  auto f0 = db.Insert("t", {Value(int64_t{1}), Value("x")});
+  auto f1 = db.Insert("t", {Value(int64_t{2}), Value("y")});
+  ASSERT_TRUE(f0.ok());
+  ASSERT_TRUE(f1.ok());
+  EXPECT_NE(*f0, *f1);
+  EXPECT_EQ(db.num_facts(), 2u);
+  EXPECT_EQ(db.FactValues(*f1)[1], Value("y"));
+  EXPECT_EQ(db.FactTableName(*f0), "t");
+  EXPECT_EQ(db.FactToString(*f0), "t(1, x)");
+}
+
+TEST(DatabaseTest, RejectsDuplicateTable) {
+  Database db("test");
+  ASSERT_TRUE(db.AddTable(Schema("t", {{"a", ColumnType::kInt}})).ok());
+  EXPECT_FALSE(db.AddTable(Schema("t", {{"a", ColumnType::kInt}})).ok());
+}
+
+TEST(DatabaseTest, RejectsArityMismatch) {
+  Database db("test");
+  ASSERT_TRUE(db.AddTable(Schema("t", {{"a", ColumnType::kInt}})).ok());
+  EXPECT_FALSE(db.Insert("t", {Value(int64_t{1}), Value(int64_t{2})}).ok());
+}
+
+TEST(DatabaseTest, RejectsUnknownTable) {
+  Database db("test");
+  EXPECT_FALSE(db.Insert("nope", {Value(int64_t{1})}).ok());
+  EXPECT_FALSE(db.FindTable("nope").ok());
+}
+
+TEST(OutputTupleTest, HashAndToString) {
+  OutputTuple t = {Value("Alice"), Value(int64_t{45})};
+  OutputTuple same = {Value("Alice"), Value(int64_t{45})};
+  OutputTuple other = {Value("Bob"), Value(int64_t{45})};
+  OutputTupleHash h;
+  EXPECT_EQ(h(t), h(same));
+  EXPECT_EQ(t, same);
+  EXPECT_NE(t, other);
+  EXPECT_EQ(OutputTupleToString(t), "(Alice, 45)");
+}
+
+}  // namespace
+}  // namespace lshap

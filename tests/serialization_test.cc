@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "learnshapley/serialization.h"
+#include "ml/tokenizer.h"
+#include "paper_fixture.h"
+
+namespace lshap {
+namespace {
+
+TEST(SerializationTest, QueryTokensAreSqlTokens) {
+  PaperExample ex = MakePaperExample();
+  const auto tokens = QueryTokens(ex.q_inf);
+  EXPECT_EQ(tokens[0], "select");
+  EXPECT_EQ(tokens[1], "distinct");
+}
+
+TEST(SerializationTest, TupleTokens) {
+  const auto tokens = TupleTokens({Value("Alice"), Value(int64_t{45})});
+  // "(Alice, 45)" → ( alice , 45 )
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"(", "alice", ",", "45", ")"}));
+}
+
+TEST(SerializationTest, OverlapMarkerBuckets) {
+  PaperExample ex = MakePaperExample();
+  // Tuple (Alice): the actors fact "actors(Alice, 45)" shares "alice" →
+  // ovl1; the companies fact shares nothing → ovl0.
+  const auto tuple_tokens = TupleTokens({Value("Alice")});
+  const auto actor = FactTokensWithContext(*ex.db, ex.a1, tuple_tokens);
+  EXPECT_EQ(actor[0], "ovl1");
+  const auto company = FactTokensWithContext(*ex.db, ex.c1, tuple_tokens);
+  EXPECT_EQ(company[0], "ovl0");
+
+  // A tuple containing both values of the fact → ovl2.
+  const auto rich_tuple =
+      TupleTokens({Value("Alice"), Value(int64_t{45})});
+  const auto both = FactTokensWithContext(*ex.db, ex.a1, rich_tuple);
+  EXPECT_EQ(both[0], "ovl2");
+}
+
+TEST(SerializationTest, MarkerPrependsWithoutDroppingFactTokens) {
+  PaperExample ex = MakePaperExample();
+  const auto plain = FactTokens(*ex.db, ex.m1);
+  const auto with = FactTokensWithContext(*ex.db, ex.m1, {});
+  ASSERT_EQ(with.size(), plain.size() + 1);
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(with[i + 1], plain[i]);
+  }
+}
+
+TEST(EncodeSegmentsTest, ShortSegmentsSurviveTruncation) {
+  Vocab v;
+  std::vector<std::string> query(100, "q");
+  std::vector<std::string> tuple = {"alice", "45"};
+  std::vector<std::string> fact = {"ovl1", "actors", "alice"};
+  v.AddTokens(query);
+  v.AddTokens(tuple);
+  v.AddTokens(fact);
+  const EncodedPair p = EncodeSegments(v, {query, tuple, fact}, 32);
+  ASSERT_LE(p.ids.size(), 32u);
+  // The fact and tuple tokens must all be present (query absorbs the cut).
+  size_t found = 0;
+  for (int id : p.ids) {
+    if (id >= Vocab::kNumSpecial &&
+        v.token(id) != "q") {
+      ++found;
+    }
+  }
+  EXPECT_EQ(found, tuple.size() + fact.size());
+}
+
+TEST(EncodeSegmentsTest, EqualSegmentsSplitEvenly) {
+  Vocab v;
+  std::vector<std::string> a(50, "a");
+  std::vector<std::string> b(50, "b");
+  v.AddTokens(a);
+  v.AddTokens(b);
+  const EncodedPair p = EncodeSegments(v, {a, b}, 42);
+  size_t count_a = 0;
+  size_t count_b = 0;
+  for (int id : p.ids) {
+    if (id < Vocab::kNumSpecial) continue;
+    if (v.token(id) == "a") ++count_a;
+    if (v.token(id) == "b") ++count_b;
+  }
+  EXPECT_EQ(count_a, count_b);
+  EXPECT_EQ(count_a + count_b + 2, p.ids.size());  // [CLS] + [SEP]
+}
+
+}  // namespace
+}  // namespace lshap

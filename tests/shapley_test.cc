@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "provenance/bool_expr.h"
+#include "shapley/shapley.h"
+
+namespace lshap {
+namespace {
+
+// Random monotone DNF over [0, num_vars).
+Dnf RandomDnf(Rng& rng, size_t num_vars, size_t num_clauses,
+              size_t max_clause_len) {
+  std::vector<Clause> clauses;
+  for (size_t c = 0; c < num_clauses; ++c) {
+    Clause clause;
+    const size_t len = 1 + rng.NextBounded(max_clause_len);
+    for (size_t i = 0; i < len; ++i) {
+      clause.push_back(static_cast<FactId>(rng.NextBounded(num_vars)));
+    }
+    clauses.push_back(clause);
+  }
+  return Dnf(std::move(clauses));
+}
+
+TEST(ShapleyBruteTest, SingleFact) {
+  const Dnf d(std::vector<Clause>{{7}});
+  const auto v = ComputeShapleyBrute(d);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v.at(7), 1.0);
+}
+
+TEST(ShapleyBruteTest, ConjunctionSplitsEvenly) {
+  const Dnf d(std::vector<Clause>{{1, 2}});
+  const auto v = ComputeShapleyBrute(d);
+  EXPECT_DOUBLE_EQ(v.at(1), 0.5);
+  EXPECT_DOUBLE_EQ(v.at(2), 0.5);
+}
+
+TEST(ShapleyBruteTest, DisjunctionSplitsEvenly) {
+  const Dnf d(std::vector<Clause>{{1}, {2}});
+  const auto v = ComputeShapleyBrute(d);
+  EXPECT_DOUBLE_EQ(v.at(1), 0.5);
+  EXPECT_DOUBLE_EQ(v.at(2), 0.5);
+}
+
+// Example 2.2 of the paper: Shapley(q_inf, Alice, c2) = 19/252 and
+// Shapley(q_inf, Alice, c1) = 10/63, over the 9-variable provenance
+// (a1 m1 c1 r1) ∨ (a1 m2 c1 r2) ∨ (a1 m3 c2 r3).
+TEST(ShapleyExactTest, PaperExample22) {
+  const FactId a1 = 0, m1 = 1, c1 = 2, r1 = 3, m2 = 4, r2 = 5, m3 = 6,
+               c2 = 7, r3 = 8;
+  const Dnf d(std::vector<Clause>{{a1, m1, c1, r1}, {a1, m2, c1, r2}, {a1, m3, c2, r3}});
+  const auto v = ComputeShapleyExact(d);
+  ASSERT_EQ(v.size(), 9u);
+  EXPECT_NEAR(v.at(c2), 19.0 / 252.0, 1e-12);
+  EXPECT_NEAR(v.at(c1), 10.0 / 63.0, 1e-12);
+  // c1 supports two derivations of Alice, c2 only one (Example 1.1).
+  EXPECT_GT(v.at(c1), v.at(c2));
+  // a1 appears in every clause and must dominate everything.
+  for (const auto& [f, val] : v) {
+    if (f != a1) EXPECT_GT(v.at(a1), val);
+  }
+}
+
+// Efficiency: for monotone provenance satisfied by the full database and
+// not by the empty one, Shapley values sum to exactly 1.
+TEST(ShapleyExactTest, EfficiencyAxiom) {
+  Rng rng(52);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Dnf d = RandomDnf(rng, 2 + rng.NextBounded(8), 1 + rng.NextBounded(5), 3);
+    const auto v = ComputeShapleyExact(d);
+    double sum = 0.0;
+    for (const auto& [f, val] : v) sum += val;
+    EXPECT_NEAR(sum, 1.0, 1e-9) << d.ToString();
+  }
+}
+
+// Symmetry: variables playing interchangeable roles get equal values.
+TEST(ShapleyExactTest, SymmetryAxiom) {
+  const Dnf d(std::vector<Clause>{{1, 2}, {1, 3}});
+  const auto v = ComputeShapleyExact(d);
+  EXPECT_NEAR(v.at(2), v.at(3), 1e-12);
+  EXPECT_GT(v.at(1), v.at(2));
+}
+
+// Null players: a variable appearing only in absorbed clauses has value 0.
+TEST(ShapleyExactTest, NullPlayerAxiom) {
+  const Dnf d(std::vector<Clause>{{1}, {1, 9}});
+  const auto v = ComputeShapleyExact(d);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v.at(1), 1.0);
+  EXPECT_DOUBLE_EQ(v.at(9), 0.0);
+}
+
+// The core cross-check: the circuit algorithm must agree with brute-force
+// enumeration on random DNFs.
+TEST(ShapleyExactTest, MatchesBruteForceOnRandomDnfs) {
+  Rng rng(77);
+  for (int trial = 0; trial < 80; ++trial) {
+    const size_t num_vars = 2 + rng.NextBounded(11);  // ≤ 12 vars
+    const Dnf d = RandomDnf(rng, num_vars, 1 + rng.NextBounded(6), 4);
+    const auto exact = ComputeShapleyExact(d);
+    const auto brute = ComputeShapleyBrute(d);
+    ASSERT_EQ(exact.size(), brute.size()) << d.ToString();
+    for (const auto& [f, val] : brute) {
+      EXPECT_NEAR(exact.at(f), val, 1e-9) << "var " << f << " in "
+                                          << d.ToString();
+    }
+  }
+}
+
+TEST(ShapleyExactTest, HandlesLargerLineages) {
+  // 3 chains of 10 variables (30 vars total) — far beyond brute force, and
+  // the decomposition keeps the circuit tiny.
+  std::vector<Clause> clauses;
+  for (FactId base = 0; base < 30; base += 10) {
+    Clause c;
+    for (FactId i = 0; i < 10; ++i) c.push_back(base + i);
+    clauses.push_back(c);
+  }
+  const auto v = ComputeShapleyExact(Dnf(std::move(clauses)));
+  ASSERT_EQ(v.size(), 30u);
+  double sum = 0.0;
+  for (const auto& [f, val] : v) {
+    sum += val;
+    EXPECT_GT(val, 0.0);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Symmetric chains: all variables equal.
+  EXPECT_NEAR(v.at(0), v.at(29), 1e-10);
+}
+
+TEST(ShapleyMonteCarloTest, ConvergesToExact) {
+  Rng data_rng(31);
+  const Dnf d = RandomDnf(data_rng, 8, 4, 3);
+  const auto exact = ComputeShapleyExact(d);
+  Rng mc_rng(32);
+  const auto mc = ComputeShapleyMonteCarlo(d, 20000, mc_rng);
+  for (const auto& [f, val] : exact) {
+    EXPECT_NEAR(mc.at(f), val, 0.02) << "var " << f;
+  }
+}
+
+TEST(CnfProxyTest, TopFactMatchesExactOnSimpleProvenance) {
+  // c1 supports two clauses, c2 one: the proxy must rank c1 above c2, and
+  // the all-clause variable a1 on top.
+  const FactId a1 = 0, m1 = 1, c1 = 2, r1 = 3, m2 = 4, r2 = 5, m3 = 6,
+               c2 = 7, r3 = 8;
+  const Dnf d(std::vector<Clause>{{a1, m1, c1, r1}, {a1, m2, c1, r2}, {a1, m3, c2, r3}});
+  const auto proxy = ComputeCnfProxy(d);
+  ASSERT_EQ(proxy.size(), 9u);
+  EXPECT_GT(proxy.at(c1), proxy.at(c2));
+  const auto ranking = RankByScore(proxy);
+  EXPECT_EQ(ranking[0], a1);
+}
+
+TEST(RankByScoreTest, DescendingWithIdTiebreak) {
+  ShapleyValues scores = {{5, 0.3}, {2, 0.9}, {9, 0.3}, {1, 0.0}};
+  const auto ranking = RankByScore(scores);
+  EXPECT_EQ(ranking, (std::vector<FactId>{2, 5, 9, 1}));
+}
+
+}  // namespace
+}  // namespace lshap

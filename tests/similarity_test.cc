@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "eval/evaluator.h"
+#include "paper_fixture.h"
+#include "similarity/hungarian.h"
+#include "similarity/kendall.h"
+#include "similarity/similarity.h"
+
+namespace lshap {
+namespace {
+
+TEST(KendallTest, IdenticalRankingsDistanceZero) {
+  EXPECT_DOUBLE_EQ(KendallTauDistance({3, 2, 1}, {9, 5, 0}), 0.0);
+}
+
+TEST(KendallTest, ReversedRankingsDistanceOne) {
+  EXPECT_DOUBLE_EQ(KendallTauDistance({1, 2, 3}, {3, 2, 1}), 1.0);
+}
+
+TEST(KendallTest, TieInOneCostsHalf) {
+  // Pair (a,b): tied in first, ordered in second → 0.5 / 1 pair.
+  EXPECT_DOUBLE_EQ(KendallTauDistance({1, 1}, {1, 2}), 0.5);
+}
+
+TEST(KendallTest, TiesInBothAreFree) {
+  EXPECT_DOUBLE_EQ(KendallTauDistance({2, 2, 2}, {5, 5, 5}), 0.0);
+}
+
+TEST(KendallTest, DegenerateSizes) {
+  EXPECT_DOUBLE_EQ(KendallTauDistance({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(KendallTauDistance({1}, {2}), 0.0);
+}
+
+TEST(KendallTest, SymmetricInArguments) {
+  const std::vector<double> a = {0.5, 0.1, 0.9, 0.1};
+  const std::vector<double> b = {0.2, 0.8, 0.3, 0.0};
+  EXPECT_DOUBLE_EQ(KendallTauDistance(a, b), KendallTauDistance(b, a));
+}
+
+TEST(HungarianTest, PicksDiagonalWhenOptimal) {
+  const std::vector<std::vector<double>> w = {
+      {10, 1, 1}, {1, 10, 1}, {1, 1, 10}};
+  const auto match = MaxWeightMatching(w);
+  EXPECT_EQ(match, (std::vector<int>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(MatchingWeight(w, match), 30.0);
+}
+
+TEST(HungarianTest, SolvesNonTrivialAssignment) {
+  // Greedy (row-wise argmax) would pick (0,0)=9 then (1,1)=1: total 10.
+  // Optimal is (0,1)=8 and (1,0)=7: total 15.
+  const std::vector<std::vector<double>> w = {{9, 8}, {7, 1}};
+  const auto match = MaxWeightMatching(w);
+  EXPECT_EQ(match, (std::vector<int>{1, 0}));
+  EXPECT_DOUBLE_EQ(MatchingWeight(w, match), 15.0);
+}
+
+TEST(HungarianTest, RectangularLeavesExtraRowsUnmatched) {
+  const std::vector<std::vector<double>> w = {{5}, {9}, {2}};
+  const auto match = MaxWeightMatching(w);
+  int matched = 0;
+  for (int m : match) {
+    if (m >= 0) ++matched;
+  }
+  EXPECT_EQ(matched, 1);
+  EXPECT_EQ(match[1], 0);  // highest weight wins the single column
+}
+
+TEST(HungarianTest, RandomInstancesBeatGreedy) {
+  Rng rng(61);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 2 + rng.NextBounded(5);
+    std::vector<std::vector<double>> w(n, std::vector<double>(n));
+    for (auto& row : w) {
+      for (auto& v : row) v = rng.NextDouble();
+    }
+    const auto match = MaxWeightMatching(w);
+    // Exhaustive optimum for small n.
+    std::vector<size_t> perm(n);
+    for (size_t i = 0; i < n; ++i) perm[i] = i;
+    double best = 0.0;
+    do {
+      double total = 0.0;
+      for (size_t i = 0; i < n; ++i) total += w[i][perm[i]];
+      best = std::max(best, total);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_NEAR(MatchingWeight(w, match), best, 1e-9);
+  }
+}
+
+// Example 2.3: sim_s(q_inf, q_1) = 5/8.
+TEST(SyntaxSimilarityTest, PaperExample23) {
+  PaperExample ex = MakePaperExample();
+  EXPECT_DOUBLE_EQ(SyntaxSimilarity(ex.q_inf, ex.q_1), 5.0 / 8.0);
+}
+
+TEST(SyntaxSimilarityTest, IdenticalQueriesScoreOne) {
+  PaperExample ex = MakePaperExample();
+  EXPECT_DOUBLE_EQ(SyntaxSimilarity(ex.q_inf, ex.q_inf), 1.0);
+}
+
+TEST(WitnessSimilarityTest, DisjointProjectionsScoreZero) {
+  PaperExample ex = MakePaperExample();
+  auto r_inf = Evaluate(*ex.db, ex.q_inf);
+  auto r_1 = Evaluate(*ex.db, ex.q_1);
+  ASSERT_TRUE(r_inf.ok());
+  ASSERT_TRUE(r_1.ok());
+  // Actor names vs movie titles share no tuples.
+  EXPECT_DOUBLE_EQ(WitnessSimilarity(r_inf->tuples, r_1->tuples), 0.0);
+}
+
+TEST(WitnessSimilarityTest, JaccardOfOverlap) {
+  const std::vector<OutputTuple> a = {{Value("Alice")}, {Value("Bob")}};
+  const std::vector<OutputTuple> b = {{Value("Alice")}, {Value("Carol")},
+                                      {Value("Dan")}};
+  EXPECT_DOUBLE_EQ(WitnessSimilarity(a, b), 0.25);
+  EXPECT_DOUBLE_EQ(WitnessSimilarity(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(WitnessSimilarity({}, {}), 0.0);
+}
+
+// Rank similarity captures what witness similarity misses: q3 in Figure 3
+// projects a different column but has identical computation. We model this
+// with two "queries" whose contributions share fact rankings exactly.
+TEST(RankSimilarityTest, ProjectionChangeStillPerfectlySimilar) {
+  ShapleyValues ranking1 = {{1, 0.5}, {2, 0.3}, {3, 0.2}};
+  ShapleyValues ranking2 = {{1, 0.2}, {2, 0.5}, {3, 0.3}};
+  std::vector<TupleContribution> a = {{{Value("Alice")}, ranking1},
+                                      {{Value("Bob")}, ranking2}};
+  std::vector<TupleContribution> b = {{{Value(int64_t{45})}, ranking1},
+                                      {{Value(int64_t{30})}, ranking2}};
+  EXPECT_NEAR(RankSimilarity(a, b), 1.0, 1e-9);
+}
+
+TEST(RankSimilarityTest, OppositeRankingsScoreLow) {
+  ShapleyValues up = {{1, 0.1}, {2, 0.2}, {3, 0.7}};
+  ShapleyValues down = {{1, 0.7}, {2, 0.2}, {3, 0.1}};
+  std::vector<TupleContribution> a = {{{Value("x")}, up}};
+  std::vector<TupleContribution> b = {{{Value("y")}, down}};
+  // Single edge with Kendall distance 1 → weight 0.
+  EXPECT_NEAR(RankSimilarity(a, b), 0.0, 1e-9);
+}
+
+TEST(RankSimilarityTest, UnbalancedSidesPenalizedByDenominator) {
+  ShapleyValues r = {{1, 0.6}, {2, 0.4}};
+  std::vector<TupleContribution> a = {{{Value("x")}, r}};
+  std::vector<TupleContribution> b = {{{Value("y")}, r},
+                                      {{Value("z")}, r},
+                                      {{Value("w")}, r}};
+  // |M| = 1, weight 1; denominator = 1 + 3 - 1 = 3.
+  EXPECT_NEAR(RankSimilarity(a, b), 1.0 / 3.0, 1e-9);
+}
+
+TEST(RankSimilarityTest, EmptySidesScoreZero) {
+  std::vector<TupleContribution> empty;
+  ShapleyValues r = {{1, 1.0}};
+  std::vector<TupleContribution> one = {{{Value("x")}, r}};
+  EXPECT_DOUBLE_EQ(RankSimilarity(empty, one), 0.0);
+}
+
+TEST(RankSimilarityTest, SymmetricInArguments) {
+  ShapleyValues r1 = {{1, 0.6}, {2, 0.4}, {5, 0.0}};
+  ShapleyValues r2 = {{1, 0.1}, {3, 0.9}};
+  ShapleyValues r3 = {{2, 0.5}, {3, 0.5}};
+  std::vector<TupleContribution> a = {{{Value("x")}, r1}, {{Value("y")}, r2}};
+  std::vector<TupleContribution> b = {{{Value("u")}, r3}};
+  EXPECT_NEAR(RankSimilarity(a, b), RankSimilarity(b, a), 1e-12);
+}
+
+}  // namespace
+}  // namespace lshap
