@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_capture.dir/bench_ablation_capture.cc.o"
+  "CMakeFiles/bench_ablation_capture.dir/bench_ablation_capture.cc.o.d"
+  "bench_ablation_capture"
+  "bench_ablation_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

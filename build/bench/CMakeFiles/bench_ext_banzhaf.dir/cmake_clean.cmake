@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_banzhaf.dir/bench_ext_banzhaf.cc.o"
+  "CMakeFiles/bench_ext_banzhaf.dir/bench_ext_banzhaf.cc.o.d"
+  "bench_ext_banzhaf"
+  "bench_ext_banzhaf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_banzhaf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_no_lineage.cc" "bench/CMakeFiles/bench_ext_no_lineage.dir/bench_ext_no_lineage.cc.o" "gcc" "bench/CMakeFiles/bench_ext_no_lineage.dir/bench_ext_no_lineage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/lshap_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/learnshapley/CMakeFiles/lshap_learnshapley.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/lshap_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/lshap_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/lshap_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/shapley/CMakeFiles/lshap_shapley.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/lshap_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lshap_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/lshap_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/lshap_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/lshap_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/lshap_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lshap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_unseen.dir/bench_fig12_unseen.cc.o"
+  "CMakeFiles/bench_fig12_unseen.dir/bench_fig12_unseen.cc.o.d"
+  "bench_fig12_unseen"
+  "bench_fig12_unseen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_unseen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_heatmaps.dir/bench_fig7_heatmaps.cc.o"
+  "CMakeFiles/bench_fig7_heatmaps.dir/bench_fig7_heatmaps.cc.o.d"
+  "bench_fig7_heatmaps"
+  "bench_fig7_heatmaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_heatmaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

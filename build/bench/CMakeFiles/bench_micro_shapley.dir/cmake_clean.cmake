@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_shapley.dir/bench_micro_shapley.cc.o"
+  "CMakeFiles/bench_micro_shapley.dir/bench_micro_shapley.cc.o.d"
+  "bench_micro_shapley"
+  "bench_micro_shapley.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_shapley.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

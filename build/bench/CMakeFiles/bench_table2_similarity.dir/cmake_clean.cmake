@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_similarity.dir/bench_table2_similarity.cc.o"
+  "CMakeFiles/bench_table2_similarity.dir/bench_table2_similarity.cc.o.d"
+  "bench_table2_similarity"
+  "bench_table2_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lshap_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/lshap_bench_common.dir/bench_common.cc.o.d"
+  "liblshap_bench_common.a"
+  "liblshap_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lshap_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

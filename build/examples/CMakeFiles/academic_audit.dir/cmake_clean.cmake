@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/academic_audit.dir/academic_audit.cpp.o"
+  "CMakeFiles/academic_audit.dir/academic_audit.cpp.o.d"
+  "academic_audit"
+  "academic_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/academic_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

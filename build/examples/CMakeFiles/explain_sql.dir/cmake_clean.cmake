@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_sql.dir/explain_sql.cpp.o"
+  "CMakeFiles/explain_sql.dir/explain_sql.cpp.o.d"
+  "explain_sql"
+  "explain_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

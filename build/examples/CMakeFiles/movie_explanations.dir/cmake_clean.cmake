@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_explanations.dir/movie_explanations.cpp.o"
+  "CMakeFiles/movie_explanations.dir/movie_explanations.cpp.o.d"
+  "movie_explanations"
+  "movie_explanations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_explanations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unseen_facts.dir/unseen_facts.cpp.o"
+  "CMakeFiles/unseen_facts.dir/unseen_facts.cpp.o.d"
+  "unseen_facts"
+  "unseen_facts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unseen_facts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

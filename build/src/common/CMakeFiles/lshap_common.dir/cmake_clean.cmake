@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lshap_common.dir/rng.cc.o"
+  "CMakeFiles/lshap_common.dir/rng.cc.o.d"
+  "CMakeFiles/lshap_common.dir/status.cc.o"
+  "CMakeFiles/lshap_common.dir/status.cc.o.d"
+  "CMakeFiles/lshap_common.dir/strings.cc.o"
+  "CMakeFiles/lshap_common.dir/strings.cc.o.d"
+  "CMakeFiles/lshap_common.dir/thread_pool.cc.o"
+  "CMakeFiles/lshap_common.dir/thread_pool.cc.o.d"
+  "liblshap_common.a"
+  "liblshap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lshap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lshap_corpus.dir/corpus.cc.o"
+  "CMakeFiles/lshap_corpus.dir/corpus.cc.o.d"
+  "CMakeFiles/lshap_corpus.dir/io.cc.o"
+  "CMakeFiles/lshap_corpus.dir/io.cc.o.d"
+  "liblshap_corpus.a"
+  "liblshap_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lshap_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lshap_datasets.dir/academic.cc.o"
+  "CMakeFiles/lshap_datasets.dir/academic.cc.o.d"
+  "CMakeFiles/lshap_datasets.dir/imdb.cc.o"
+  "CMakeFiles/lshap_datasets.dir/imdb.cc.o.d"
+  "liblshap_datasets.a"
+  "liblshap_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lshap_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/evaluator.cc" "src/eval/CMakeFiles/lshap_eval.dir/evaluator.cc.o" "gcc" "src/eval/CMakeFiles/lshap_eval.dir/evaluator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/lshap_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/lshap_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/lshap_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lshap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lshap_eval.dir/evaluator.cc.o"
+  "CMakeFiles/lshap_eval.dir/evaluator.cc.o.d"
+  "liblshap_eval.a"
+  "liblshap_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lshap_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

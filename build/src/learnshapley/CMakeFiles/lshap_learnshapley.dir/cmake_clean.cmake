@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lshap_learnshapley.dir/evaluate.cc.o"
+  "CMakeFiles/lshap_learnshapley.dir/evaluate.cc.o.d"
+  "CMakeFiles/lshap_learnshapley.dir/model.cc.o"
+  "CMakeFiles/lshap_learnshapley.dir/model.cc.o.d"
+  "CMakeFiles/lshap_learnshapley.dir/model_io.cc.o"
+  "CMakeFiles/lshap_learnshapley.dir/model_io.cc.o.d"
+  "CMakeFiles/lshap_learnshapley.dir/nearest_queries.cc.o"
+  "CMakeFiles/lshap_learnshapley.dir/nearest_queries.cc.o.d"
+  "CMakeFiles/lshap_learnshapley.dir/ranker.cc.o"
+  "CMakeFiles/lshap_learnshapley.dir/ranker.cc.o.d"
+  "CMakeFiles/lshap_learnshapley.dir/serialization.cc.o"
+  "CMakeFiles/lshap_learnshapley.dir/serialization.cc.o.d"
+  "CMakeFiles/lshap_learnshapley.dir/trainer.cc.o"
+  "CMakeFiles/lshap_learnshapley.dir/trainer.cc.o.d"
+  "liblshap_learnshapley.a"
+  "liblshap_learnshapley.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lshap_learnshapley.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lshap_metrics.dir/ranking_metrics.cc.o"
+  "CMakeFiles/lshap_metrics.dir/ranking_metrics.cc.o.d"
+  "liblshap_metrics.a"
+  "liblshap_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lshap_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lshap_ml.dir/adam.cc.o"
+  "CMakeFiles/lshap_ml.dir/adam.cc.o.d"
+  "CMakeFiles/lshap_ml.dir/encoder.cc.o"
+  "CMakeFiles/lshap_ml.dir/encoder.cc.o.d"
+  "CMakeFiles/lshap_ml.dir/layers.cc.o"
+  "CMakeFiles/lshap_ml.dir/layers.cc.o.d"
+  "CMakeFiles/lshap_ml.dir/tensor.cc.o"
+  "CMakeFiles/lshap_ml.dir/tensor.cc.o.d"
+  "CMakeFiles/lshap_ml.dir/tokenizer.cc.o"
+  "CMakeFiles/lshap_ml.dir/tokenizer.cc.o.d"
+  "liblshap_ml.a"
+  "liblshap_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lshap_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

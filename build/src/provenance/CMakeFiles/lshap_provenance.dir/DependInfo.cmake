@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/provenance/bool_expr.cc" "src/provenance/CMakeFiles/lshap_provenance.dir/bool_expr.cc.o" "gcc" "src/provenance/CMakeFiles/lshap_provenance.dir/bool_expr.cc.o.d"
+  "/root/repo/src/provenance/circuit.cc" "src/provenance/CMakeFiles/lshap_provenance.dir/circuit.cc.o" "gcc" "src/provenance/CMakeFiles/lshap_provenance.dir/circuit.cc.o.d"
+  "/root/repo/src/provenance/compiler.cc" "src/provenance/CMakeFiles/lshap_provenance.dir/compiler.cc.o" "gcc" "src/provenance/CMakeFiles/lshap_provenance.dir/compiler.cc.o.d"
+  "/root/repo/src/provenance/tseytin.cc" "src/provenance/CMakeFiles/lshap_provenance.dir/tseytin.cc.o" "gcc" "src/provenance/CMakeFiles/lshap_provenance.dir/tseytin.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/lshap_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lshap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

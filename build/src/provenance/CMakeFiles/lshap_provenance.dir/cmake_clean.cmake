@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lshap_provenance.dir/bool_expr.cc.o"
+  "CMakeFiles/lshap_provenance.dir/bool_expr.cc.o.d"
+  "CMakeFiles/lshap_provenance.dir/circuit.cc.o"
+  "CMakeFiles/lshap_provenance.dir/circuit.cc.o.d"
+  "CMakeFiles/lshap_provenance.dir/compiler.cc.o"
+  "CMakeFiles/lshap_provenance.dir/compiler.cc.o.d"
+  "CMakeFiles/lshap_provenance.dir/tseytin.cc.o"
+  "CMakeFiles/lshap_provenance.dir/tseytin.cc.o.d"
+  "liblshap_provenance.a"
+  "liblshap_provenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lshap_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

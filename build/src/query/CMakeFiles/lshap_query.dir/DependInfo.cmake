@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/ast.cc" "src/query/CMakeFiles/lshap_query.dir/ast.cc.o" "gcc" "src/query/CMakeFiles/lshap_query.dir/ast.cc.o.d"
+  "/root/repo/src/query/generator.cc" "src/query/CMakeFiles/lshap_query.dir/generator.cc.o" "gcc" "src/query/CMakeFiles/lshap_query.dir/generator.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/lshap_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/lshap_query.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/lshap_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lshap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

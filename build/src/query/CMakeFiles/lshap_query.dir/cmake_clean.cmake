@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lshap_query.dir/ast.cc.o"
+  "CMakeFiles/lshap_query.dir/ast.cc.o.d"
+  "CMakeFiles/lshap_query.dir/generator.cc.o"
+  "CMakeFiles/lshap_query.dir/generator.cc.o.d"
+  "CMakeFiles/lshap_query.dir/parser.cc.o"
+  "CMakeFiles/lshap_query.dir/parser.cc.o.d"
+  "liblshap_query.a"
+  "liblshap_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lshap_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lshap_relational.dir/database.cc.o"
+  "CMakeFiles/lshap_relational.dir/database.cc.o.d"
+  "CMakeFiles/lshap_relational.dir/schema.cc.o"
+  "CMakeFiles/lshap_relational.dir/schema.cc.o.d"
+  "CMakeFiles/lshap_relational.dir/tuple.cc.o"
+  "CMakeFiles/lshap_relational.dir/tuple.cc.o.d"
+  "CMakeFiles/lshap_relational.dir/value.cc.o"
+  "CMakeFiles/lshap_relational.dir/value.cc.o.d"
+  "liblshap_relational.a"
+  "liblshap_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lshap_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lshap_shapley.dir/aggregates.cc.o"
+  "CMakeFiles/lshap_shapley.dir/aggregates.cc.o.d"
+  "CMakeFiles/lshap_shapley.dir/shapley.cc.o"
+  "CMakeFiles/lshap_shapley.dir/shapley.cc.o.d"
+  "liblshap_shapley.a"
+  "liblshap_shapley.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lshap_shapley.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lshap_similarity.dir/hungarian.cc.o"
+  "CMakeFiles/lshap_similarity.dir/hungarian.cc.o.d"
+  "CMakeFiles/lshap_similarity.dir/kendall.cc.o"
+  "CMakeFiles/lshap_similarity.dir/kendall.cc.o.d"
+  "CMakeFiles/lshap_similarity.dir/similarity.cc.o"
+  "CMakeFiles/lshap_similarity.dir/similarity.cc.o.d"
+  "liblshap_similarity.a"
+  "liblshap_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lshap_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

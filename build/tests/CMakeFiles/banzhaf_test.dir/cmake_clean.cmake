@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banzhaf_test.dir/banzhaf_test.cc.o"
+  "CMakeFiles/banzhaf_test.dir/banzhaf_test.cc.o.d"
+  "banzhaf_test"
+  "banzhaf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banzhaf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capture_test.dir/capture_test.cc.o"
+  "CMakeFiles/capture_test.dir/capture_test.cc.o.d"
+  "capture_test"
+  "capture_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

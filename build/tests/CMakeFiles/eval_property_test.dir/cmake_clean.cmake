@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_property_test.dir/eval_property_test.cc.o"
+  "CMakeFiles/eval_property_test.dir/eval_property_test.cc.o.d"
+  "eval_property_test"
+  "eval_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

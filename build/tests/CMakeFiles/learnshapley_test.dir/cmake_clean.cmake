@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learnshapley_test.dir/learnshapley_test.cc.o"
+  "CMakeFiles/learnshapley_test.dir/learnshapley_test.cc.o.d"
+  "learnshapley_test"
+  "learnshapley_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learnshapley_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

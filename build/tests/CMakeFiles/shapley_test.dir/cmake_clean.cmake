@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shapley_test.dir/shapley_test.cc.o"
+  "CMakeFiles/shapley_test.dir/shapley_test.cc.o.d"
+  "shapley_test"
+  "shapley_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shapley_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
