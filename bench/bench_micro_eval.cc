@@ -1,0 +1,95 @@
+// Micro-benchmarks of the relational core (google-benchmark): SPJU
+// evaluation throughput under each provenance-capture mode, on an IMDB-like
+// database ~10x the corpus default. This is the storage-layer hot path that
+// bounds corpus construction (every `bench_table*` run) and lineage capture
+// at inference time (Table 6), so it is the primary before/after gauge for
+// storage-engine changes (see BENCH_pr1.json).
+#include <benchmark/benchmark.h>
+
+#include "datasets/imdb.h"
+#include "eval/evaluator.h"
+#include "query/generator.h"
+
+namespace lshap {
+namespace {
+
+// A database large enough that scans, join probes and output dedup dominate
+// over per-query setup.
+const GeneratedDb& BigImdb() {
+  static const GeneratedDb* db = [] {
+    ImdbConfig cfg;
+    cfg.seed = 7;
+    cfg.num_companies = 120;
+    cfg.num_actors = 1200;
+    cfg.num_movies = 2200;
+    cfg.num_roles = 7000;
+    return new GeneratedDb(MakeImdbDatabase(cfg));
+  }();
+  return *db;
+}
+
+// A fixed 60-query log over the big database (joins of 2-4 tables).
+const std::vector<Query>& EvalLog() {
+  static const std::vector<Query>* log = [] {
+    QueryGenConfig cfg;
+    cfg.min_tables = 2;
+    cfg.max_tables = 4;
+    QueryGenerator gen(BigImdb().db.get(), BigImdb().graph, cfg, 4242);
+    return new std::vector<Query>(gen.GenerateLog(25, "micro"));
+  }();
+  return *log;
+}
+
+void RunLog(benchmark::State& state, ProvenanceCapture capture) {
+  const Database& db = *BigImdb().db;
+  const std::vector<Query>& log = EvalLog();
+  size_t tuples = 0;
+  for (auto _ : state) {
+    tuples = 0;
+    for (const Query& q : log) {
+      auto result = Evaluate(db, q, capture);
+      if (!result.ok()) continue;
+      tuples += result->tuples.size();
+      benchmark::DoNotOptimize(result->tuples.data());
+    }
+  }
+  state.SetLabel("queries=" + std::to_string(log.size()) +
+                 " tuples=" + std::to_string(tuples));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tuples));
+}
+
+void BM_EvalLogNone(benchmark::State& state) {
+  RunLog(state, ProvenanceCapture::kNone);
+}
+BENCHMARK(BM_EvalLogNone)->Unit(benchmark::kMillisecond);
+
+void BM_EvalLogLineage(benchmark::State& state) {
+  RunLog(state, ProvenanceCapture::kLineageOnly);
+}
+BENCHMARK(BM_EvalLogLineage)->Unit(benchmark::kMillisecond);
+
+void BM_EvalLogFull(benchmark::State& state) {
+  RunLog(state, ProvenanceCapture::kFull);
+}
+BENCHMARK(BM_EvalLogFull)->Unit(benchmark::kMillisecond);
+
+// Database construction itself (typed appends, string handling).
+void BM_BuildImdb(benchmark::State& state) {
+  ImdbConfig cfg;
+  cfg.seed = 7;
+  cfg.num_companies = 120;
+  cfg.num_actors = 1200;
+  cfg.num_movies = 2200;
+  cfg.num_roles = 7000;
+  for (auto _ : state) {
+    GeneratedDb g = MakeImdbDatabase(cfg);
+    benchmark::DoNotOptimize(g.db->num_facts());
+  }
+}
+BENCHMARK(BM_BuildImdb)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lshap
+
+BENCHMARK_MAIN();

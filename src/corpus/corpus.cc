@@ -57,7 +57,7 @@ Corpus BuildCorpus(const Database& db, const SchemaGraph& graph,
     Pending& p = pending[e];
     CorpusEntry& entry = corpus.entries[e];
     entry.query = p.query;
-    entry.all_outputs = p.result.tuples;
+    entry.all_outputs = std::move(p.result.tuples);
     size_t slot = 0;
     for (size_t idx : p.sampled) {
       const Dnf& prov = p.result.provenance[idx];
@@ -65,7 +65,7 @@ Corpus BuildCorpus(const Database& db, const SchemaGraph& graph,
           prov.num_clauses() > config.max_clauses) {
         continue;
       }
-      entry.contributions.push_back({p.result.tuples[idx], {}});
+      entry.contributions.push_back({entry.all_outputs[idx], {}});
       jobs.push_back({e, slot, &prov});
       ++slot;
     }

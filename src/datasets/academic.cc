@@ -102,17 +102,17 @@ GeneratedDb MakeAcademicDatabase(const AcademicConfig& config) {
                   .ok());
 
   // Organizations.
+  TableAppender organizations = db->AppenderFor("organization");
   for (size_t i = 0; i < config.num_organizations; ++i) {
     std::string name = kOrgStems[i % std::size(kOrgStems)];
     if (i >= std::size(kOrgStems)) {
       name += StrFormat(" Campus %zu", i / std::size(kOrgStems) + 1);
     }
-    LSHAP_CHECK(db->Insert("organization",
-                           {Value(static_cast<int64_t>(i)), Value(name)})
-                    .ok());
+    organizations.Begin().Int(static_cast<int64_t>(i)).Str(name).Commit();
   }
 
   // Authors.
+  TableAppender authors = db->AppenderFor("author");
   for (size_t i = 0; i < config.num_authors; ++i) {
     std::string name =
         std::string(kAuthorFirst[rng.NextBounded(std::size(kAuthorFirst))]) +
@@ -122,29 +122,33 @@ GeneratedDb MakeAcademicDatabase(const AcademicConfig& config) {
         static_cast<int64_t>(rng.NextBounded(config.num_organizations));
     const int64_t papers = rng.NextInt(1, 160);
     const int64_t citations = papers * rng.NextInt(2, 90);
-    LSHAP_CHECK(db->Insert("author", {Value(static_cast<int64_t>(i)),
-                                      Value(name), Value(org), Value(papers),
-                                      Value(citations)})
-                    .ok());
+    authors.Begin()
+        .Int(static_cast<int64_t>(i))
+        .Str(name)
+        .Int(org)
+        .Int(papers)
+        .Int(citations)
+        .Commit();
   }
 
   // Conferences, domains and their many-to-many bridge.
+  TableAppender conferences = db->AppenderFor("conference");
   for (size_t i = 0; i < config.num_conferences; ++i) {
     std::string name = kConfStems[i % std::size(kConfStems)];
     if (i >= std::size(kConfStems)) {
       name += StrFormat(" Workshop %zu", i / std::size(kConfStems));
     }
-    LSHAP_CHECK(db->Insert("conference",
-                           {Value(static_cast<int64_t>(i)), Value(name)})
-                    .ok());
+    conferences.Begin().Int(static_cast<int64_t>(i)).Str(name).Commit();
   }
+  TableAppender domains = db->AppenderFor("domain");
   for (size_t i = 0; i < config.num_domains; ++i) {
-    LSHAP_CHECK(db->Insert("domain",
-                           {Value(static_cast<int64_t>(i)),
-                            Value(kDomainNames[i % std::size(kDomainNames)])})
-                    .ok());
+    domains.Begin()
+        .Int(static_cast<int64_t>(i))
+        .Str(kDomainNames[i % std::size(kDomainNames)])
+        .Commit();
   }
   {
+    TableAppender bridge = db->AppenderFor("domain_conference");
     std::unordered_set<uint64_t> seen;
     size_t inserted = 0;
     size_t attempts = 0;
@@ -154,15 +158,16 @@ GeneratedDb MakeAcademicDatabase(const AcademicConfig& config) {
       const uint64_t cid = rng.NextBounded(config.num_conferences);
       const uint64_t did = rng.NextBounded(config.num_domains);
       if (!seen.insert(cid * 1000 + did).second) continue;
-      LSHAP_CHECK(db->Insert("domain_conference",
-                             {Value(static_cast<int64_t>(cid)),
-                              Value(static_cast<int64_t>(did))})
-                      .ok());
+      bridge.Begin()
+          .Int(static_cast<int64_t>(cid))
+          .Int(static_cast<int64_t>(did))
+          .Commit();
       ++inserted;
     }
   }
 
   // Publications, with Zipf-skewed conference popularity.
+  TableAppender publications = db->AppenderFor("publication");
   ZipfSampler conf_sampler(config.num_conferences, config.conference_zipf);
   for (size_t i = 0; i < config.num_publications; ++i) {
     std::string title =
@@ -173,15 +178,19 @@ GeneratedDb MakeAcademicDatabase(const AcademicConfig& config) {
     const int64_t year = rng.NextInt(2000, 2023);
     const int64_t cid = static_cast<int64_t>(conf_sampler.Sample(rng));
     const int64_t citations = rng.NextInt(0, 400);
-    LSHAP_CHECK(db->Insert("publication",
-                           {Value(static_cast<int64_t>(i)), Value(title),
-                            Value(year), Value(cid), Value(citations)})
-                    .ok());
+    publications.Begin()
+        .Int(static_cast<int64_t>(i))
+        .Str(title)
+        .Int(year)
+        .Int(cid)
+        .Int(citations)
+        .Commit();
   }
 
   // Authorship, with Zipf-skewed author productivity.
   ZipfSampler author_sampler(config.num_authors, config.author_zipf);
   {
+    TableAppender writes = db->AppenderFor("writes");
     std::unordered_set<uint64_t> seen;
     size_t inserted = 0;
     size_t attempts = 0;
@@ -191,9 +200,10 @@ GeneratedDb MakeAcademicDatabase(const AcademicConfig& config) {
       const uint64_t author = author_sampler.Sample(rng);
       const uint64_t pub = rng.NextBounded(config.num_publications);
       if (!seen.insert(author * 1000000 + pub).second) continue;
-      LSHAP_CHECK(db->Insert("writes", {Value(static_cast<int64_t>(author)),
-                                        Value(static_cast<int64_t>(pub))})
-                      .ok());
+      writes.Begin()
+          .Int(static_cast<int64_t>(author))
+          .Int(static_cast<int64_t>(pub))
+          .Commit();
       ++inserted;
     }
   }

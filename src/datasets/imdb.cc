@@ -66,19 +66,20 @@ GeneratedDb MakeImdbDatabase(const ImdbConfig& config) {
                   .ok());
 
   // Companies.
+  TableAppender companies = db->AppenderFor("companies");
   std::vector<std::string> company_names;
   company_names.reserve(config.num_companies);
   constexpr size_t kNumStems = std::size(kCompanyStems);
   for (size_t i = 0; i < config.num_companies; ++i) {
     std::string name = kCompanyStems[i % kNumStems];
     if (i >= kNumStems) name += StrFormat(" %zu", i / kNumStems + 1);
-    company_names.push_back(name);
     const char* country = kCountries[rng.NextBounded(std::size(kCountries))];
-    LSHAP_CHECK(
-        db->Insert("companies", {Value(name), Value(country)}).ok());
+    companies.Begin().Str(name).Str(country).Commit();
+    company_names.push_back(std::move(name));
   }
 
   // Actors.
+  TableAppender actors = db->AppenderFor("actors");
   std::vector<std::string> actor_names;
   actor_names.reserve(config.num_actors);
   for (size_t i = 0; i < config.num_actors; ++i) {
@@ -86,12 +87,12 @@ GeneratedDb MakeImdbDatabase(const ImdbConfig& config) {
         std::string(kFirstNames[rng.NextBounded(std::size(kFirstNames))]) +
         " " + kLastNames[rng.NextBounded(std::size(kLastNames))];
     name += StrFormat(" #%zu", i);  // ensure uniqueness
-    actor_names.push_back(name);
-    LSHAP_CHECK(
-        db->Insert("actors", {Value(name), Value(rng.NextInt(18, 80))}).ok());
+    actors.Begin().Str(name).Int(rng.NextInt(18, 80)).Commit();
+    actor_names.push_back(std::move(name));
   }
 
   // Movies, with Zipf-skewed company popularity.
+  TableAppender movies = db->AppenderFor("movies");
   ZipfSampler company_sampler(config.num_companies, config.company_zipf);
   std::vector<std::string> movie_titles;
   movie_titles.reserve(config.num_movies);
@@ -101,15 +102,14 @@ GeneratedDb MakeImdbDatabase(const ImdbConfig& config) {
             kTitleAdjectives[rng.NextBounded(std::size(kTitleAdjectives))]) +
         " " + kTitleNouns[rng.NextBounded(std::size(kTitleNouns))];
     title += StrFormat(" (%zu)", i);  // ensure uniqueness
-    movie_titles.push_back(title);
     const int64_t year = rng.NextInt(1990, 2023);
     const std::string& company = company_names[company_sampler.Sample(rng)];
-    LSHAP_CHECK(
-        db->Insert("movies", {Value(title), Value(year), Value(company)})
-            .ok());
+    movies.Begin().Str(title).Int(year).Str(company).Commit();
+    movie_titles.push_back(std::move(title));
   }
 
   // Roles, with Zipf-skewed actor popularity; duplicates are skipped.
+  TableAppender roles = db->AppenderFor("roles");
   ZipfSampler actor_sampler(config.num_actors, config.actor_zipf);
   std::unordered_set<std::string> seen_roles;
   size_t inserted = 0;
@@ -120,7 +120,7 @@ GeneratedDb MakeImdbDatabase(const ImdbConfig& config) {
         movie_titles[rng.NextBounded(movie_titles.size())];
     const std::string& actor = actor_names[actor_sampler.Sample(rng)];
     if (!seen_roles.insert(movie + "\x1f" + actor).second) continue;
-    LSHAP_CHECK(db->Insert("roles", {Value(movie), Value(actor)}).ok());
+    roles.Begin().Str(movie).Str(actor).Commit();
     ++inserted;
   }
 

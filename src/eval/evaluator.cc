@@ -25,6 +25,186 @@ struct BoundTable {
   std::vector<uint32_t> surviving_rows;  // rows passing local selections
 };
 
+// A selection compiled once per (block, table) against the columnar
+// storage. The literal is resolved up front: numeric literals to a double,
+// string-equality literals to their interned id (a literal absent from the
+// pool can match no cell — or every cell, under kNe).
+struct CompiledSel {
+  enum class Kind {
+    kNever,         // type mismatch / null literal: no row matches
+    kAlways,        // kNe against a string not in the pool: every row matches
+    kNumeric,       // double comparison (ints promote)
+    kStringId,      // kEq/kNe by interned id
+    kStringOrder,   // kLt/kLe/kGt/kGe by text
+    kStringPrefix,  // kStartsWith by text
+  };
+  Kind kind = Kind::kNever;
+  const ColumnData* col = nullptr;
+  CompareOp op = CompareOp::kEq;
+  double num = 0.0;                   // kNumeric
+  StringId id = kInvalidStringId;     // kStringId
+  const std::string* text = nullptr;  // kStringOrder / kStringPrefix
+};
+
+CompiledSel CompileSel(const Selection& sel, const ColumnData& col,
+                       const StringPool& pool) {
+  CompiledSel c;
+  c.col = &col;
+  c.op = sel.op;
+  const Value& lit = sel.literal;
+  if (lit.is_null()) return c;  // kNever
+  const bool col_is_string = col.type() == ColumnType::kString;
+  if (sel.op == CompareOp::kStartsWith) {
+    if (!col_is_string || !lit.is_string()) return c;
+    c.kind = CompiledSel::Kind::kStringPrefix;
+    c.text = &lit.AsString();
+    return c;
+  }
+  if (col_is_string != lit.is_string()) return c;  // mixed types never match
+  if (!col_is_string) {
+    c.kind = CompiledSel::Kind::kNumeric;
+    c.num = lit.AsDouble();
+    return c;
+  }
+  if (sel.op == CompareOp::kEq || sel.op == CompareOp::kNe) {
+    c.id = pool.Find(lit.AsString());
+    if (c.id == kInvalidStringId) {
+      // The literal names a string no fact contains.
+      c.kind = sel.op == CompareOp::kEq ? CompiledSel::Kind::kNever
+                                        : CompiledSel::Kind::kAlways;
+    } else {
+      c.kind = CompiledSel::Kind::kStringId;
+    }
+    return c;
+  }
+  c.kind = CompiledSel::Kind::kStringOrder;
+  c.text = &lit.AsString();
+  return c;
+}
+
+bool CompareMatches(int cmp, CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+    case CompareOp::kStartsWith:
+      return false;
+  }
+  return false;
+}
+
+// Runs `pred(row)` column-at-a-time: over all `n` rows when `rows` is empty
+// and this is the first selection, otherwise compacting the survivor list
+// in place.
+template <typename Pred>
+void ScanRows(size_t n, bool first, std::vector<uint32_t>& rows, Pred pred) {
+  if (first) {
+    rows.reserve(n);
+    for (uint32_t r = 0; r < n; ++r) {
+      if (pred(r)) rows.push_back(r);
+    }
+    return;
+  }
+  size_t kept = 0;
+  for (uint32_t r : rows) {
+    if (pred(r)) rows[kept++] = r;
+  }
+  rows.resize(kept);
+}
+
+template <typename T>
+void NumericScan(const std::vector<T>& data, CompareOp op, double lit,
+                 bool first, std::vector<uint32_t>& rows) {
+  switch (op) {
+    case CompareOp::kEq:
+      ScanRows(data.size(), first, rows,
+               [&](uint32_t r) { return static_cast<double>(data[r]) == lit; });
+      break;
+    case CompareOp::kNe:
+      ScanRows(data.size(), first, rows,
+               [&](uint32_t r) { return static_cast<double>(data[r]) != lit; });
+      break;
+    case CompareOp::kLt:
+      ScanRows(data.size(), first, rows,
+               [&](uint32_t r) { return static_cast<double>(data[r]) < lit; });
+      break;
+    case CompareOp::kLe:
+      ScanRows(data.size(), first, rows,
+               [&](uint32_t r) { return static_cast<double>(data[r]) <= lit; });
+      break;
+    case CompareOp::kGt:
+      ScanRows(data.size(), first, rows,
+               [&](uint32_t r) { return static_cast<double>(data[r]) > lit; });
+      break;
+    case CompareOp::kGe:
+      ScanRows(data.size(), first, rows,
+               [&](uint32_t r) { return static_cast<double>(data[r]) >= lit; });
+      break;
+    case CompareOp::kStartsWith:
+      rows.clear();
+      break;
+  }
+}
+
+// Applies one compiled selection; `first` means no selection has run yet
+// (rows is still empty and implicitly "all").
+void ApplySel(const CompiledSel& sel, const StringPool& pool, bool first,
+              std::vector<uint32_t>& rows) {
+  const ColumnData& col = *sel.col;
+  const size_t n = col.size();
+  switch (sel.kind) {
+    case CompiledSel::Kind::kNever:
+      rows.clear();
+      if (first) rows.shrink_to_fit();
+      break;
+    case CompiledSel::Kind::kAlways:
+      if (first) {
+        rows.resize(n);
+        for (uint32_t r = 0; r < n; ++r) rows[r] = r;
+      }
+      break;
+    case CompiledSel::Kind::kNumeric:
+      if (col.type() == ColumnType::kInt) {
+        NumericScan(col.ints(), sel.op, sel.num, first, rows);
+      } else {
+        NumericScan(col.doubles(), sel.op, sel.num, first, rows);
+      }
+      break;
+    case CompiledSel::Kind::kStringId: {
+      const auto& ids = col.string_ids();
+      if (sel.op == CompareOp::kEq) {
+        ScanRows(n, first, rows, [&](uint32_t r) { return ids[r] == sel.id; });
+      } else {
+        ScanRows(n, first, rows, [&](uint32_t r) { return ids[r] != sel.id; });
+      }
+      break;
+    }
+    case CompiledSel::Kind::kStringOrder: {
+      const auto& ids = col.string_ids();
+      ScanRows(n, first, rows, [&](uint32_t r) {
+        return CompareMatches(pool.Get(ids[r]).compare(*sel.text), sel.op);
+      });
+      break;
+    }
+    case CompiledSel::Kind::kStringPrefix: {
+      const auto& ids = col.string_ids();
+      ScanRows(n, first, rows, [&](uint32_t r) {
+        return StartsWith(pool.Get(ids[r]), *sel.text);
+      });
+      break;
+    }
+  }
+}
+
 }  // namespace
 
 bool MatchesPredicate(const Value& value, CompareOp op, const Value& literal) {
@@ -43,23 +223,7 @@ bool MatchesPredicate(const Value& value, CompareOp op, const Value& literal) {
   } else {
     return false;  // type mismatch never matches
   }
-  switch (op) {
-    case CompareOp::kEq:
-      return cmp == 0;
-    case CompareOp::kNe:
-      return cmp != 0;
-    case CompareOp::kLt:
-      return cmp < 0;
-    case CompareOp::kLe:
-      return cmp <= 0;
-    case CompareOp::kGt:
-      return cmp > 0;
-    case CompareOp::kGe:
-      return cmp >= 0;
-    case CompareOp::kStartsWith:
-      return false;  // handled above
-  }
-  return false;
+  return CompareMatches(cmp, op);
 }
 
 namespace {
@@ -77,8 +241,9 @@ Status EvaluateBlock(const Database& db, const SpjBlock& block,
           "repeated table in FROM clause (self-joins unsupported)");
     }
   }
+  const StringPool& pool = db.string_pool();
 
-  // Bind tables and pre-filter with local selections.
+  // Bind tables.
   std::vector<BoundTable> bound(block.tables.size());
   std::unordered_map<std::string, size_t> table_pos;
   for (size_t i = 0; i < block.tables.size(); ++i) {
@@ -89,18 +254,19 @@ Status EvaluateBlock(const Database& db, const SpjBlock& block,
     table_pos[block.tables[i]] = i;
   }
 
-  // Validate join and selection column references and collect per-table
-  // selections.
-  std::vector<std::vector<const Selection*>> local_sels(block.tables.size());
+  // Validate join and selection column references; compile selections per
+  // table against their columns (interning lookups happen once, here).
+  std::vector<std::vector<CompiledSel>> local_sels(block.tables.size());
   for (const auto& sel : block.selections) {
     auto pos = table_pos.find(sel.column.table);
     if (pos == table_pos.end()) {
       return Status::InvalidArgument("selection on unjoined table '" +
                                      sel.column.table + "'");
     }
-    auto col = bound[pos->second].table->schema().ColumnIndex(sel.column.column);
+    const Table& t = *bound[pos->second].table;
+    auto col = t.schema().ColumnIndex(sel.column.column);
     if (!col.ok()) return col.status();
-    local_sels[pos->second].push_back(&sel);
+    local_sels[pos->second].push_back(CompileSel(sel, t.column(*col), pool));
   }
   for (const auto& join : block.joins) {
     for (const ColumnRef* ref : {&join.left, &join.right}) {
@@ -123,20 +289,20 @@ Status EvaluateBlock(const Database& db, const SpjBlock& block,
     if (!col.ok()) return col.status();
   }
 
+  // Local selections, column-at-a-time.
   for (size_t i = 0; i < bound.size(); ++i) {
     const Table* t = bound[i].table;
-    for (uint32_t r = 0; r < t->num_rows(); ++r) {
-      bool pass = true;
-      for (const Selection* sel : local_sels[i]) {
-        const size_t col = t->schema().ColumnIndex(sel->column.column).value();
-        if (!MatchesPredicate(t->row(r)[col], sel->op, sel->literal)) {
-          pass = false;
-          break;
-        }
+    std::vector<uint32_t>& rows = bound[i].surviving_rows;
+    if (local_sels[i].empty()) {
+      rows.resize(t->num_rows());
+      for (uint32_t r = 0; r < t->num_rows(); ++r) rows[r] = r;
+    } else {
+      for (size_t s = 0; s < local_sels[i].size(); ++s) {
+        ApplySel(local_sels[i][s], pool, /*first=*/s == 0, rows);
+        if (rows.empty()) break;
       }
-      if (pass) bound[i].surviving_rows.push_back(r);
     }
-    if (bound[i].surviving_rows.empty()) return Status::Ok();  // empty result
+    if (rows.empty()) return Status::Ok();  // empty result
   }
 
   // Greedy join order: start from the block's first table, repeatedly add a
@@ -196,13 +362,16 @@ Status EvaluateBlock(const Database& db, const SpjBlock& block,
     const size_t ti = order[step];
     const BoundTable& bt = bound[ti];
 
-    // Join predicates between the new table and already-placed tables.
+    // Join predicates between the new table and already-placed tables,
+    // resolved to column slices. Columns of different types can never be
+    // equal as Values, so one mismatched key part empties the whole block.
     struct JoinKeyPart {
-      size_t placed_order_pos;    // which earlier table
-      size_t placed_col;          // its column
-      size_t new_col;             // new table's column
+      size_t placed_order_pos;       // which earlier table
+      const ColumnData* placed_col;  // its column slice
+      const ColumnData* new_col;     // new table's column slice
     };
     std::vector<JoinKeyPart> key_parts;
+    bool type_mismatch = false;
     for (const auto& join : block.joins) {
       const size_t l = table_pos.at(join.left.table);
       const size_t r = table_pos.at(join.right.table);
@@ -220,11 +389,17 @@ Status EvaluateBlock(const Database& db, const SpjBlock& block,
       } else {
         continue;
       }
-      key_parts.push_back(
-          {order_pos[other],
-           bound[other].table->schema().ColumnIndex(old_ref->column).value(),
-           bt.table->schema().ColumnIndex(new_ref->column).value()});
+      const ColumnData& placed_col = bound[other].table->column(
+          bound[other].table->schema().ColumnIndex(old_ref->column).value());
+      const ColumnData& new_col = bt.table->column(
+          bt.table->schema().ColumnIndex(new_ref->column).value());
+      if (placed_col.type() != new_col.type()) {
+        type_mismatch = true;
+        break;
+      }
+      key_parts.push_back({order_pos[other], &placed_col, &new_col});
     }
+    if (type_mismatch) return Status::Ok();  // no pair can match
 
     std::vector<PartialRow> next;
     if (key_parts.empty()) {
@@ -243,30 +418,27 @@ Status EvaluateBlock(const Database& db, const SpjBlock& block,
         }
       }
     } else {
-      // Hash the new table on the first key part; verify the rest.
-      std::unordered_multimap<size_t, uint32_t> index;
+      // Hash the new table on the first key part's column words; verify the
+      // remaining parts by word equality. Key words ARE the values (within
+      // one type), so probe hits need no re-check against the first part.
+      std::unordered_multimap<uint64_t, uint32_t> index;
       index.reserve(bt.surviving_rows.size());
+      const ColumnData& build_col = *key_parts[0].new_col;
       for (uint32_t r : bt.surviving_rows) {
-        index.emplace(bt.table->row(r)[key_parts[0].new_col].Hash(), r);
+        index.emplace(build_col.KeyWord(r), r);
       }
       for (const auto& pr : current) {
-        const size_t probe_order_pos = key_parts[0].placed_order_pos;
-        const size_t probe_table = order[probe_order_pos];
-        const Value& probe_val =
-            bound[probe_table].table->row(pr.row_indices[probe_order_pos])
-                [key_parts[0].placed_col];
-        auto range = index.equal_range(probe_val.Hash());
+        const uint64_t probe = key_parts[0].placed_col->KeyWord(
+            pr.row_indices[key_parts[0].placed_order_pos]);
+        auto range = index.equal_range(probe);
         for (auto it = range.first; it != range.second; ++it) {
           const uint32_t r = it->second;
-          if (bt.table->row(r)[key_parts[0].new_col] != probe_val) continue;
           bool all_match = true;
           for (size_t kp = 1; kp < key_parts.size(); ++kp) {
             const auto& part = key_parts[kp];
-            const size_t pt = order[part.placed_order_pos];
-            const Value& lhs =
-                bound[pt].table->row(pr.row_indices[part.placed_order_pos])
-                    [part.placed_col];
-            if (bt.table->row(r)[part.new_col] != lhs) {
+            if (part.new_col->KeyWord(r) !=
+                part.placed_col->KeyWord(
+                    pr.row_indices[part.placed_order_pos])) {
               all_match = false;
               break;
             }
@@ -287,10 +459,12 @@ Status EvaluateBlock(const Database& db, const SpjBlock& block,
     if (current.empty()) return Status::Ok();
   }
 
-  // Project with DISTINCT, accumulating one derivation clause per joined row.
+  // Project with DISTINCT. The dedup key is the fixed-width encoded tuple
+  // (one word per projected cell); Values materialize once per distinct
+  // tuple, when it is first seen.
   struct ProjCol {
     size_t order_pos;
-    size_t col;
+    const ColumnData* col;
   };
   std::vector<ProjCol> proj_cols;
   proj_cols.reserve(block.projections.size());
@@ -298,21 +472,63 @@ Status EvaluateBlock(const Database& db, const SpjBlock& block,
     const size_t ti = table_pos.at(proj.table);
     proj_cols.push_back(
         {order_pos[ti],
-         bound[ti].table->schema().ColumnIndex(proj.column).value()});
+         &bound[ti].table->column(
+             bound[ti].table->schema().ColumnIndex(proj.column).value())});
   }
 
+  // Per-block distinct state, keyed by encoded tuple. Merging into the
+  // query-global result (which dedups across union blocks by Value) happens
+  // once per distinct tuple, below.
+  std::unordered_map<EncodedTuple, size_t, EncodedTupleHash> local_index;
+  std::vector<OutputTuple> local_tuples;
+  std::vector<std::vector<Clause>> local_clauses;
+  std::vector<std::vector<FactId>> local_lineages;
+  EncodedTuple scratch(proj_cols.size());
+
   for (const auto& pr : current) {
-    OutputTuple tuple;
-    tuple.reserve(proj_cols.size());
-    for (const auto& pc : proj_cols) {
-      const size_t ti = order[pc.order_pos];
-      tuple.push_back(bound[ti].table->row(pr.row_indices[pc.order_pos])
-                          [pc.col]);
+    for (size_t c = 0; c < proj_cols.size(); ++c) {
+      scratch[c] =
+          proj_cols[c].col->KeyWord(pr.row_indices[proj_cols[c].order_pos]);
     }
-    auto [it, inserted] =
-        result.index.emplace(tuple, result.tuples.size());
+    auto [it, inserted] = local_index.emplace(scratch, local_tuples.size());
+    const size_t slot = it->second;
     if (inserted) {
-      result.tuples.push_back(std::move(tuple));
+      OutputTuple tuple;
+      tuple.reserve(proj_cols.size());
+      for (const auto& pc : proj_cols) {
+        tuple.push_back(
+            pc.col->GetValue(pr.row_indices[pc.order_pos], pool));
+      }
+      local_tuples.push_back(std::move(tuple));
+      local_clauses.emplace_back();
+      local_lineages.emplace_back();
+    }
+    switch (capture) {
+      case ProvenanceCapture::kNone:
+        break;
+      case ProvenanceCapture::kLineageOnly: {
+        // Merge the derivation's facts into the lineage set (kept sorted).
+        std::vector<FactId>& lineage = local_lineages[slot];
+        std::vector<FactId> merged;
+        merged.reserve(lineage.size() + pr.facts.size());
+        std::set_union(lineage.begin(), lineage.end(), pr.facts.begin(),
+                       pr.facts.end(), std::back_inserter(merged));
+        lineage = std::move(merged);
+        break;
+      }
+      case ProvenanceCapture::kFull:
+        local_clauses[slot].push_back(pr.facts);
+        break;
+    }
+  }
+
+  // Merge the block's distinct tuples into the query-global result.
+  for (size_t i = 0; i < local_tuples.size(); ++i) {
+    auto [it, inserted] =
+        result.index.emplace(local_tuples[i], result.tuples.size());
+    const size_t gslot = it->second;
+    if (inserted) {
+      result.tuples.push_back(std::move(local_tuples[i]));
       pending_clauses.emplace_back();
       if (capture == ProvenanceCapture::kLineageOnly) {
         result.lineages.emplace_back();
@@ -322,18 +538,30 @@ Status EvaluateBlock(const Database& db, const SpjBlock& block,
       case ProvenanceCapture::kNone:
         break;
       case ProvenanceCapture::kLineageOnly: {
-        // Merge the derivation's facts into the lineage set (kept sorted).
-        std::vector<FactId>& lineage = result.lineages[it->second];
-        std::vector<FactId> merged;
-        merged.reserve(lineage.size() + pr.facts.size());
-        std::set_union(lineage.begin(), lineage.end(), pr.facts.begin(),
-                       pr.facts.end(), std::back_inserter(merged));
-        lineage = std::move(merged);
+        std::vector<FactId>& lineage = result.lineages[gslot];
+        if (lineage.empty()) {
+          lineage = std::move(local_lineages[i]);
+        } else {
+          std::vector<FactId> merged;
+          merged.reserve(lineage.size() + local_lineages[i].size());
+          std::set_union(lineage.begin(), lineage.end(),
+                         local_lineages[i].begin(), local_lineages[i].end(),
+                         std::back_inserter(merged));
+          lineage = std::move(merged);
+        }
         break;
       }
-      case ProvenanceCapture::kFull:
-        pending_clauses[it->second].push_back(pr.facts);
+      case ProvenanceCapture::kFull: {
+        std::vector<Clause>& clauses = pending_clauses[gslot];
+        if (clauses.empty()) {
+          clauses = std::move(local_clauses[i]);
+        } else {
+          clauses.insert(clauses.end(),
+                         std::make_move_iterator(local_clauses[i].begin()),
+                         std::make_move_iterator(local_clauses[i].end()));
+        }
         break;
+      }
     }
   }
   return Status::Ok();
@@ -354,8 +582,10 @@ Result<EvalResult> Evaluate(const Database& db, const Query& q,
   }
   if (capture == ProvenanceCapture::kFull) {
     result.provenance.reserve(pending_clauses.size());
+    result.lineages.reserve(pending_clauses.size());
     for (auto& clauses : pending_clauses) {
       result.provenance.emplace_back(std::move(clauses));
+      result.lineages.push_back(result.provenance.back().Variables());
     }
   }
   return result;

@@ -24,31 +24,37 @@ enum class ProvenanceCapture { kNone, kLineageOnly, kFull };
 // clauses are the derivations) or just the lineage set.
 struct EvalResult {
   std::vector<OutputTuple> tuples;
-  std::vector<Dnf> provenance;                  // kFull only
-  std::vector<std::vector<FactId>> lineages;    // kLineageOnly only
+  std::vector<Dnf> provenance;                // kFull only
+  std::vector<std::vector<FactId>> lineages;  // kFull and kLineageOnly
   std::unordered_map<OutputTuple, size_t, OutputTupleHash> index;
 
   // Requires kFull capture.
   const Dnf& ProvenanceOf(size_t tuple_idx) const {
     return provenance[tuple_idx];
   }
-  // Works under kFull or kLineageOnly capture.
-  std::vector<FactId> LineageOf(size_t tuple_idx) const {
-    if (!provenance.empty()) return provenance[tuple_idx].Variables();
+  // Works under kFull or kLineageOnly capture. Lineages are materialized
+  // once at evaluation time, so repeated lookups (ranking inference walks
+  // one lineage per candidate fact) return the cached vector by reference
+  // instead of re-deriving and copying it per call.
+  const std::vector<FactId>& LineageOf(size_t tuple_idx) const {
     return lineages[tuple_idx];
   }
 };
 
-// Evaluates `q` over `db`. Joins are executed with hash indexes in the
-// order the block lists its tables (greedily reordered so every step is
-// connected when possible). Errors on unknown tables/columns or repeated
-// table references (self-joins are outside the SPJU fragment this engine
-// targets).
+// Evaluates `q` over `db`. Selections are compiled against the columnar
+// storage (string equality predicates compare interned StringIds) and
+// applied column-at-a-time; joins are executed with hash indexes built
+// directly over fixed-width column key words, in the order the block lists
+// its tables (greedily reordered so every step is connected when possible).
+// Errors on unknown tables/columns or repeated table references (self-joins
+// are outside the SPJU fragment this engine targets).
 Result<EvalResult> Evaluate(const Database& db, const Query& q,
                             ProvenanceCapture capture = ProvenanceCapture::kFull);
 
 // True if `value` satisfies `op literal` (numeric comparisons promote ints
-// to doubles; kStartsWith applies to strings only).
+// to doubles; kStartsWith applies to strings only). Boundary helper over
+// Values — the evaluator itself uses the compiled columnar predicates; the
+// row-at-a-time reference evaluator in the test tree uses this directly.
 bool MatchesPredicate(const Value& value, CompareOp op, const Value& literal);
 
 }  // namespace lshap

@@ -20,7 +20,7 @@ Value QueryGenerator::SampleLiteral(const std::string& table,
   const Table* t = db_->FindTable(table).value();
   LSHAP_CHECK_GT(t->num_rows(), 0u);
   const size_t row = rng_.NextBounded(t->num_rows());
-  return t->row(row)[column_index];
+  return t->GetValue(row, column_index);
 }
 
 ColumnRef QueryGenerator::RandomColumn(const std::vector<std::string>& tables) {

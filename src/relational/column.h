@@ -1,0 +1,100 @@
+#ifndef LSHAP_RELATIONAL_COLUMN_H_
+#define LSHAP_RELATIONAL_COLUMN_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "relational/string_pool.h"
+#include "relational/value.h"
+
+namespace lshap {
+
+// One typed, contiguous column of a table. Exactly one of the three backing
+// vectors is populated, matching type(); cells are fixed-width (int64,
+// double, or interned StringId), so scans touch flat memory and carry no
+// per-cell heap payload. Cells are never null: the Value boundary rejects
+// nulls and mistyped inserts before they reach a column.
+class ColumnData {
+ public:
+  explicit ColumnData(ColumnType type) : type_(type) {}
+
+  ColumnType type() const { return type_; }
+
+  size_t size() const {
+    switch (type_) {
+      case ColumnType::kInt:
+        return ints_.size();
+      case ColumnType::kDouble:
+        return doubles_.size();
+      case ColumnType::kString:
+        return strings_.size();
+    }
+    return 0;
+  }
+
+  void AppendInt(int64_t v) {
+    LSHAP_CHECK(type_ == ColumnType::kInt);
+    ints_.push_back(v);
+  }
+  void AppendDouble(double v) {
+    LSHAP_CHECK(type_ == ColumnType::kDouble);
+    doubles_.push_back(v);
+  }
+  void AppendString(StringId id) {
+    LSHAP_CHECK(type_ == ColumnType::kString);
+    strings_.push_back(id);
+  }
+
+  int64_t IntAt(size_t i) const { return ints_[i]; }
+  double DoubleAt(size_t i) const { return doubles_[i]; }
+  StringId StringAt(size_t i) const { return strings_[i]; }
+
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<StringId>& string_ids() const { return strings_; }
+
+  // The cell as one 64-bit comparison key: raw int bits, canonicalized
+  // double bits (-0.0 folds onto +0.0 so that key equality matches double
+  // equality), or the widened string id. Two cells of columns with the SAME
+  // ColumnType are equal as Values iff their key words are equal; across
+  // types, Values are never equal (variant semantics), which callers handle
+  // by comparing column types first.
+  uint64_t KeyWord(size_t i) const {
+    switch (type_) {
+      case ColumnType::kInt:
+        return static_cast<uint64_t>(ints_[i]);
+      case ColumnType::kDouble: {
+        const double d = doubles_[i];
+        return std::bit_cast<uint64_t>(d == 0.0 ? 0.0 : d);
+      }
+      case ColumnType::kString:
+        return strings_[i];
+    }
+    return 0;
+  }
+
+  // Decodes one cell back into the boundary Value type.
+  Value GetValue(size_t i, const StringPool& pool) const {
+    switch (type_) {
+      case ColumnType::kInt:
+        return Value(ints_[i]);
+      case ColumnType::kDouble:
+        return Value(doubles_[i]);
+      case ColumnType::kString:
+        return Value(pool.Get(strings_[i]));
+    }
+    return Value();
+  }
+
+ private:
+  ColumnType type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<StringId> strings_;
+};
+
+}  // namespace lshap
+
+#endif  // LSHAP_RELATIONAL_COLUMN_H_

@@ -5,14 +5,83 @@
 
 namespace lshap {
 
+Table::Table(Schema schema, const StringPool* pool)
+    : schema_(std::move(schema)), pool_(pool) {
+  columns_.reserve(schema_.num_columns());
+  for (const Column& c : schema_.columns()) columns_.emplace_back(c.type);
+}
+
+std::vector<Value> Table::DecodeRow(size_t row) const {
+  std::vector<Value> values;
+  values.reserve(columns_.size());
+  for (const ColumnData& col : columns_) {
+    values.push_back(col.GetValue(row, *pool_));
+  }
+  return values;
+}
+
+TableAppender::TableAppender(Database* db, uint32_t table_index)
+    : db_(db),
+      table_index_(table_index),
+      // "Complete row" state, so the first Begin() passes its check.
+      next_col_(db->tables_[table_index].num_columns()) {}
+
+TableAppender& TableAppender::Begin() {
+  Table& t = db_->tables_[table_index_];
+  LSHAP_CHECK_EQ(next_col_, t.num_columns());  // previous row complete
+  next_col_ = 0;
+  return *this;
+}
+
+TableAppender& TableAppender::Int(int64_t v) {
+  Table& t = db_->tables_[table_index_];
+  LSHAP_CHECK_LT(next_col_, t.num_columns());
+  ColumnData& col = t.columns_[next_col_++];
+  if (col.type() == ColumnType::kDouble) {
+    col.AppendDouble(static_cast<double>(v));
+  } else {
+    col.AppendInt(v);
+  }
+  return *this;
+}
+
+TableAppender& TableAppender::Real(double v) {
+  Table& t = db_->tables_[table_index_];
+  LSHAP_CHECK_LT(next_col_, t.num_columns());
+  t.columns_[next_col_++].AppendDouble(v);
+  return *this;
+}
+
+TableAppender& TableAppender::Str(std::string_view s) {
+  Table& t = db_->tables_[table_index_];
+  LSHAP_CHECK_LT(next_col_, t.num_columns());
+  t.columns_[next_col_++].AppendString(db_->pool_.Intern(s));
+  return *this;
+}
+
+FactId TableAppender::Commit() {
+  Table& t = db_->tables_[table_index_];
+  LSHAP_CHECK_EQ(next_col_, t.num_columns());
+  const uint32_t row = static_cast<uint32_t>(t.fact_ids_.size());
+  const FactId id = db_->RegisterFact(table_index_, row);
+  t.fact_ids_.push_back(id);
+  return id;
+}
+
 Status Database::AddTable(Schema schema) {
   const std::string& name = schema.table_name();
   if (table_index_.count(name) > 0) {
     return Status::InvalidArgument("duplicate table '" + name + "'");
   }
   table_index_[name] = static_cast<uint32_t>(tables_.size());
-  tables_.emplace_back(std::move(schema));
+  tables_.emplace_back(Table(std::move(schema), &pool_));
   return Status::Ok();
+}
+
+FactId Database::RegisterFact(uint32_t table_index, uint32_t row_index) {
+  const FactId id = static_cast<FactId>(fact_locations_.size());
+  fact_locations_.push_back({table_index, row_index});
+  return id;
 }
 
 Result<FactId> Database::Insert(const std::string& table_name,
@@ -20,17 +89,51 @@ Result<FactId> Database::Insert(const std::string& table_name,
   auto idx = TableIndex(table_name);
   if (!idx.ok()) return idx.status();
   Table& table = tables_[*idx];
-  if (values.size() != table.schema().num_columns()) {
+  const Schema& schema = table.schema();
+  if (values.size() != schema.num_columns()) {
     return Status::InvalidArgument(
         StrFormat("arity mismatch inserting into '%s': got %zu, want %zu",
-                  table_name.c_str(), values.size(),
-                  table.schema().num_columns()));
+                  table_name.c_str(), values.size(), schema.num_columns()));
   }
-  const FactId id = static_cast<FactId>(fact_locations_.size());
-  fact_locations_.push_back(
-      {*idx, static_cast<uint32_t>(table.num_rows())});
-  table.AppendRow(std::move(values), id);
-  return id;
+  // Validate the whole row against the column types before touching any
+  // column, so a failed insert leaves the table unchanged.
+  for (size_t c = 0; c < values.size(); ++c) {
+    const Value& v = values[c];
+    const ColumnType want = schema.columns()[c].type;
+    const bool ok = (want == ColumnType::kInt && v.is_int()) ||
+                    (want == ColumnType::kDouble && !v.is_null() &&
+                     !v.is_string()) ||
+                    (want == ColumnType::kString && v.is_string());
+    if (!ok) {
+      return Status::InvalidArgument(StrFormat(
+          "type mismatch inserting into '%s' column '%s' (%s): got %s",
+          table_name.c_str(), schema.columns()[c].name.c_str(),
+          ColumnTypeName(want), v.ToString().c_str()));
+    }
+  }
+  TableAppender appender(this, *idx);
+  appender.Begin();
+  for (size_t c = 0; c < values.size(); ++c) {
+    const Value& v = values[c];
+    switch (schema.columns()[c].type) {
+      case ColumnType::kInt:
+        appender.Int(v.AsInt());
+        break;
+      case ColumnType::kDouble:
+        appender.Real(v.AsDouble());
+        break;
+      case ColumnType::kString:
+        appender.Str(v.AsString());
+        break;
+    }
+  }
+  return appender.Commit();
+}
+
+TableAppender Database::AppenderFor(const std::string& table_name) {
+  auto idx = TableIndex(table_name);
+  LSHAP_CHECK(idx.ok());
+  return TableAppender(this, *idx);
 }
 
 Result<const Table*> Database::FindTable(const std::string& name) const {
@@ -51,10 +154,10 @@ Result<uint32_t> Database::TableIndex(const std::string& name) const {
   return it->second;
 }
 
-const std::vector<Value>& Database::FactValues(FactId id) const {
+std::vector<Value> Database::FactValues(FactId id) const {
   LSHAP_CHECK_LT(id, fact_locations_.size());
   const FactLocation& loc = fact_locations_[id];
-  return tables_[loc.table_index].row(loc.row_index);
+  return tables_[loc.table_index].DecodeRow(loc.row_index);
 }
 
 uint32_t Database::FactTableIndex(FactId id) const {
@@ -67,7 +170,7 @@ const std::string& Database::FactTableName(FactId id) const {
 }
 
 std::string Database::FactToString(FactId id) const {
-  const std::vector<Value>& vals = FactValues(id);
+  const std::vector<Value> vals = FactValues(id);
   std::vector<std::string> parts;
   parts.reserve(vals.size());
   for (const auto& v : vals) parts.push_back(v.ToString());

@@ -3,11 +3,14 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "relational/column.h"
 #include "relational/schema.h"
+#include "relational/string_pool.h"
 #include "relational/value.h"
 
 namespace lshap {
@@ -18,55 +21,83 @@ namespace lshap {
 using FactId = uint32_t;
 inline constexpr FactId kInvalidFactId = static_cast<FactId>(-1);
 
-// One input tuple ("fact" in the paper's terminology).
-struct Fact {
-  FactId id = kInvalidFactId;
-  uint32_t table_index = 0;
-  std::vector<Value> values;
-};
-
-// A relation instance: schema plus annotated rows.
+// A relation instance in column-major layout: one typed contiguous column
+// per schema attribute plus the per-row fact annotations. Rows exist only
+// implicitly (index i across all columns); Value materializes at the
+// boundary via GetValue/DecodeRow.
 class Table {
  public:
-  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+  Table(Schema schema, const StringPool* pool);
 
   const Schema& schema() const { return schema_; }
-  size_t num_rows() const { return rows_.size(); }
+  size_t num_rows() const { return fact_ids_.size(); }
+  size_t num_columns() const { return columns_.size(); }
 
-  const std::vector<Value>& row(size_t i) const { return rows_[i]; }
+  const ColumnData& column(size_t c) const { return columns_[c]; }
   FactId fact_id(size_t i) const { return fact_ids_[i]; }
-
-  const std::vector<std::vector<Value>>& rows() const { return rows_; }
   const std::vector<FactId>& fact_ids() const { return fact_ids_; }
+
+  // Boundary decode of one cell / one row.
+  Value GetValue(size_t row, size_t col) const {
+    return columns_[col].GetValue(row, *pool_);
+  }
+  std::vector<Value> DecodeRow(size_t row) const;
 
  private:
   friend class Database;
-
-  void AppendRow(std::vector<Value> values, FactId id) {
-    rows_.push_back(std::move(values));
-    fact_ids_.push_back(id);
-  }
+  friend class TableAppender;
 
   Schema schema_;
-  std::vector<std::vector<Value>> rows_;
+  const StringPool* pool_;
+  std::vector<ColumnData> columns_;
   std::vector<FactId> fact_ids_;
 };
 
-// A database: a disjoint union of named relations plus a fact registry that
-// resolves FactIds back to (table, row).
+class Database;
+
+// Typed row-append cursor bound to one table — the bulk-load path the
+// dataset generators use. Cells go straight into the typed columns (one
+// string intern per string cell, no Value construction). Misuse (wrong
+// type/arity for the schema) is a programming error and CHECK-fails; the
+// Result-returning boundary is Database::Insert.
+class TableAppender {
+ public:
+  TableAppender& Begin();  // starts a new row; previous row must be complete
+  TableAppender& Int(int64_t v);
+  TableAppender& Real(double v);
+  TableAppender& Str(std::string_view s);
+  FactId Commit();  // finishes the row, registers and returns its fact id
+
+ private:
+  friend class Database;
+  TableAppender(Database* db, uint32_t table_index);
+
+  Database* db_;
+  uint32_t table_index_;
+  size_t next_col_;
+};
+
+// A database: a disjoint union of named relations, a fact registry that
+// resolves FactIds back to (table, row), and the string dictionary shared by
+// every string column.
 class Database {
  public:
   explicit Database(std::string name) : name_(std::move(name)) {}
 
   const std::string& name() const { return name_; }
+  const StringPool& string_pool() const { return pool_; }
 
   // Registers a new empty table; fails on duplicate names.
   Status AddTable(Schema schema);
 
-  // Appends a row; values must match the schema arity. Returns the new
-  // fact's id.
+  // Appends a row through the Value boundary; values must match the schema's
+  // arity and column types (ints promote into kDouble columns; nulls are
+  // rejected). Returns the new fact's id.
   Result<FactId> Insert(const std::string& table_name,
                         std::vector<Value> values);
+
+  // Typed bulk-append cursor for `table_name` (CHECK-fails if unknown).
+  TableAppender AppenderFor(const std::string& table_name);
 
   size_t num_tables() const { return tables_.size(); }
   size_t num_facts() const { return fact_locations_.size(); }
@@ -75,8 +106,8 @@ class Database {
   Result<const Table*> FindTable(const std::string& name) const;
   Result<uint32_t> TableIndex(const std::string& name) const;
 
-  // Resolves a fact id to its table index and row values.
-  const std::vector<Value>& FactValues(FactId id) const;
+  // Resolves a fact id to its table index and decoded row values.
+  std::vector<Value> FactValues(FactId id) const;
   uint32_t FactTableIndex(FactId id) const;
   const std::string& FactTableName(FactId id) const;
 
@@ -85,12 +116,17 @@ class Database {
   std::string FactToString(FactId id) const;
 
  private:
+  friend class TableAppender;
+
   struct FactLocation {
     uint32_t table_index;
     uint32_t row_index;
   };
 
+  FactId RegisterFact(uint32_t table_index, uint32_t row_index);
+
   std::string name_;
+  StringPool pool_;
   std::vector<Table> tables_;
   std::unordered_map<std::string, uint32_t> table_index_;
   std::vector<FactLocation> fact_locations_;

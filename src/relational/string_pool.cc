@@ -1,0 +1,28 @@
+#include "relational/string_pool.h"
+
+#include "common/check.h"
+
+namespace lshap {
+
+StringId StringPool::Intern(std::string_view s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  const StringId id = static_cast<StringId>(by_id_.size());
+  LSHAP_CHECK_LT(id, kInvalidStringId);
+  auto [node, inserted] = index_.emplace(std::string(s), id);
+  LSHAP_CHECK(inserted);
+  by_id_.push_back(&node->first);
+  return id;
+}
+
+StringId StringPool::Find(std::string_view s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? kInvalidStringId : it->second;
+}
+
+const std::string& StringPool::Get(StringId id) const {
+  LSHAP_CHECK_LT(id, by_id_.size());
+  return *by_id_[id];
+}
+
+}  // namespace lshap

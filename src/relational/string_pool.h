@@ -1,0 +1,57 @@
+#ifndef LSHAP_RELATIONAL_STRING_POOL_H_
+#define LSHAP_RELATIONAL_STRING_POOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace lshap {
+
+// Dense id of an interned string. Ids are assigned in first-intern order and
+// are stable for the lifetime of the pool. Equal ids <=> equal strings, so
+// string equality on the hot paths (join keys, selection predicates, output
+// dedup) is one 32-bit compare. Ids are NOT ordered like the strings they
+// name; order predicates still go through the text (see ROADMAP open items).
+using StringId = uint32_t;
+inline constexpr StringId kInvalidStringId = static_cast<StringId>(-1);
+
+// A per-database string dictionary. All string cells of all tables store
+// StringIds into one shared pool, so the same title appearing as movies.title
+// and roles.movie interns once and joins by id.
+class StringPool {
+ public:
+  StringPool() = default;
+  StringPool(const StringPool&) = delete;
+  StringPool& operator=(const StringPool&) = delete;
+
+  // Returns the id of `s`, interning it if new.
+  StringId Intern(std::string_view s);
+
+  // Returns the id of `s` if already interned, kInvalidStringId otherwise.
+  // Never mutates the pool — this is what predicate compilation uses, so
+  // evaluating queries cannot grow the dictionary.
+  StringId Find(std::string_view s) const;
+
+  const std::string& Get(StringId id) const;
+
+  size_t size() const { return by_id_.size(); }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  // Keys own the text; unordered_map nodes are reference-stable, so by_id_
+  // can point into them.
+  std::unordered_map<std::string, StringId, Hash, std::equal_to<>> index_;
+  std::vector<const std::string*> by_id_;
+};
+
+}  // namespace lshap
+
+#endif  // LSHAP_RELATIONAL_STRING_POOL_H_

@@ -44,7 +44,7 @@ TEST(CaptureTest, StorageShapePerMode) {
   auto lineage = Evaluate(*ex.db, ex.q_inf, ProvenanceCapture::kLineageOnly);
   auto none = Evaluate(*ex.db, ex.q_inf, ProvenanceCapture::kNone);
   EXPECT_EQ(full->provenance.size(), full->tuples.size());
-  EXPECT_TRUE(full->lineages.empty());
+  EXPECT_EQ(full->lineages.size(), full->tuples.size());
   EXPECT_TRUE(lineage->provenance.empty());
   EXPECT_EQ(lineage->lineages.size(), lineage->tuples.size());
   EXPECT_TRUE(none->provenance.empty());

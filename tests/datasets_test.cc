@@ -31,7 +31,7 @@ TEST(ImdbTest, DeterministicForSeed) {
   const Table* tb = *b.db->FindTable("movies");
   ASSERT_EQ(ta->num_rows(), tb->num_rows());
   for (size_t i = 0; i < ta->num_rows(); ++i) {
-    EXPECT_EQ(ta->row(i), tb->row(i));
+    EXPECT_EQ(ta->DecodeRow(i), tb->DecodeRow(i));
   }
 }
 
@@ -41,11 +41,11 @@ TEST(ImdbTest, ForeignKeysResolve) {
   const Table* companies = *g.db->FindTable("companies");
   std::set<Value> company_names;
   for (size_t i = 0; i < companies->num_rows(); ++i) {
-    company_names.insert(companies->row(i)[0]);
+    company_names.insert(companies->GetValue(i, 0));
   }
   for (size_t i = 0; i < movies->num_rows(); ++i) {
-    EXPECT_TRUE(company_names.count(movies->row(i)[2]))
-        << movies->row(i)[2].ToString();
+    EXPECT_TRUE(company_names.count(movies->GetValue(i, 2)))
+        << movies->GetValue(i, 2).ToString();
   }
 }
 
@@ -54,7 +54,7 @@ TEST(ImdbTest, ZipfSkewsRolesTowardPopularActors) {
   const Table* roles = *g.db->FindTable("roles");
   std::unordered_map<std::string, size_t> counts;
   for (size_t i = 0; i < roles->num_rows(); ++i) {
-    ++counts[roles->row(i)[1].AsString()];
+    ++counts[roles->GetValue(i, 1).AsString()];
   }
   size_t max_count = 0;
   for (const auto& [a, c] : counts) max_count = std::max(max_count, c);
@@ -121,7 +121,7 @@ TEST(AcademicTest, DeterministicForSeed) {
   const Table* tb = *b.db->FindTable("writes");
   ASSERT_EQ(ta->num_rows(), tb->num_rows());
   for (size_t i = 0; i < ta->num_rows(); ++i) {
-    EXPECT_EQ(ta->row(i), tb->row(i));
+    EXPECT_EQ(ta->DecodeRow(i), tb->DecodeRow(i));
   }
 }
 

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <bit>
+
+#include "relational/column.h"
 #include "relational/database.h"
+#include "relational/string_pool.h"
 #include "relational/tuple.h"
 #include "relational/value.h"
 
@@ -91,6 +95,119 @@ TEST(DatabaseTest, RejectsUnknownTable) {
   Database db("test");
   EXPECT_FALSE(db.Insert("nope", {Value(int64_t{1})}).ok());
   EXPECT_FALSE(db.FindTable("nope").ok());
+}
+
+TEST(StringPoolTest, InternDedupsAndFinds) {
+  StringPool pool;
+  const StringId a = pool.Intern("alpha");
+  const StringId b = pool.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.Intern("alpha"), a);
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.Get(a), "alpha");
+  EXPECT_EQ(pool.Get(b), "beta");
+  EXPECT_EQ(pool.Find("beta"), b);
+  // Find() never mutates: a miss returns the sentinel and adds nothing.
+  EXPECT_EQ(pool.Find("gamma"), kInvalidStringId);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(StringPoolTest, IdsAreDense) {
+  StringPool pool;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(pool.Intern("s" + std::to_string(i)), static_cast<StringId>(i));
+  }
+}
+
+TEST(ColumnDataTest, TypedAppendAndRead) {
+  StringPool pool;
+  ColumnData ints(ColumnType::kInt);
+  ints.AppendInt(-7);
+  ints.AppendInt(12);
+  EXPECT_EQ(ints.IntAt(0), -7);
+  EXPECT_EQ(ints.IntAt(1), 12);
+  EXPECT_EQ(ints.GetValue(0, pool), Value(int64_t{-7}));
+
+  ColumnData strs(ColumnType::kString);
+  strs.AppendString(pool.Intern("x"));
+  EXPECT_EQ(strs.GetValue(0, pool), Value("x"));
+}
+
+TEST(ColumnDataTest, KeyWordMatchesValueEquality) {
+  StringPool pool;
+  // Negative zero and positive zero compare equal as doubles, so their key
+  // words must collide; raw bit patterns would not.
+  ColumnData dbl(ColumnType::kDouble);
+  dbl.AppendDouble(0.0);
+  dbl.AppendDouble(-0.0);
+  dbl.AppendDouble(1.5);
+  EXPECT_EQ(dbl.KeyWord(0), dbl.KeyWord(1));
+  EXPECT_NE(dbl.KeyWord(0), dbl.KeyWord(2));
+  EXPECT_EQ(dbl.KeyWord(2), std::bit_cast<uint64_t>(1.5));
+
+  ColumnData ints(ColumnType::kInt);
+  ints.AppendInt(-1);
+  ints.AppendInt(-1);
+  ints.AppendInt(3);
+  EXPECT_EQ(ints.KeyWord(0), ints.KeyWord(1));
+  EXPECT_NE(ints.KeyWord(0), ints.KeyWord(2));
+
+  ColumnData strs(ColumnType::kString);
+  strs.AppendString(pool.Intern("a"));
+  strs.AppendString(pool.Intern("b"));
+  strs.AppendString(pool.Intern("a"));
+  EXPECT_EQ(strs.KeyWord(0), strs.KeyWord(2));
+  EXPECT_NE(strs.KeyWord(0), strs.KeyWord(1));
+}
+
+TEST(DatabaseTest, TableAppenderBuildsRows) {
+  Database db("test");
+  ASSERT_TRUE(db.AddTable(Schema("t", {{"a", ColumnType::kInt},
+                                       {"b", ColumnType::kString},
+                                       {"c", ColumnType::kDouble}}))
+                  .ok());
+  TableAppender app = db.AppenderFor("t");
+  const FactId f0 = app.Begin().Int(1).Str("one").Real(1.5).Commit();
+  const FactId f1 = app.Begin().Int(2).Str("two").Real(2.5).Commit();
+  EXPECT_NE(f0, f1);
+  const Table* t = *db.FindTable("t");
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->DecodeRow(0),
+            (std::vector<Value>{Value(int64_t{1}), Value("one"), Value(1.5)}));
+  EXPECT_EQ(t->GetValue(1, 1), Value("two"));
+  EXPECT_EQ(t->fact_id(1), f1);
+  // Int() promotes into kDouble columns, matching the old Value semantics.
+  app.Begin().Int(3).Str("three").Int(4).Commit();
+  EXPECT_EQ(t->GetValue(2, 2), Value(4.0));
+}
+
+TEST(DatabaseTest, SharedStringsInternOnce) {
+  Database db("test");
+  ASSERT_TRUE(db.AddTable(Schema("t", {{"s", ColumnType::kString}})).ok());
+  ASSERT_TRUE(db.AddTable(Schema("u", {{"s", ColumnType::kString}})).ok());
+  ASSERT_TRUE(db.Insert("t", {Value("shared")}).ok());
+  ASSERT_TRUE(db.Insert("u", {Value("shared")}).ok());
+  ASSERT_TRUE(db.Insert("u", {Value("only_u")}).ok());
+  EXPECT_EQ(db.string_pool().size(), 2u);
+  // Same string in different tables maps to the same id — the invariant the
+  // evaluator's interned-key joins rely on.
+  const Table* t = *db.FindTable("t");
+  const Table* u = *db.FindTable("u");
+  EXPECT_EQ(t->column(0).KeyWord(0), u->column(0).KeyWord(0));
+}
+
+TEST(DatabaseTest, InsertRejectsTypeMismatch) {
+  Database db("test");
+  ASSERT_TRUE(db.AddTable(Schema("t", {{"a", ColumnType::kInt},
+                                       {"b", ColumnType::kString}}))
+                  .ok());
+  EXPECT_FALSE(db.Insert("t", {Value("oops"), Value("x")}).ok());
+  EXPECT_FALSE(db.Insert("t", {Value(int64_t{1}), Value(int64_t{2})}).ok());
+  EXPECT_FALSE(db.Insert("t", {Value(), Value("x")}).ok());
+  // A rejected row must not leave partial column state behind.
+  EXPECT_EQ((*db.FindTable("t"))->num_rows(), 0u);
+  ASSERT_TRUE(db.Insert("t", {Value(int64_t{1}), Value("x")}).ok());
+  EXPECT_EQ((*db.FindTable("t"))->num_rows(), 1u);
 }
 
 TEST(OutputTupleTest, HashAndToString) {

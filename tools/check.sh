@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 check under sanitizers: configure a dedicated ASan+UBSan build tree,
+# build everything, and run the full test suite. Any sanitizer report aborts
+# the offending test (-fno-sanitize-recover=all), so a green run means clean.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-sanitize}"
+
+cmake -B "$BUILD_DIR" -S . -DLSHAP_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
