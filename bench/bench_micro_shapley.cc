@@ -41,7 +41,7 @@ void BM_ShapleyBrute(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   const Dnf d = MakeProvenance(n, n / 2 + 1, 4);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ComputeShapleyBrute(d));
+    benchmark::DoNotOptimize(ComputeShapleyBrute(d).value());
   }
 }
 BENCHMARK(BM_ShapleyBrute)->Arg(8)->Arg(12)->Arg(16)->Arg(20);

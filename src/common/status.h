@@ -17,6 +17,12 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kUnimplemented,
+  // A resource budget (deadline, circuit-node allowance) was exhausted; the
+  // operation was abandoned cleanly and may be retried with a cheaper
+  // algorithm or a larger budget.
+  kResourceExhausted,
+  // Cooperative cancellation was requested via a CancelToken.
+  kCancelled,
 };
 
 // A lightweight success-or-error value. Cheap to copy on the OK path.
@@ -44,6 +50,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/check.h"
+
 namespace lshap {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -15,22 +17,32 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::unique_lock<std::mutex> lock(mu_);
+    if (shutdown_) return;
     shutdown_ = true;
   }
   work_cv_.notify_all();
-  for (auto& t : threads_) t.join();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
 }
 
-void ThreadPool::Schedule(std::function<void()> fn) {
+Status ThreadPool::Schedule(std::function<void()> fn) {
   {
     std::unique_lock<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Status::FailedPrecondition(
+          "ThreadPool::Schedule after Shutdown");
+    }
     queue_.push(std::move(fn));
     ++in_flight_;
   }
   work_cv_.notify_one();
+  return Status::Ok();
 }
 
 void ThreadPool::Wait() {
@@ -65,16 +77,64 @@ void ParallelFor(ThreadPool& pool, size_t n,
   if (n == 0) return;
   const size_t num_workers = std::min(n, pool.num_threads());
   std::atomic<size_t> next{0};
+  size_t scheduled = 0;
   for (size_t w = 0; w < num_workers; ++w) {
-    pool.Schedule([&next, n, &fn] {
+    const Status s = pool.Schedule([&next, n, &fn] {
       for (;;) {
         const size_t i = next.fetch_add(1);
         if (i >= n) return;
         fn(i);
       }
     });
+    if (s.ok()) ++scheduled;
+  }
+  // Scheduling into a shut-down pool is a caller bug for the infallible
+  // variant; fail fast rather than spin on work that will never run.
+  LSHAP_CHECK_MSG(scheduled > 0, "ParallelFor on a shut-down ThreadPool");
+  pool.Wait();
+}
+
+Status ParallelFor(ThreadPool& pool, size_t n, CancelToken& cancel,
+                   const std::function<Status(size_t)>& fn) {
+  if (n == 0) return Status::Ok();
+  const size_t num_workers = std::min(n, pool.num_threads());
+  std::atomic<size_t> next{0};
+  std::mutex err_mu;
+  Status first_error;
+  for (size_t w = 0; w < num_workers; ++w) {
+    const Status s = pool.Schedule([&] {
+      for (;;) {
+        if (cancel.cancelled()) return;
+        const size_t i = next.fetch_add(1);
+        if (i >= n) return;
+        const Status item = fn(i);
+        if (!item.ok()) {
+          {
+            std::unique_lock<std::mutex> lock(err_mu);
+            if (first_error.ok()) first_error = item;
+          }
+          cancel.RequestCancel();
+          return;
+        }
+      }
+    });
+    if (!s.ok()) {
+      // Workers already scheduled capture this frame's locals; drain them
+      // before unwinding.
+      cancel.RequestCancel();
+      pool.Wait();
+      return s;
+    }
   }
   pool.Wait();
+  {
+    std::unique_lock<std::mutex> lock(err_mu);
+    if (!first_error.ok()) return first_error;
+  }
+  if (cancel.cancelled()) {
+    return Status::Cancelled("ParallelFor wave cancelled");
+  }
+  return Status::Ok();
 }
 
 }  // namespace lshap

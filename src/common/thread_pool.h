@@ -9,6 +9,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/budget.h"
+#include "common/status.h"
+
 namespace lshap {
 
 // Fixed-size worker pool. Used for embarrassingly parallel phases (Shapley
@@ -22,11 +25,16 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Schedules fn; fn must not throw.
-  void Schedule(std::function<void()> fn);
+  // Schedules fn; fn must not throw. Fails with kFailedPrecondition after
+  // Shutdown() — tasks are never silently enqueued into a dead pool.
+  Status Schedule(std::function<void()> fn);
 
   // Blocks until every scheduled task has finished.
   void Wait();
+
+  // Drains already-scheduled work, joins all workers, and rejects further
+  // Schedule calls. Idempotent; called by the destructor.
+  void Shutdown();
 
   size_t num_threads() const { return threads_.size(); }
 
@@ -45,6 +53,16 @@ class ThreadPool {
 // Runs fn(i) for i in [0, n) across the pool, blocking until all complete.
 void ParallelFor(ThreadPool& pool, size_t n,
                  const std::function<void(size_t)>& fn);
+
+// Cancellation-propagating variant: runs fn(i) for i in [0, n), but the
+// first non-OK return (or an externally cancelled token) stops the wave —
+// workers poll `cancel` between items, so remaining iterations are skipped
+// rather than executed, and Wait() cannot wedge on a poisoned wave. Returns
+// the first error in iteration order-of-occurrence (kCancelled if the token
+// was tripped externally), OK otherwise. `fn` must tolerate never being
+// called for skipped indices.
+Status ParallelFor(ThreadPool& pool, size_t n, CancelToken& cancel,
+                   const std::function<Status(size_t)>& fn);
 
 }  // namespace lshap
 

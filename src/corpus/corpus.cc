@@ -2,17 +2,36 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <mutex>
+#include <utility>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/timer.h"
 #include "eval/evaluator.h"
 #include "shapley/shapley.h"
 
 namespace lshap {
 
+namespace {
+
+// Per-job record of which ladder rung produced the ground truth (or that
+// the tuple was skipped / never processed) plus the budget-trip sites hit
+// along the way. Filled by worker threads (one slot per job, no sharing)
+// and folded into BuildStats serially after the wave, so the recorded
+// counts are deterministic regardless of thread interleaving.
+struct LadderOutcome {
+  enum Rung : uint8_t { kNotRun = 0, kExact, kMonteCarlo, kCnfProxy, kSkip };
+  Rung rung = kNotRun;
+  std::vector<std::string> trip_sites;
+};
+
+}  // namespace
+
 Corpus BuildCorpus(const Database& db, const SchemaGraph& graph,
                    const CorpusConfig& config, ThreadPool& pool) {
+  WallTimer build_timer;
   Corpus corpus;
   corpus.db = &db;
 
@@ -45,13 +64,15 @@ Corpus BuildCorpus(const Database& db, const SchemaGraph& graph,
     pending.push_back(std::move(p));
   }
 
-  // Exact Shapley ground truth, parallel over (query, tuple) pairs.
+  // Shapley ground truth, parallel over (query, tuple) pairs, each pair
+  // descending the degradation ladder under the configured budgets.
   struct Job {
     size_t entry;
     size_t slot;
     const Dnf* prov;
   };
   corpus.entries.resize(pending.size());
+  BuildStats& stats = corpus.stats;
   std::vector<Job> jobs;
   for (size_t e = 0; e < pending.size(); ++e) {
     Pending& p = pending[e];
@@ -63,6 +84,10 @@ Corpus BuildCorpus(const Database& db, const SchemaGraph& graph,
       const Dnf& prov = p.result.provenance[idx];
       if (prov.Variables().size() > config.max_lineage ||
           prov.num_clauses() > config.max_clauses) {
+        // The syntactic pre-filter is the outermost skip rung: the tuple
+        // never reaches the ladder, but it still leaves a skip record.
+        ++stats.skipped;
+        ++stats.budget_trips[kSiteCorpusPrefilter];
         continue;
       }
       entry.contributions.push_back({entry.all_outputs[idx], {}});
@@ -70,11 +95,119 @@ Corpus BuildCorpus(const Database& db, const SchemaGraph& graph,
       ++slot;
     }
   }
-  ParallelFor(pool, jobs.size(), [&](size_t j) {
+
+  // Whole-build deadline: checked at every job start; on expiry the token
+  // cancels the wave (and, via the per-tuple budgets, any rung mid-flight).
+  using Clock = std::chrono::steady_clock;
+  const bool has_build_deadline = config.build_deadline_seconds > 0.0;
+  const Clock::time_point build_deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             config.build_deadline_seconds));
+  CancelToken build_cancel;
+
+  std::vector<LadderOutcome> outcomes(jobs.size());
+  const auto ladder = [&](size_t j) -> Status {
     const Job& job = jobs[j];
-    corpus.entries[job.entry].contributions[job.slot].shapley =
-        ComputeShapleyExact(*job.prov);
-  });
+    LadderOutcome& outcome = outcomes[j];
+    ShapleyValues& dest =
+        corpus.entries[job.entry].contributions[job.slot].shapley;
+    if (has_build_deadline && Clock::now() >= build_deadline) {
+      return Status::ResourceExhausted("corpus build deadline exceeded");
+    }
+
+    // Rung 1: exact circuit Shapley under the full per-tuple budget.
+    {
+      ExecutionBudget budget(
+          {config.tuple_deadline_seconds, config.max_circuit_nodes},
+          &build_cancel, config.fault_injector);
+      Result<ShapleyValues> exact = ComputeShapleyExact(*job.prov, budget);
+      if (exact.ok()) {
+        dest = std::move(exact).value();
+        outcome.rung = LadderOutcome::kExact;
+        return Status::Ok();
+      }
+      outcome.trip_sites.push_back(budget.trip_site());
+      if (exact.status().code() == StatusCode::kCancelled) {
+        return exact.status();
+      }
+    }
+    // Rung 2: Monte-Carlo estimate with a fixed sample budget and a fresh
+    // deadline. Seeded per job index so the fallback is deterministic
+    // regardless of which thread runs it.
+    {
+      ExecutionBudget budget({config.tuple_deadline_seconds, 0},
+                             &build_cancel, config.fault_injector);
+      Rng mc_rng(config.seed ^ (0x9e3779b97f4a7c15ULL * (j + 1)));
+      Result<ShapleyValues> mc = ComputeShapleyMonteCarlo(
+          *job.prov, config.mc_fallback_samples, mc_rng, budget);
+      if (mc.ok()) {
+        dest = std::move(mc).value();
+        outcome.rung = LadderOutcome::kMonteCarlo;
+        return Status::Ok();
+      }
+      outcome.trip_sites.push_back(budget.trip_site());
+      if (mc.status().code() == StatusCode::kCancelled) return mc.status();
+    }
+    // Rung 3: CNF-proxy ranking scores (polynomial closed form).
+    {
+      ExecutionBudget budget({config.tuple_deadline_seconds, 0},
+                             &build_cancel, config.fault_injector);
+      Result<ShapleyValues> proxy = ComputeCnfProxy(*job.prov, budget);
+      if (proxy.ok()) {
+        dest = std::move(proxy).value();
+        outcome.rung = LadderOutcome::kCnfProxy;
+        return Status::Ok();
+      }
+      outcome.trip_sites.push_back(budget.trip_site());
+      if (proxy.status().code() == StatusCode::kCancelled) {
+        return proxy.status();
+      }
+    }
+    // Rung 4: skip. The tuple is dropped below with a stats record; the
+    // wave itself keeps going.
+    outcome.rung = LadderOutcome::kSkip;
+    return Status::Ok();
+  };
+  // The wave status is deliberately dropped: a cancelled build is not an
+  // error of BuildCorpus — the unprocessed jobs are folded into the skip
+  // accounting below and the (partial) corpus is still valid.
+  (void)ParallelFor(pool, jobs.size(), build_cancel, ladder);
+
+  // Fold the per-job outcomes into BuildStats serially (deterministic
+  // counts), then drop the contributions that got no ground truth.
+  for (const LadderOutcome& outcome : outcomes) {
+    switch (outcome.rung) {
+      case LadderOutcome::kExact:
+        ++stats.exact;
+        break;
+      case LadderOutcome::kMonteCarlo:
+        ++stats.monte_carlo;
+        break;
+      case LadderOutcome::kCnfProxy:
+        ++stats.cnf_proxy;
+        break;
+      case LadderOutcome::kSkip:
+        ++stats.skipped;
+        break;
+      case LadderOutcome::kNotRun:
+        // Build cancelled (or deadline hit) before this tuple ran.
+        ++stats.skipped;
+        ++stats.budget_trips[kSiteCorpusBuildDeadline];
+        break;
+    }
+    for (const std::string& site : outcome.trip_sites) {
+      ++stats.budget_trips[site];
+    }
+  }
+  for (auto& e : corpus.entries) {
+    e.contributions.erase(
+        std::remove_if(e.contributions.begin(), e.contributions.end(),
+                       [](const TupleContribution& c) {
+                         return c.shapley.empty();
+                       }),
+        e.contributions.end());
+  }
 
   // Drop entries that ended with no usable contributions.
   std::vector<CorpusEntry> kept;
@@ -101,6 +234,7 @@ Corpus BuildCorpus(const Database& db, const SchemaGraph& graph,
       corpus.test_idx.push_back(order[i]);
     }
   }
+  stats.wall_seconds = build_timer.ElapsedSeconds();
   return corpus;
 }
 

@@ -2,9 +2,12 @@
 #define LSHAP_CORPUS_CORPUS_H_
 
 #include <cstdint>
+#include <map>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/thread_pool.h"
 #include "query/generator.h"
 #include "relational/database.h"
@@ -23,6 +26,35 @@ struct CorpusEntry {
   std::vector<TupleContribution> contributions;
 };
 
+// Synthetic budget-trip sites recorded by the corpus builder in addition to
+// the engine sites (kSiteCompilerExpand, kSiteShapleyCount, ...).
+inline constexpr char kSiteCorpusPrefilter[] = "corpus.prefilter";
+inline constexpr char kSiteCorpusBuildDeadline[] = "corpus.build_deadline";
+
+// What the graceful-degradation ladder did during one BuildCorpus run. Each
+// sampled output tuple lands on exactly one rung:
+//   exact -> monte_carlo -> cnf_proxy -> skipped.
+// The invariant `exact + monte_carlo + cnf_proxy + skipped == attempted()`
+// means no tuple is ever silently lost: a tuple without ground truth always
+// leaves a skip record with a trip site explaining why.
+struct BuildStats {
+  size_t exact = 0;        // rung 1: exact circuit Shapley
+  size_t monte_carlo = 0;  // rung 2: permutation-sampling estimate
+  size_t cnf_proxy = 0;    // rung 3: CNF-proxy ranking scores
+  // rung 4: dropped — pre-filtered (max_lineage / max_clauses), every
+  // computing rung tripped its budget, or the build was cancelled before
+  // the tuple was processed.
+  size_t skipped = 0;
+  double wall_seconds = 0.0;  // whole-build wall time
+  // Budget-trip occurrences keyed by check site (ExecutionBudget trip sites
+  // plus the synthetic corpus.* sites above).
+  std::map<std::string, size_t> budget_trips;
+
+  size_t attempted() const {
+    return exact + monte_carlo + cnf_proxy + skipped;
+  }
+};
+
 // A DBShap-style corpus over one database: query log with ground truth and
 // the 70/10/20 query-level split of Section 4.
 struct Corpus {
@@ -31,6 +63,7 @@ struct Corpus {
   std::vector<size_t> train_idx;
   std::vector<size_t> dev_idx;
   std::vector<size_t> test_idx;
+  BuildStats stats;
 };
 
 struct CorpusConfig {
@@ -52,11 +85,36 @@ struct CorpusConfig {
   double train_frac = 0.7;
   double dev_frac = 0.1;
   QueryGenConfig query_gen;
+
+  // --- Resource governance (DESIGN.md "Resource governance & degraded
+  // modes"). The defaults reproduce the historical unbounded behaviour. ---
+  // Per-tuple wall-clock allowance, applied afresh to each ladder rung;
+  // 0 = no deadline.
+  double tuple_deadline_seconds = 0.0;
+  // Circuit-node/work allowance for the exact rung's compilation (one unit
+  // per circuit node); 0 = unlimited. This is the principled replacement
+  // for relying solely on the max_lineage/max_clauses pre-filter: it bounds
+  // the *actual* compiled size, not a syntactic proxy of it.
+  size_t max_circuit_nodes = 0;
+  // Sample budget of the Monte-Carlo fallback rung.
+  size_t mc_fallback_samples = 20000;
+  // Whole-build wall-clock allowance; 0 = none. On expiry the parallel
+  // ground-truth wave is cancelled cooperatively and every unprocessed
+  // tuple is recorded as skipped (site corpus.build_deadline).
+  double build_deadline_seconds = 0.0;
+  // Deterministic test hook forcing budget trips at exact sites; not owned.
+  FaultInjector* fault_injector = nullptr;
 };
 
 // Generates a query log over `db`, evaluates it with provenance, computes
-// exact Shapley ground truth for sampled outputs (in parallel over `pool`),
-// and splits queries into train/dev/test.
+// Shapley ground truth for sampled outputs (in parallel over `pool`), and
+// splits queries into train/dev/test. Each tuple's ground truth descends a
+// graceful-degradation ladder under the configured budgets — exact circuit
+// Shapley, then a Monte-Carlo estimate, then the CNF proxy, then skip —
+// with per-rung counts and budget-trip sites recorded in Corpus::stats.
+// Deterministic for a fixed config whenever no deadline fires (budget trips
+// caused by wall-clock deadlines depend on machine speed; node budgets and
+// fault injection are exactly reproducible).
 Corpus BuildCorpus(const Database& db, const SchemaGraph& graph,
                    const CorpusConfig& config, ThreadPool& pool);
 

@@ -126,6 +126,17 @@ Status SaveCorpus(const Corpus& corpus, const std::string& path) {
 
   out << "LSHAP_CORPUS 1\n";
   out << "db " << corpus.db->name() << ' ' << corpus.db->num_facts() << '\n';
+  // Build provenance: which degradation-ladder rung produced each tuple's
+  // ground truth (see BuildStats). Older readers that predate this line are
+  // gone; LoadCorpus tolerates its absence for older files.
+  out << "stats " << corpus.stats.exact << ' ' << corpus.stats.monte_carlo
+      << ' ' << corpus.stats.cnf_proxy << ' ' << corpus.stats.skipped << ' '
+      << StrFormat("%.6f", corpus.stats.wall_seconds) << ' '
+      << corpus.stats.budget_trips.size();
+  for (const auto& [site, count] : corpus.stats.budget_trips) {
+    out << ' ' << site << ':' << count;
+  }
+  out << '\n';
   out << "entries " << corpus.entries.size() << '\n';
   for (const auto& e : corpus.entries) {
     out << "entry " << e.query.id << '\n';
@@ -184,9 +195,27 @@ Result<Corpus> LoadCorpus(const Database* db, const std::string& path) {
 
   Corpus corpus;
   corpus.db = db;
+  if (!std::getline(in, line)) return bad("missing entries line");
+  if (StartsWith(line, "stats ")) {
+    std::istringstream ls(line.substr(6));
+    size_t num_trips = 0;
+    if (!(ls >> corpus.stats.exact >> corpus.stats.monte_carlo >>
+          corpus.stats.cnf_proxy >> corpus.stats.skipped >>
+          corpus.stats.wall_seconds >> num_trips)) {
+      return bad("malformed stats line");
+    }
+    for (size_t i = 0; i < num_trips; ++i) {
+      std::string pair;
+      if (!(ls >> pair)) return bad("truncated stats trip list");
+      const size_t colon = pair.rfind(':');
+      if (colon == std::string::npos) return bad("malformed stats trip");
+      corpus.stats.budget_trips[pair.substr(0, colon)] =
+          std::stoul(pair.substr(colon + 1));
+    }
+    if (!std::getline(in, line)) return bad("missing entries line");
+  }
   size_t num_entries = 0;
   {
-    if (!std::getline(in, line)) return bad("missing entries line");
     std::istringstream ls(line);
     ls >> word >> num_entries;
     if (word != "entries") return bad("expected entries line");

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "common/check.h"
 
@@ -11,21 +12,45 @@ namespace lshap {
 struct DnfCompiler::Ctx {
   std::unordered_map<std::string, NodeId> cache;
   size_t cache_hits = 0;
+  ExecutionBudget* budget = nullptr;
+  Status error;
 };
 
 std::unique_ptr<Circuit> DnfCompiler::Compile(const Dnf& dnf) {
+  ExecutionBudget unlimited = ExecutionBudget::Unlimited();
+  Result<std::unique_ptr<Circuit>> result = Compile(dnf, unlimited);
+  // An unlimited budget cannot trip.
+  LSHAP_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+Result<std::unique_ptr<Circuit>> DnfCompiler::Compile(
+    const Dnf& dnf, ExecutionBudget& budget) {
   auto circuit = std::make_unique<Circuit>();
   Ctx ctx;
+  ctx.budget = budget.unlimited() ? nullptr : &budget;
   Dnf normalized = dnf;
   normalized.Absorb();
   const NodeId root = CompileRec(normalized, *circuit, ctx);
-  circuit->set_root(root);
   last_num_nodes_ = circuit->num_nodes();
   last_cache_hits_ = ctx.cache_hits;
+  if (!ctx.error.ok()) return ctx.error;
+  circuit->set_root(root);
   return circuit;
 }
 
 NodeId DnfCompiler::CompileRec(const Dnf& dnf, Circuit& circuit, Ctx& ctx) {
+  // Budget poll at every expansion step; once tripped, the recursion
+  // unwinds level by level returning kInvalidNode (the sticky error is
+  // surfaced by Compile).
+  if (ctx.budget != nullptr) {
+    Status s = ctx.budget->Check(kSiteCompilerExpand);
+    if (!s.ok()) {
+      ctx.error = std::move(s);
+      return kInvalidNode;
+    }
+  }
+
   // Terminal cases: empty DNF is false; an empty clause makes it true
   // (after absorption an empty clause implies it is the only clause).
   if (dnf.empty()) return circuit.FalseNode();
@@ -40,10 +65,23 @@ NodeId DnfCompiler::CompileRec(const Dnf& dnf, Circuit& circuit, Ctx& ctx) {
 
   NodeId result = kInvalidNode;
 
+  // Charges one work unit per circuit node about to be created; a false
+  // return means the budget tripped and the caller must unwind.
+  auto charge_nodes = [&](uint64_t nodes) {
+    if (ctx.budget == nullptr) return true;
+    Status s = ctx.budget->Charge(nodes, kSiteCompilerExpand);
+    if (!s.ok()) {
+      ctx.error = std::move(s);
+      return false;
+    }
+    return true;
+  };
+
   // A DNF with one clause is a pure conjunction: an AND of single-variable
   // decisions.
   const auto& clauses = dnf.clauses();
   if (clauses.size() == 1) {
+    if (!charge_nodes(clauses[0].size() + 1)) return kInvalidNode;
     std::vector<NodeId> children;
     children.reserve(clauses[0].size());
     for (FactId v : clauses[0]) {
@@ -70,9 +108,12 @@ NodeId DnfCompiler::CompileRec(const Dnf& dnf, Circuit& circuit, Ctx& ctx) {
       std::vector<Clause> member_clauses;
       member_clauses.reserve(member_idxs.size());
       for (size_t i : member_idxs) member_clauses.push_back(clauses[i]);
-      children.push_back(CompileRec(Dnf(std::move(member_clauses)), circuit,
-                                    ctx));
+      const NodeId child =
+          CompileRec(Dnf(std::move(member_clauses)), circuit, ctx);
+      if (!ctx.error.ok()) return kInvalidNode;
+      children.push_back(child);
     }
+    if (!charge_nodes(1)) return kInvalidNode;
     result = circuit.AddOr(std::move(children));
     ctx.cache.emplace(key, result);
     return result;
@@ -101,7 +142,10 @@ NodeId DnfCompiler::CompileRec(const Dnf& dnf, Circuit& circuit, Ctx& ctx) {
   Dnf lo = dnf.Restrict(best, false);
   lo.Absorb();
   const NodeId hi_node = CompileRec(hi, circuit, ctx);
+  if (!ctx.error.ok()) return kInvalidNode;
   const NodeId lo_node = CompileRec(lo, circuit, ctx);
+  if (!ctx.error.ok()) return kInvalidNode;
+  if (!charge_nodes(1)) return kInvalidNode;
   result = circuit.AddDecision(best, hi_node, lo_node);
   ctx.cache.emplace(key, result);
   return result;

@@ -3,6 +3,8 @@
 
 #include <memory>
 
+#include "common/budget.h"
+#include "common/status.h"
 #include "provenance/bool_expr.h"
 #include "provenance/circuit.h"
 
@@ -21,6 +23,9 @@ struct CompilerOptions {
   bool component_decomposition = true;
 };
 
+// Budget check-site names exposed for fault-injection tests.
+inline constexpr char kSiteCompilerExpand[] = "compiler.expand";
+
 class DnfCompiler {
  public:
   DnfCompiler() = default;
@@ -28,9 +33,20 @@ class DnfCompiler {
 
   // Compiles `dnf` (absorption is applied internally) and returns the
   // circuit with its root set. The circuit is owned by the caller.
+  // Compilation is exponential in the worst case (PP-hard in general);
+  // this unbudgeted form can run away on dense multi-hub provenance.
   std::unique_ptr<Circuit> Compile(const Dnf& dnf);
 
-  // Statistics of the last compilation.
+  // Budgeted variant: the budget is polled at every Shannon-expansion step
+  // and charged one work unit per circuit node created, so a node budget
+  // bounds peak memory and a deadline bounds wall time. On a trip the
+  // partial circuit is discarded and kResourceExhausted / kCancelled is
+  // returned.
+  Result<std::unique_ptr<Circuit>> Compile(const Dnf& dnf,
+                                           ExecutionBudget& budget);
+
+  // Statistics of the last compilation (also populated for a failed
+  // budgeted compile, describing the partial circuit at the trip point).
   size_t last_num_nodes() const { return last_num_nodes_; }
   size_t last_cache_hits() const { return last_cache_hits_; }
 

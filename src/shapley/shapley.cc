@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
+#include "common/strings.h"
 #include "provenance/circuit.h"
 #include "provenance/compiler.h"
 #include "provenance/tseytin.h"
@@ -22,17 +24,34 @@ long double ShapleyWeight(size_t n, size_t k) {
 }  // namespace
 
 ShapleyValues ComputeShapleyExact(const Dnf& provenance) {
+  ExecutionBudget unlimited = ExecutionBudget::Unlimited();
+  Result<ShapleyValues> result = ComputeShapleyExact(provenance, unlimited);
+  // An unlimited budget cannot trip.
+  LSHAP_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+Result<ShapleyValues> ComputeShapleyExact(const Dnf& provenance,
+                                          ExecutionBudget& budget) {
   ShapleyValues out;
   const std::vector<FactId> lineage = provenance.Variables();
   const size_t n = lineage.size();
   if (n == 0) return out;
 
   DnfCompiler compiler;
-  std::unique_ptr<Circuit> circuit = compiler.Compile(provenance);
+  Result<std::unique_ptr<Circuit>> compiled =
+      compiler.Compile(provenance, budget);
+  if (!compiled.ok()) return compiled.status();
+  std::unique_ptr<Circuit> circuit = std::move(compiled).value();
   const NodeId root = circuit->root();
   CountingSession session(circuit.get());
 
   for (FactId f : lineage) {
+    // Each per-fact pass re-traverses at most the whole circuit, which is
+    // within the node budget already charged — so a poll per fact bounds
+    // the counting phase at circuit-size granularity.
+    Status s = budget.Check(kSiteShapleyCount);
+    if (!s.ok()) return s;
     // Counts of subsets E ⊆ lineage \ {f} of each size satisfying Φ with f
     // forced true / false. The circuit support may be smaller than the
     // lineage (absorbed-clause variables are null players); extension adds
@@ -73,12 +92,15 @@ ShapleyValues ComputeBanzhafExact(const Dnf& provenance) {
   return out;
 }
 
-ShapleyValues ComputeShapleyBrute(const Dnf& provenance) {
+Result<ShapleyValues> ComputeShapleyBrute(const Dnf& provenance) {
   ShapleyValues out;
   const std::vector<FactId> lineage = provenance.Variables();
   const size_t n = lineage.size();
   if (n == 0) return out;
-  LSHAP_CHECK_LE(n, 25u);
+  if (n > 25) {
+    return Status::InvalidArgument(
+        StrFormat("brute-force Shapley refused: %zu variables (max 25)", n));
+  }
 
   // Evaluate Φ for every subset mask once.
   const size_t num_masks = size_t{1} << n;
@@ -111,16 +133,32 @@ ShapleyValues ComputeShapleyBrute(const Dnf& provenance) {
 
 ShapleyValues ComputeShapleyMonteCarlo(const Dnf& provenance,
                                        size_t num_samples, Rng& rng) {
+  ExecutionBudget unlimited = ExecutionBudget::Unlimited();
+  Result<ShapleyValues> result =
+      ComputeShapleyMonteCarlo(provenance, num_samples, rng, unlimited);
+  // An unlimited budget cannot trip.
+  LSHAP_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+Result<ShapleyValues> ComputeShapleyMonteCarlo(const Dnf& provenance,
+                                               size_t num_samples, Rng& rng,
+                                               ExecutionBudget& budget) {
   ShapleyValues out;
   std::vector<FactId> lineage = provenance.Variables();
   const size_t n = lineage.size();
   if (n == 0) return out;
   for (FactId f : lineage) out[f] = 0.0;
 
+  const bool budgeted = !budget.unlimited();
   std::vector<FactId> order = lineage;
   std::vector<FactId> present;
   present.reserve(n);
   for (size_t s = 0; s < num_samples; ++s) {
+    if (budgeted) {
+      Status status = budget.Charge(1, kSiteShapleyMcSample);
+      if (!status.ok()) return status;
+    }
     rng.Shuffle(order);
     present.clear();
     bool prev = provenance.Evaluate(present);  // false unless empty clause
@@ -139,6 +177,15 @@ ShapleyValues ComputeShapleyMonteCarlo(const Dnf& provenance,
 }
 
 ShapleyValues ComputeCnfProxy(const Dnf& provenance) {
+  ExecutionBudget unlimited = ExecutionBudget::Unlimited();
+  Result<ShapleyValues> result = ComputeCnfProxy(provenance, unlimited);
+  // An unlimited budget cannot trip.
+  LSHAP_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+Result<ShapleyValues> ComputeCnfProxy(const Dnf& provenance,
+                                      ExecutionBudget& budget) {
   ShapleyValues out;
   const std::vector<FactId> lineage = provenance.Variables();
   if (lineage.empty()) return out;
@@ -146,6 +193,7 @@ ShapleyValues ComputeCnfProxy(const Dnf& provenance) {
 
   const CnfFormula cnf = TseytinFromDnf(provenance);
   const size_t n = cnf.num_variables;
+  const bool budgeted = !budget.unlimited();
 
   // Shapley value, in the single-clause OR-game over universe size n, of a
   // positive/negative literal. For a clause with p positive and q negative
@@ -157,6 +205,10 @@ ShapleyValues ComputeCnfProxy(const Dnf& provenance) {
   //     vars, none of the p positive vars; contribution is negative.
   std::vector<double> scores(n, 0.0);
   for (const auto& clause : cnf.clauses) {
+    if (budgeted) {
+      Status status = budget.Check(kSiteCnfProxy);
+      if (!status.ok()) return status;
+    }
     size_t p = 0;
     size_t q = 0;
     for (const auto& lit : clause) {

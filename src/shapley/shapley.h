@@ -4,7 +4,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "provenance/bool_expr.h"
 #include "relational/database.h"
 
@@ -15,6 +17,12 @@ namespace lshap {
 // provenance that is satisfiable with all facts present — sum to 1.
 using ShapleyValues = std::unordered_map<FactId, double>;
 
+// Budget check-site names exposed for fault-injection tests. The compiler's
+// own site (kSiteCompilerExpand) additionally fires inside the exact engine.
+inline constexpr char kSiteShapleyCount[] = "shapley.count";
+inline constexpr char kSiteShapleyMcSample[] = "shapley.mc_sample";
+inline constexpr char kSiteCnfProxy[] = "shapley.cnf_proxy";
+
 // Exact Shapley values of every variable of the provenance DNF, computed by
 // compiling the DNF into a decision-DNNF circuit and counting satisfying
 // assignments by size (the SIGMOD 2022 algorithm of Deutch et al.). The
@@ -22,15 +30,32 @@ using ShapleyValues = std::unordered_map<FactId, double>;
 // by the Shapley null-player/dummy property does not change any value).
 ShapleyValues ComputeShapleyExact(const Dnf& provenance);
 
-// Exact Shapley values by brute-force subset enumeration. Exponential in the
-// lineage size; refuse (CHECK) above 25 variables. Used as an independent
-// oracle in tests.
-ShapleyValues ComputeShapleyBrute(const Dnf& provenance);
+// Budgeted variant: the budget governs circuit compilation (node charges +
+// deadline/cancellation polls) and is re-polled before each per-fact
+// counting pass, so an exhausted budget yields kResourceExhausted (or
+// kCancelled) instead of an exponential blow-up. The unbudgeted form above
+// is this with an unlimited budget.
+Result<ShapleyValues> ComputeShapleyExact(const Dnf& provenance,
+                                          ExecutionBudget& budget);
+
+// Exact Shapley values by brute-force subset enumeration. Exponential in
+// the lineage size; lineages above 25 variables are refused with
+// kInvalidArgument (callers can feed generated, untrusted-size provenance).
+// Used as an independent oracle in tests.
+Result<ShapleyValues> ComputeShapleyBrute(const Dnf& provenance);
 
 // Monte-Carlo permutation-sampling estimate with `num_samples` random
 // permutations. Unbiased; error ~ O(1/sqrt(num_samples)).
 ShapleyValues ComputeShapleyMonteCarlo(const Dnf& provenance,
                                        size_t num_samples, Rng& rng);
+
+// Budgeted variant: polls the budget once per sampled permutation and
+// charges one work unit per sample. On a trip, the samples drawn so far are
+// discarded and the error is returned (a truncated average would be biased
+// toward early-permutation pivots).
+Result<ShapleyValues> ComputeShapleyMonteCarlo(const Dnf& provenance,
+                                               size_t num_samples, Rng& rng,
+                                               ExecutionBudget& budget);
 
 // Exact Banzhaf values over the same circuits: the Banzhaf index replaces
 // the Shapley coalition weights with a uniform 1/2^(n-1), i.e. the
@@ -48,6 +73,12 @@ ShapleyValues ComputeBanzhafExact(const Dnf& provenance);
 // linear across games, so the proxy is cheap to evaluate. Only the induced
 // ranking is meaningful, not the magnitudes.
 ShapleyValues ComputeCnfProxy(const Dnf& provenance);
+
+// Budgeted variant (polled per CNF clause). The proxy is polynomial, so in
+// practice only fault injection or a cancelled token trips it; it exists so
+// the corpus builder's last computing rung is governed like the others.
+Result<ShapleyValues> ComputeCnfProxy(const Dnf& provenance,
+                                      ExecutionBudget& budget);
 
 // Ranks fact ids by descending score; ties broken by ascending fact id so
 // rankings are deterministic.

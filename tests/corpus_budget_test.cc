@@ -1,0 +1,235 @@
+// Fault-injection and budget tests for the BuildCorpus graceful-degradation
+// ladder: each rung (exact -> Monte-Carlo -> CNF proxy -> skip) must engage
+// deterministically, BuildStats must account for every sampled tuple, and a
+// starved build must still terminate with a valid corpus.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "corpus/corpus.h"
+#include "corpus/io.h"
+#include "datasets/imdb.h"
+#include "provenance/compiler.h"
+#include "shapley/shapley.h"
+
+namespace lshap {
+namespace {
+
+CorpusConfig SmallConfig() {
+  CorpusConfig cfg;
+  cfg.seed = 3;
+  cfg.num_base_queries = 10;
+  cfg.max_outputs_per_query = 8;
+  cfg.query_gen.max_tables = 3;
+  // Keep the fallback rung fast; agreement quality is tested elsewhere.
+  cfg.mc_fallback_samples = 300;
+  return cfg;
+}
+
+size_t TotalContributions(const Corpus& c) {
+  size_t n = 0;
+  for (const auto& e : c.entries) n += e.contributions.size();
+  return n;
+}
+
+void ExpectValidSplit(const Corpus& c) {
+  std::set<size_t> all;
+  for (size_t i : c.train_idx) all.insert(i);
+  for (size_t i : c.dev_idx) all.insert(i);
+  for (size_t i : c.test_idx) all.insert(i);
+  EXPECT_EQ(all.size(), c.entries.size());
+  EXPECT_EQ(c.train_idx.size() + c.dev_idx.size() + c.test_idx.size(),
+            c.entries.size());
+}
+
+// Every build must satisfy the no-silent-loss invariant: each sampled tuple
+// lands on exactly one rung, and tuples without ground truth leave a skip
+// record.
+void ExpectLadderAccounting(const Corpus& c) {
+  const BuildStats& s = c.stats;
+  EXPECT_EQ(TotalContributions(c), s.exact + s.monte_carlo + s.cnf_proxy);
+  EXPECT_EQ(s.attempted(), TotalContributions(c) + s.skipped);
+}
+
+class CorpusBudgetTest : public ::testing::Test {
+ protected:
+  CorpusBudgetTest() : data_(MakeImdbDatabase({})), pool_(4) {}
+
+  Corpus Build(const CorpusConfig& cfg) {
+    return BuildCorpus(*data_.db, data_.graph, cfg, pool_);
+  }
+
+  GeneratedDb data_;
+  ThreadPool pool_;
+};
+
+TEST_F(CorpusBudgetTest, UnbudgetedBuildUsesOnlyExactRung) {
+  const Corpus c = Build(SmallConfig());
+  EXPECT_GT(c.stats.exact, 0u);
+  EXPECT_EQ(c.stats.monte_carlo, 0u);
+  EXPECT_EQ(c.stats.cnf_proxy, 0u);
+  // The only possible skips are syntactic pre-filter drops.
+  size_t prefiltered = 0;
+  auto it = c.stats.budget_trips.find(kSiteCorpusPrefilter);
+  if (it != c.stats.budget_trips.end()) prefiltered = it->second;
+  EXPECT_EQ(c.stats.skipped, prefiltered);
+  EXPECT_GT(c.stats.wall_seconds, 0.0);
+  ExpectLadderAccounting(c);
+  ExpectValidSplit(c);
+}
+
+TEST_F(CorpusBudgetTest, CompilerExhaustionDegradesEveryTupleToMonteCarlo) {
+  const Corpus baseline = Build(SmallConfig());
+
+  FaultInjector fault;
+  fault.FailWithProbability(kSiteCompilerExpand, 1.0);
+  CorpusConfig cfg = SmallConfig();
+  cfg.fault_injector = &fault;
+  const Corpus degraded = Build(cfg);
+
+  // BuildCorpus completed (we are here, no abort) and every tuple that the
+  // baseline computed exactly fell to the Monte-Carlo rung instead.
+  EXPECT_EQ(degraded.stats.exact, 0u);
+  EXPECT_EQ(degraded.stats.monte_carlo, baseline.stats.exact);
+  EXPECT_EQ(degraded.stats.attempted(), baseline.stats.attempted());
+  EXPECT_EQ(degraded.stats.budget_trips.at(kSiteCompilerExpand),
+            baseline.stats.exact);
+  ExpectLadderAccounting(degraded);
+  ExpectValidSplit(degraded);
+
+  // The Monte-Carlo ground truth is still a valid Shapley distribution.
+  for (const auto& e : degraded.entries) {
+    for (const auto& contrib : e.contributions) {
+      double sum = 0.0;
+      for (const auto& [f, v] : contrib.shapley) sum += v;
+      EXPECT_NEAR(sum, 1.0, 1e-6);
+    }
+  }
+}
+
+TEST_F(CorpusBudgetTest, DoubleFaultFallsToCnfProxy) {
+  const Corpus baseline = Build(SmallConfig());
+
+  FaultInjector fault;
+  fault.FailWithProbability(kSiteCompilerExpand, 1.0);
+  fault.FailWithProbability(kSiteShapleyMcSample, 1.0);
+  CorpusConfig cfg = SmallConfig();
+  cfg.fault_injector = &fault;
+  const Corpus degraded = Build(cfg);
+
+  EXPECT_EQ(degraded.stats.exact, 0u);
+  EXPECT_EQ(degraded.stats.monte_carlo, 0u);
+  EXPECT_EQ(degraded.stats.cnf_proxy, baseline.stats.exact);
+  EXPECT_EQ(degraded.stats.attempted(), baseline.stats.attempted());
+  ExpectLadderAccounting(degraded);
+  ExpectValidSplit(degraded);
+}
+
+TEST_F(CorpusBudgetTest, TripleFaultSkipsEverythingWithoutAborting) {
+  const Corpus baseline = Build(SmallConfig());
+
+  FaultInjector fault;
+  fault.FailWithProbability(kSiteCompilerExpand, 1.0);
+  fault.FailWithProbability(kSiteShapleyMcSample, 1.0);
+  fault.FailWithProbability(kSiteCnfProxy, 1.0);
+  CorpusConfig cfg = SmallConfig();
+  cfg.fault_injector = &fault;
+  const Corpus degraded = Build(cfg);
+
+  // All rungs tripped for every tuple: nothing computed, everything skipped,
+  // and the accounting proves no tuple was silently lost.
+  EXPECT_EQ(TotalContributions(degraded), 0u);
+  EXPECT_TRUE(degraded.entries.empty());
+  EXPECT_EQ(degraded.stats.skipped, degraded.stats.attempted());
+  EXPECT_EQ(degraded.stats.attempted(), baseline.stats.attempted());
+  ExpectLadderAccounting(degraded);
+  ExpectValidSplit(degraded);
+}
+
+TEST_F(CorpusBudgetTest, SingleFaultDegradesExactlyOneTupleDeterministically) {
+  // A single-threaded pool makes the site hit counter deterministic, so the
+  // k-th Shannon expansion belongs to the same tuple on every run.
+  ThreadPool serial_pool(1);
+  auto build_with_fault = [&]() {
+    FaultInjector fault;
+    fault.FailAt(kSiteCompilerExpand, 40);
+    CorpusConfig cfg = SmallConfig();
+    cfg.fault_injector = &fault;
+    return BuildCorpus(*data_.db, data_.graph, cfg, serial_pool);
+  };
+  const Corpus a = build_with_fault();
+  const Corpus b = build_with_fault();
+
+  EXPECT_EQ(a.stats.monte_carlo, 1u);
+  EXPECT_EQ(a.stats.monte_carlo, b.stats.monte_carlo);
+  EXPECT_EQ(a.stats.exact, b.stats.exact);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (size_t e = 0; e < a.entries.size(); ++e) {
+    ASSERT_EQ(a.entries[e].contributions.size(),
+              b.entries[e].contributions.size());
+    for (size_t i = 0; i < a.entries[e].contributions.size(); ++i) {
+      // Identical values fact by fact — including the MC-degraded tuple,
+      // whose sampler is seeded by job index, not by thread timing.
+      const auto& ca = a.entries[e].contributions[i].shapley;
+      const auto& cb = b.entries[e].contributions[i].shapley;
+      ASSERT_EQ(ca.size(), cb.size());
+      for (const auto& [f, v] : ca) EXPECT_DOUBLE_EQ(cb.at(f), v);
+    }
+  }
+}
+
+TEST_F(CorpusBudgetTest, TinyNodeBudgetStillYieldsValidCorpus) {
+  CorpusConfig cfg = SmallConfig();
+  cfg.max_circuit_nodes = 1;  // every exact compile trips immediately
+  const Corpus c = Build(cfg);
+
+  EXPECT_EQ(c.stats.exact, 0u);
+  EXPECT_GT(c.stats.monte_carlo, 0u);
+  EXPECT_FALSE(c.entries.empty());
+  ExpectLadderAccounting(c);
+  ExpectValidSplit(c);
+  EXPECT_GT(c.train_idx.size(), 0u);
+}
+
+TEST_F(CorpusBudgetTest, ExpiredBuildDeadlineSkipsRemainingTuples) {
+  const Corpus baseline = Build(SmallConfig());
+
+  CorpusConfig cfg = SmallConfig();
+  cfg.build_deadline_seconds = 1e-9;  // expired before the wave starts
+  const Corpus c = Build(cfg);
+
+  // The build still terminates, produces an (empty but valid) corpus, and
+  // records every unprocessed tuple as a deadline skip.
+  EXPECT_EQ(c.stats.exact, 0u);
+  EXPECT_EQ(c.stats.skipped, c.stats.attempted());
+  EXPECT_EQ(c.stats.attempted(), baseline.stats.attempted());
+  EXPECT_GT(c.stats.budget_trips.at(kSiteCorpusBuildDeadline), 0u);
+  ExpectLadderAccounting(c);
+  ExpectValidSplit(c);
+}
+
+TEST_F(CorpusBudgetTest, BuildStatsRoundTripThroughCorpusIo) {
+  FaultInjector fault;
+  fault.FailWithProbability(kSiteCompilerExpand, 1.0);
+  CorpusConfig cfg = SmallConfig();
+  cfg.fault_injector = &fault;
+  const Corpus c = Build(cfg);
+
+  const std::string path =
+      ::testing::TempDir() + "/corpus_budget_test.lshap";
+  ASSERT_TRUE(SaveCorpus(c, path).ok());
+  auto loaded = LoadCorpus(data_.db.get(), path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->stats.exact, c.stats.exact);
+  EXPECT_EQ(loaded->stats.monte_carlo, c.stats.monte_carlo);
+  EXPECT_EQ(loaded->stats.cnf_proxy, c.stats.cnf_proxy);
+  EXPECT_EQ(loaded->stats.skipped, c.stats.skipped);
+  EXPECT_NEAR(loaded->stats.wall_seconds, c.stats.wall_seconds, 1e-5);
+  EXPECT_EQ(loaded->stats.budget_trips, c.stats.budget_trips);
+}
+
+}  // namespace
+}  // namespace lshap

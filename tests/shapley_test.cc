@@ -26,23 +26,33 @@ Dnf RandomDnf(Rng& rng, size_t num_vars, size_t num_clauses,
 
 TEST(ShapleyBruteTest, SingleFact) {
   const Dnf d(std::vector<Clause>{{7}});
-  const auto v = ComputeShapleyBrute(d);
+  const auto v = ComputeShapleyBrute(d).value();
   ASSERT_EQ(v.size(), 1u);
   EXPECT_DOUBLE_EQ(v.at(7), 1.0);
 }
 
 TEST(ShapleyBruteTest, ConjunctionSplitsEvenly) {
   const Dnf d(std::vector<Clause>{{1, 2}});
-  const auto v = ComputeShapleyBrute(d);
+  const auto v = ComputeShapleyBrute(d).value();
   EXPECT_DOUBLE_EQ(v.at(1), 0.5);
   EXPECT_DOUBLE_EQ(v.at(2), 0.5);
 }
 
 TEST(ShapleyBruteTest, DisjunctionSplitsEvenly) {
   const Dnf d(std::vector<Clause>{{1}, {2}});
-  const auto v = ComputeShapleyBrute(d);
+  const auto v = ComputeShapleyBrute(d).value();
   EXPECT_DOUBLE_EQ(v.at(1), 0.5);
   EXPECT_DOUBLE_EQ(v.at(2), 0.5);
+}
+
+TEST(ShapleyBruteTest, RefusesOversizedLineage) {
+  // 26 independent single-fact clauses: 2^26 subset masks would be required;
+  // the guard must refuse instead of CHECK-aborting on generated provenance.
+  std::vector<Clause> clauses;
+  for (FactId f = 0; f < 26; ++f) clauses.push_back({f});
+  const auto r = ComputeShapleyBrute(Dnf(std::move(clauses)));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
 
 // Example 2.2 of the paper: Shapley(q_inf, Alice, c2) = 19/252 and
@@ -102,7 +112,7 @@ TEST(ShapleyExactTest, MatchesBruteForceOnRandomDnfs) {
     const size_t num_vars = 2 + rng.NextBounded(11);  // ≤ 12 vars
     const Dnf d = RandomDnf(rng, num_vars, 1 + rng.NextBounded(6), 4);
     const auto exact = ComputeShapleyExact(d);
-    const auto brute = ComputeShapleyBrute(d);
+    const auto brute = ComputeShapleyBrute(d).value();
     ASSERT_EQ(exact.size(), brute.size()) << d.ToString();
     for (const auto& [f, val] : brute) {
       EXPECT_NEAR(exact.at(f), val, 1e-9) << "var " << f << " in "
