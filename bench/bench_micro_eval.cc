@@ -6,6 +6,7 @@
 // storage-engine changes (see BENCH_pr1.json).
 #include <benchmark/benchmark.h>
 
+#include "common/thread_pool.h"
 #include "datasets/imdb.h"
 #include "eval/evaluator.h"
 #include "query/generator.h"
@@ -73,6 +74,50 @@ void BM_EvalLogFull(benchmark::State& state) {
   RunLog(state, ProvenanceCapture::kFull);
 }
 BENCHMARK(BM_EvalLogFull)->Unit(benchmark::kMillisecond);
+
+// Morsel-parallel evaluation of the same log; Arg = pool threads. The
+// serial benchmarks above stay the regression gauge for the flat join
+// index; these gauge thread scaling of the scan/probe/project pipeline.
+void RunLogParallel(benchmark::State& state, ProvenanceCapture capture) {
+  const Database& db = *BigImdb().db;
+  const std::vector<Query>& log = EvalLog();
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  EvalOptions opts;
+  opts.capture = capture;
+  opts.pool = &pool;
+  size_t tuples = 0;
+  for (auto _ : state) {
+    tuples = 0;
+    for (const Query& q : log) {
+      auto result = Evaluate(db, q, opts);
+      if (!result.ok()) continue;
+      tuples += result->tuples.size();
+      benchmark::DoNotOptimize(result->tuples.data());
+    }
+  }
+  state.SetLabel("queries=" + std::to_string(log.size()) +
+                 " tuples=" + std::to_string(tuples));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tuples));
+}
+
+void BM_EvalLogNonePar(benchmark::State& state) {
+  RunLogParallel(state, ProvenanceCapture::kNone);
+}
+BENCHMARK(BM_EvalLogNonePar)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EvalLogLineagePar(benchmark::State& state) {
+  RunLogParallel(state, ProvenanceCapture::kLineageOnly);
+}
+BENCHMARK(BM_EvalLogLineagePar)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EvalLogFullPar(benchmark::State& state) {
+  RunLogParallel(state, ProvenanceCapture::kFull);
+}
+BENCHMARK(BM_EvalLogFullPar)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 // Database construction itself (typed appends, string handling).
 void BM_BuildImdb(benchmark::State& state) {

@@ -94,6 +94,17 @@ void ParallelFor(ThreadPool& pool, size_t n,
   pool.Wait();
 }
 
+void ParallelForRanges(ThreadPool& pool, size_t n, size_t grain,
+                       const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  grain = std::max<size_t>(1, grain);
+  const size_t num_ranges = (n + grain - 1) / grain;
+  ParallelFor(pool, num_ranges, [&](size_t r) {
+    const size_t begin = r * grain;
+    fn(r, begin, std::min(n, begin + grain));
+  });
+}
+
 Status ParallelFor(ThreadPool& pool, size_t n, CancelToken& cancel,
                    const std::function<Status(size_t)>& fn) {
   if (n == 0) return Status::Ok();

@@ -64,6 +64,15 @@ void ParallelFor(ThreadPool& pool, size_t n,
 Status ParallelFor(ThreadPool& pool, size_t n, CancelToken& cancel,
                    const std::function<Status(size_t)>& fn);
 
+// Splits [0, n) into contiguous ranges of at most `grain` items and runs
+// fn(range_index, begin, end) for each across the pool, blocking until all
+// complete. Range r covers [r*grain, min(n, (r+1)*grain)), so range indexes
+// enumerate the input in order — callers that write one output slot per
+// range and merge slots in range order get exactly the serial result. The
+// morsel-driven evaluator is the primary user.
+void ParallelForRanges(ThreadPool& pool, size_t n, size_t grain,
+                       const std::function<void(size_t, size_t, size_t)>& fn);
+
 }  // namespace lshap
 
 #endif  // LSHAP_COMMON_THREAD_POOL_H_

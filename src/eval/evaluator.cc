@@ -1,12 +1,16 @@
 #include "eval/evaluator.h"
 
 #include <algorithm>
+#include <functional>
 #include <iterator>
+#include <limits>
 #include <set>
 #include <string>
 
 #include "common/check.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
+#include "eval/join_index.h"
 
 namespace lshap {
 
@@ -18,6 +22,57 @@ struct PartialRow {
   std::vector<uint32_t> row_indices;  // parallel to joined table order
   std::vector<FactId> facts;          // sorted
 };
+
+// How the scan/probe/project phases split their input rows into morsels.
+// Each phase plans against its own input size, runs one body per contiguous
+// row range, and merges per-morsel outputs in morsel order — which is the
+// whole determinism story: concatenating range results in range order is
+// exactly what one serial pass over the input produces, so the parallel
+// result is byte-identical to the serial one at any thread count.
+struct EvalContext {
+  ThreadPool* pool = nullptr;
+  size_t morsel_rows = 4096;
+  size_t min_parallel_rows = 4096;
+
+  struct Plan {
+    size_t count = 1;  // number of morsels
+    size_t grain = 0;  // rows per morsel
+  };
+
+  Plan PlanMorsels(size_t n) const {
+    const size_t grain = std::max<size_t>(1, morsel_rows);
+    if (pool == nullptr || n < min_parallel_rows || n <= grain) {
+      return {1, n};
+    }
+    return {(n + grain - 1) / grain, grain};
+  }
+
+  // Runs body(morsel, begin, end) over ranges covering [0, n): inline for a
+  // single morsel, dispatched on the pool otherwise.
+  void Run(size_t n, const Plan& plan,
+           const std::function<void(size_t, size_t, size_t)>& body) const {
+    if (plan.count == 1) {
+      body(0, 0, n);
+      return;
+    }
+    ParallelForRanges(*pool, n, plan.grain, body);
+  }
+};
+
+// a * b, saturating at size_t max instead of wrapping.
+size_t SaturatingMul(size_t a, size_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > std::numeric_limits<size_t>::max() / b) {
+    return std::numeric_limits<size_t>::max();
+  }
+  return a * b;
+}
+
+// Cap on speculative vector reservations (rows). Estimates above this —
+// e.g. the cross-product of an adversarial disconnected query, whose exact
+// size can overflow size_t — fall back to geometric growth past the cap
+// instead of attempting one huge up-front allocation.
+constexpr size_t kMaxReserveRows = size_t{1} << 20;
 
 struct BoundTable {
   std::string name;
@@ -103,50 +158,79 @@ bool CompareMatches(int cmp, CompareOp op) {
 }
 
 // Runs `pred(row)` column-at-a-time: over all `n` rows when `rows` is empty
-// and this is the first selection, otherwise compacting the survivor list
-// in place.
+// and this is the first selection, otherwise compacting the survivor list.
+// Large inputs scan in parallel morsels; per-morsel survivor lists are
+// concatenated in morsel order, matching the serial scan's output exactly.
 template <typename Pred>
-void ScanRows(size_t n, bool first, std::vector<uint32_t>& rows, Pred pred) {
-  if (first) {
-    rows.reserve(n);
-    for (uint32_t r = 0; r < n; ++r) {
-      if (pred(r)) rows.push_back(r);
+void ScanRows(const EvalContext& ctx, size_t n, bool first,
+              std::vector<uint32_t>& rows, Pred pred) {
+  const size_t domain = first ? n : rows.size();
+  const EvalContext::Plan plan = ctx.PlanMorsels(domain);
+  if (plan.count == 1) {
+    if (first) {
+      rows.reserve(n);
+      for (uint32_t r = 0; r < n; ++r) {
+        if (pred(r)) rows.push_back(r);
+      }
+      return;
     }
+    size_t kept = 0;
+    for (uint32_t r : rows) {
+      if (pred(r)) rows[kept++] = r;
+    }
+    rows.resize(kept);
     return;
   }
-  size_t kept = 0;
-  for (uint32_t r : rows) {
-    if (pred(r)) rows[kept++] = r;
-  }
-  rows.resize(kept);
+  std::vector<std::vector<uint32_t>> parts(plan.count);
+  ctx.Run(domain, plan, [&](size_t m, size_t lo, size_t hi) {
+    std::vector<uint32_t>& out = parts[m];
+    if (first) {
+      for (size_t r = lo; r < hi; ++r) {
+        if (pred(static_cast<uint32_t>(r))) {
+          out.push_back(static_cast<uint32_t>(r));
+        }
+      }
+    } else {
+      for (size_t i = lo; i < hi; ++i) {
+        if (pred(rows[i])) out.push_back(rows[i]);
+      }
+    }
+  });
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  std::vector<uint32_t> merged;
+  merged.reserve(total);
+  for (const auto& p : parts) merged.insert(merged.end(), p.begin(), p.end());
+  rows = std::move(merged);
 }
 
 template <typename T>
-void NumericScan(const std::vector<T>& data, CompareOp op, double lit,
-                 bool first, std::vector<uint32_t>& rows) {
+void NumericScan(const EvalContext& ctx, const std::vector<T>& data,
+                 CompareOp op, double lit, bool first,
+                 std::vector<uint32_t>& rows) {
   switch (op) {
     case CompareOp::kEq:
-      ScanRows(data.size(), first, rows,
+      ScanRows(ctx, data.size(), first, rows,
                [&](uint32_t r) { return static_cast<double>(data[r]) == lit; });
       break;
     case CompareOp::kNe:
-      ScanRows(data.size(), first, rows,
+      ScanRows(ctx, data.size(), first, rows,
                [&](uint32_t r) { return static_cast<double>(data[r]) != lit; });
       break;
     case CompareOp::kLt:
-      ScanRows(data.size(), first, rows,
+      ScanRows(ctx, data.size(), first, rows,
                [&](uint32_t r) { return static_cast<double>(data[r]) < lit; });
       break;
     case CompareOp::kLe:
-      ScanRows(data.size(), first, rows,
+      ScanRows(ctx, data.size(), first, rows,
                [&](uint32_t r) { return static_cast<double>(data[r]) <= lit; });
       break;
     case CompareOp::kGt:
-      ScanRows(data.size(), first, rows,
+      ScanRows(ctx, data.size(), first, rows,
                [&](uint32_t r) { return static_cast<double>(data[r]) > lit; });
       break;
     case CompareOp::kGe:
-      ScanRows(data.size(), first, rows,
+      ScanRows(ctx, data.size(), first, rows,
                [&](uint32_t r) { return static_cast<double>(data[r]) >= lit; });
       break;
     case CompareOp::kStartsWith:
@@ -157,7 +241,8 @@ void NumericScan(const std::vector<T>& data, CompareOp op, double lit,
 
 // Applies one compiled selection; `first` means no selection has run yet
 // (rows is still empty and implicitly "all").
-void ApplySel(const CompiledSel& sel, const StringPool& pool, bool first,
+void ApplySel(const EvalContext& ctx, const CompiledSel& sel,
+              const StringPool& pool, bool first,
               std::vector<uint32_t>& rows) {
   const ColumnData& col = *sel.col;
   const size_t n = col.size();
@@ -174,34 +259,74 @@ void ApplySel(const CompiledSel& sel, const StringPool& pool, bool first,
       break;
     case CompiledSel::Kind::kNumeric:
       if (col.type() == ColumnType::kInt) {
-        NumericScan(col.ints(), sel.op, sel.num, first, rows);
+        NumericScan(ctx, col.ints(), sel.op, sel.num, first, rows);
       } else {
-        NumericScan(col.doubles(), sel.op, sel.num, first, rows);
+        NumericScan(ctx, col.doubles(), sel.op, sel.num, first, rows);
       }
       break;
     case CompiledSel::Kind::kStringId: {
       const auto& ids = col.string_ids();
       if (sel.op == CompareOp::kEq) {
-        ScanRows(n, first, rows, [&](uint32_t r) { return ids[r] == sel.id; });
+        ScanRows(ctx, n, first, rows,
+                 [&](uint32_t r) { return ids[r] == sel.id; });
       } else {
-        ScanRows(n, first, rows, [&](uint32_t r) { return ids[r] != sel.id; });
+        ScanRows(ctx, n, first, rows,
+                 [&](uint32_t r) { return ids[r] != sel.id; });
       }
       break;
     }
     case CompiledSel::Kind::kStringOrder: {
       const auto& ids = col.string_ids();
-      ScanRows(n, first, rows, [&](uint32_t r) {
+      ScanRows(ctx, n, first, rows, [&](uint32_t r) {
         return CompareMatches(pool.Get(ids[r]).compare(*sel.text), sel.op);
       });
       break;
     }
     case CompiledSel::Kind::kStringPrefix: {
       const auto& ids = col.string_ids();
-      ScanRows(n, first, rows, [&](uint32_t r) {
+      ScanRows(ctx, n, first, rows, [&](uint32_t r) {
         return StartsWith(pool.Get(ids[r]), *sel.text);
       });
       break;
     }
+  }
+}
+
+// Copies `pr` extended with new-table row `r` (and, when `table` is
+// non-null, with the row's fact id spliced into the sorted fact set). The
+// exact-size single-pass copies replace copy-then-push_back + sorted insert,
+// which reallocated and shifted on the join hot path.
+PartialRow ExtendRow(const PartialRow& pr, uint32_t r, const Table* table) {
+  PartialRow np;
+  np.row_indices.reserve(pr.row_indices.size() + 1);
+  np.row_indices.insert(np.row_indices.end(), pr.row_indices.begin(),
+                        pr.row_indices.end());
+  np.row_indices.push_back(r);
+  if (table != nullptr) {
+    const FactId f = table->fact_id(r);
+    const auto pos = std::upper_bound(pr.facts.begin(), pr.facts.end(), f);
+    np.facts.reserve(pr.facts.size() + 1);
+    np.facts.insert(np.facts.end(), pr.facts.begin(), pos);
+    np.facts.push_back(f);
+    np.facts.insert(np.facts.end(), pos, pr.facts.end());
+  }
+  return np;
+}
+
+// Moves per-morsel join outputs into `next` in morsel order — the
+// concatenation equals one serial pass over the probe input.
+void MergeJoinParts(std::vector<std::vector<PartialRow>>& parts,
+                    std::vector<PartialRow>& next) {
+  if (parts.size() == 1) {
+    next = std::move(parts[0]);
+    return;
+  }
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  next.clear();
+  next.reserve(total);
+  for (auto& p : parts) {
+    for (auto& pr : p) next.push_back(std::move(pr));
   }
 }
 
@@ -229,7 +354,8 @@ bool MatchesPredicate(const Value& value, CompareOp op, const Value& literal) {
 namespace {
 
 Status EvaluateBlock(const Database& db, const SpjBlock& block,
-                     ProvenanceCapture capture, EvalResult& result,
+                     ProvenanceCapture capture, const EvalContext& ctx,
+                     EvalResult& result,
                      std::vector<std::vector<Clause>>& pending_clauses) {
   if (block.tables.empty()) {
     return Status::InvalidArgument("SPJ block with empty FROM clause");
@@ -298,7 +424,7 @@ Status EvaluateBlock(const Database& db, const SpjBlock& block,
       for (uint32_t r = 0; r < t->num_rows(); ++r) rows[r] = r;
     } else {
       for (size_t s = 0; s < local_sels[i].size(); ++s) {
-        ApplySel(local_sels[i][s], pool, /*first=*/s == 0, rows);
+        ApplySel(ctx, local_sels[i][s], pool, /*first=*/s == 0, rows);
         if (rows.empty()) break;
       }
     }
@@ -402,66 +528,82 @@ Status EvaluateBlock(const Database& db, const SpjBlock& block,
     if (type_mismatch) return Status::Ok();  // no pair can match
 
     std::vector<PartialRow> next;
+    const Table* fact_table = track_facts ? bt.table : nullptr;
+    const EvalContext::Plan plan = ctx.PlanMorsels(current.size());
+    std::vector<std::vector<PartialRow>> parts(plan.count);
     if (key_parts.empty()) {
-      // Cross product (rare; disconnected query).
-      next.reserve(current.size() * bt.surviving_rows.size());
-      for (const auto& pr : current) {
-        for (uint32_t r : bt.surviving_rows) {
-          PartialRow np = pr;
-          np.row_indices.push_back(r);
-          if (track_facts) {
-            const FactId f = bt.table->fact_id(r);
-            np.facts.insert(
-                std::upper_bound(np.facts.begin(), np.facts.end(), f), f);
+      // Cross product (rare; disconnected query). The exact output size
+      // current * surviving can overflow size_t, so reservations saturate
+      // and cap; past the cap the vectors grow geometrically.
+      ctx.Run(current.size(), plan, [&](size_t m, size_t lo, size_t hi) {
+        std::vector<PartialRow>& out = parts[m];
+        out.reserve(std::min(
+            SaturatingMul(hi - lo, bt.surviving_rows.size()),
+            kMaxReserveRows));
+        for (size_t i = lo; i < hi; ++i) {
+          for (uint32_t r : bt.surviving_rows) {
+            out.push_back(ExtendRow(current[i], r, fact_table));
           }
-          next.push_back(std::move(np));
         }
-      }
+      });
     } else {
-      // Hash the new table on the first key part's column words; verify the
-      // remaining parts by word equality. Key words ARE the values (within
-      // one type), so probe hits need no re-check against the first part.
-      std::unordered_multimap<uint64_t, uint32_t> index;
-      index.reserve(bt.surviving_rows.size());
-      const ColumnData& build_col = *key_parts[0].new_col;
-      for (uint32_t r : bt.surviving_rows) {
-        index.emplace(build_col.KeyWord(r), r);
-      }
-      for (const auto& pr : current) {
-        const uint64_t probe = key_parts[0].placed_col->KeyWord(
-            pr.row_indices[key_parts[0].placed_order_pos]);
-        auto range = index.equal_range(probe);
-        for (auto it = range.first; it != range.second; ++it) {
-          const uint32_t r = it->second;
-          bool all_match = true;
-          for (size_t kp = 1; kp < key_parts.size(); ++kp) {
-            const auto& part = key_parts[kp];
-            if (part.new_col->KeyWord(r) !=
-                part.placed_col->KeyWord(
-                    pr.row_indices[part.placed_order_pos])) {
-              all_match = false;
-              break;
+      // Index the new table on the first key part's column words in a flat
+      // open-addressing table; verify the remaining parts by word equality.
+      // Key words ARE the values (within one type), so probe hits need no
+      // re-check against the first part. The probe loop runs per morsel of
+      // `current`, in batches: gather the probe-side key words through the
+      // batch accessor, prefetch every batch's bucket heads, then walk the
+      // payload slices — by which point the buckets are in cache.
+      FlatJoinIndex index;
+      index.Build(*key_parts[0].new_col, bt.surviving_rows);
+      const ColumnData& probe_col = *key_parts[0].placed_col;
+      const size_t probe_pos = key_parts[0].placed_order_pos;
+      constexpr size_t kProbeBatch = 64;
+      ctx.Run(current.size(), plan, [&](size_t m, size_t lo, size_t hi) {
+        std::vector<PartialRow>& out = parts[m];
+        uint32_t probe_rows[kProbeBatch];
+        uint64_t keys[kProbeBatch];
+        size_t start[kProbeBatch];
+        for (size_t base = lo; base < hi; base += kProbeBatch) {
+          const size_t bn = std::min(kProbeBatch, hi - base);
+          for (size_t j = 0; j < bn; ++j) {
+            probe_rows[j] = current[base + j].row_indices[probe_pos];
+          }
+          probe_col.KeyWords(probe_rows, bn, keys);
+          for (size_t j = 0; j < bn; ++j) {
+            start[j] = index.StartBucket(keys[j]);
+            index.Prefetch(start[j]);
+          }
+          for (size_t j = 0; j < bn; ++j) {
+            const FlatJoinIndex::Range range =
+                index.ProbeFrom(start[j], keys[j]);
+            if (range.begin == range.end) continue;
+            const PartialRow& pr = current[base + j];
+            for (const uint32_t* p = range.begin; p != range.end; ++p) {
+              const uint32_t r = *p;
+              bool all_match = true;
+              for (size_t kp = 1; kp < key_parts.size(); ++kp) {
+                const auto& part = key_parts[kp];
+                if (part.new_col->KeyWord(r) !=
+                    part.placed_col->KeyWord(
+                        pr.row_indices[part.placed_order_pos])) {
+                  all_match = false;
+                  break;
+                }
+              }
+              if (all_match) out.push_back(ExtendRow(pr, r, fact_table));
             }
           }
-          if (!all_match) continue;
-          PartialRow np = pr;
-          np.row_indices.push_back(r);
-          if (track_facts) {
-            const FactId f = bt.table->fact_id(r);
-            np.facts.insert(
-                std::upper_bound(np.facts.begin(), np.facts.end(), f), f);
-          }
-          next.push_back(std::move(np));
         }
-      }
+      });
     }
+    MergeJoinParts(parts, next);
     current = std::move(next);
     if (current.empty()) return Status::Ok();
   }
 
-  // Project with DISTINCT. The dedup key is the fixed-width encoded tuple
-  // (one word per projected cell); Values materialize once per distinct
-  // tuple, when it is first seen.
+  // Resolve the projected column slices. The DISTINCT dedup key is the
+  // fixed-width encoded tuple (one word per projected cell).
   struct ProjCol {
     size_t order_pos;
     const ColumnData* col;
@@ -476,49 +618,114 @@ Status EvaluateBlock(const Database& db, const SpjBlock& block,
              bound[ti].table->schema().ColumnIndex(proj.column).value())});
   }
 
-  // Per-block distinct state, keyed by encoded tuple. Merging into the
-  // query-global result (which dedups across union blocks by Value) happens
-  // once per distinct tuple, below.
+  // Project with DISTINCT in morsels over `current`. Each morsel dedups
+  // its own row range into a morsel-local distinct state (encoded keys in
+  // first-seen order, per-slot provenance); Values are NOT materialized
+  // here — only once per block-distinct tuple, at merge time.
+  struct ProjLocal {
+    std::unordered_map<EncodedTuple, size_t, EncodedTupleHash> index;
+    std::vector<EncodedTuple> keys;  // slot -> encoded tuple, first-seen order
+    std::vector<size_t> first_row;   // slot -> first deriving row in current
+    std::vector<std::vector<Clause>> clauses;    // kFull only
+    std::vector<std::vector<FactId>> lineages;   // kLineageOnly only
+  };
+  const EvalContext::Plan proj_plan = ctx.PlanMorsels(current.size());
+  std::vector<ProjLocal> proj_parts(proj_plan.count);
+  ctx.Run(current.size(), proj_plan, [&](size_t m, size_t lo, size_t hi) {
+    ProjLocal& loc = proj_parts[m];
+    EncodedTuple scratch(proj_cols.size());
+    for (size_t i = lo; i < hi; ++i) {
+      const PartialRow& pr = current[i];
+      for (size_t c = 0; c < proj_cols.size(); ++c) {
+        scratch[c] =
+            proj_cols[c].col->KeyWord(pr.row_indices[proj_cols[c].order_pos]);
+      }
+      auto [it, inserted] = loc.index.emplace(scratch, loc.keys.size());
+      const size_t slot = it->second;
+      if (inserted) {
+        loc.keys.push_back(scratch);
+        loc.first_row.push_back(i);
+        if (capture == ProvenanceCapture::kFull) loc.clauses.emplace_back();
+        if (capture == ProvenanceCapture::kLineageOnly) {
+          loc.lineages.emplace_back();
+        }
+      }
+      switch (capture) {
+        case ProvenanceCapture::kNone:
+          break;
+        case ProvenanceCapture::kLineageOnly: {
+          // Merge the derivation's facts into the lineage set (kept sorted).
+          std::vector<FactId>& lineage = loc.lineages[slot];
+          std::vector<FactId> merged;
+          merged.reserve(lineage.size() + pr.facts.size());
+          std::set_union(lineage.begin(), lineage.end(), pr.facts.begin(),
+                         pr.facts.end(), std::back_inserter(merged));
+          lineage = std::move(merged);
+          break;
+        }
+        case ProvenanceCapture::kFull:
+          loc.clauses[slot].push_back(pr.facts);
+          break;
+      }
+    }
+  });
+
+  // Merge the morsel-local distinct states into the per-block distinct
+  // index in morsel order: first-seen tuple order and clause order are
+  // therefore those of one serial pass over `current`. Lineage sets merge
+  // by sorted set-union, which is partition-independent. The query-global
+  // result (which dedups across union blocks by Value) takes over below,
+  // once per block-distinct tuple.
   std::unordered_map<EncodedTuple, size_t, EncodedTupleHash> local_index;
   std::vector<OutputTuple> local_tuples;
   std::vector<std::vector<Clause>> local_clauses;
   std::vector<std::vector<FactId>> local_lineages;
-  EncodedTuple scratch(proj_cols.size());
-
-  for (const auto& pr : current) {
-    for (size_t c = 0; c < proj_cols.size(); ++c) {
-      scratch[c] =
-          proj_cols[c].col->KeyWord(pr.row_indices[proj_cols[c].order_pos]);
-    }
-    auto [it, inserted] = local_index.emplace(scratch, local_tuples.size());
-    const size_t slot = it->second;
-    if (inserted) {
-      OutputTuple tuple;
-      tuple.reserve(proj_cols.size());
-      for (const auto& pc : proj_cols) {
-        tuple.push_back(
-            pc.col->GetValue(pr.row_indices[pc.order_pos], pool));
+  for (ProjLocal& loc : proj_parts) {
+    for (size_t s = 0; s < loc.keys.size(); ++s) {
+      auto [it, inserted] = local_index.emplace(std::move(loc.keys[s]),
+                                                local_tuples.size());
+      const size_t slot = it->second;
+      if (inserted) {
+        const PartialRow& pr = current[loc.first_row[s]];
+        OutputTuple tuple;
+        tuple.reserve(proj_cols.size());
+        for (const auto& pc : proj_cols) {
+          tuple.push_back(pc.col->GetValue(pr.row_indices[pc.order_pos],
+                                           pool));
+        }
+        local_tuples.push_back(std::move(tuple));
+        local_clauses.emplace_back();
+        local_lineages.emplace_back();
       }
-      local_tuples.push_back(std::move(tuple));
-      local_clauses.emplace_back();
-      local_lineages.emplace_back();
-    }
-    switch (capture) {
-      case ProvenanceCapture::kNone:
-        break;
-      case ProvenanceCapture::kLineageOnly: {
-        // Merge the derivation's facts into the lineage set (kept sorted).
-        std::vector<FactId>& lineage = local_lineages[slot];
-        std::vector<FactId> merged;
-        merged.reserve(lineage.size() + pr.facts.size());
-        std::set_union(lineage.begin(), lineage.end(), pr.facts.begin(),
-                       pr.facts.end(), std::back_inserter(merged));
-        lineage = std::move(merged);
-        break;
+      switch (capture) {
+        case ProvenanceCapture::kNone:
+          break;
+        case ProvenanceCapture::kLineageOnly: {
+          std::vector<FactId>& lineage = local_lineages[slot];
+          if (lineage.empty()) {
+            lineage = std::move(loc.lineages[s]);
+          } else {
+            std::vector<FactId> merged;
+            merged.reserve(lineage.size() + loc.lineages[s].size());
+            std::set_union(lineage.begin(), lineage.end(),
+                           loc.lineages[s].begin(), loc.lineages[s].end(),
+                           std::back_inserter(merged));
+            lineage = std::move(merged);
+          }
+          break;
+        }
+        case ProvenanceCapture::kFull: {
+          std::vector<Clause>& clauses = local_clauses[slot];
+          if (clauses.empty()) {
+            clauses = std::move(loc.clauses[s]);
+          } else {
+            clauses.insert(clauses.end(),
+                           std::make_move_iterator(loc.clauses[s].begin()),
+                           std::make_move_iterator(loc.clauses[s].end()));
+          }
+          break;
+        }
       }
-      case ProvenanceCapture::kFull:
-        local_clauses[slot].push_back(pr.facts);
-        break;
     }
   }
 
@@ -570,16 +777,22 @@ Status EvaluateBlock(const Database& db, const SpjBlock& block,
 }  // namespace
 
 Result<EvalResult> Evaluate(const Database& db, const Query& q,
-                            ProvenanceCapture capture) {
+                            const EvalOptions& options) {
   EvalResult result;
   if (q.blocks.empty()) {
     return Status::InvalidArgument("query with no SPJ blocks");
   }
+  EvalContext ctx;
+  ctx.pool = options.pool;
+  ctx.morsel_rows = options.morsel_rows;
+  ctx.min_parallel_rows = options.min_parallel_rows;
   std::vector<std::vector<Clause>> pending_clauses;
   for (const auto& block : q.blocks) {
-    Status s = EvaluateBlock(db, block, capture, result, pending_clauses);
+    Status s = EvaluateBlock(db, block, options.capture, ctx, result,
+                             pending_clauses);
     if (!s.ok()) return s;
   }
+  const ProvenanceCapture capture = options.capture;
   if (capture == ProvenanceCapture::kFull) {
     result.provenance.reserve(pending_clauses.size());
     result.lineages.reserve(pending_clauses.size());
@@ -589,6 +802,13 @@ Result<EvalResult> Evaluate(const Database& db, const Query& q,
     }
   }
   return result;
+}
+
+Result<EvalResult> Evaluate(const Database& db, const Query& q,
+                            ProvenanceCapture capture) {
+  EvalOptions options;
+  options.capture = capture;
+  return Evaluate(db, q, options);
 }
 
 }  // namespace lshap

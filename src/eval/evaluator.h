@@ -1,10 +1,12 @@
 #ifndef LSHAP_EVAL_EVALUATOR_H_
 #define LSHAP_EVAL_EVALUATOR_H_
 
+#include <cstddef>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "provenance/bool_expr.h"
 #include "query/ast.h"
 #include "relational/database.h"
@@ -41,13 +43,41 @@ struct EvalResult {
   }
 };
 
+// How one evaluation runs. The default is the serial path; setting `pool`
+// turns on morsel-driven parallelism: the scan, probe, and project phases
+// partition their input into contiguous row-range morsels dispatched on the
+// pool, and per-morsel partial outputs are merged in morsel order — so the
+// result (tuples, tuple order, clause order, lineages) is byte-identical to
+// the serial path at every thread count (eval_property_test enforces this).
+//
+// The pool must not be a pool one of whose workers is the calling thread:
+// the morsel dispatch blocks on ParallelFor, which deadlocks under such
+// nesting (BuildCorpus parallelizes across tuples and therefore evaluates
+// each query serially).
+struct EvalOptions {
+  ProvenanceCapture capture = ProvenanceCapture::kFull;
+  ThreadPool* pool = nullptr;  // nullptr => serial evaluation
+  // Rows per morsel. Smaller morsels load-balance better and larger ones
+  // amortize dispatch; tests shrink this to force multi-morsel merges on
+  // tiny inputs.
+  size_t morsel_rows = 4096;
+  // Inputs smaller than this stay serial even when a pool is set — the
+  // dispatch overhead would exceed the work.
+  size_t min_parallel_rows = 4096;
+};
+
 // Evaluates `q` over `db`. Selections are compiled against the columnar
 // storage (string equality predicates compare interned StringIds) and
-// applied column-at-a-time; joins are executed with hash indexes built
-// directly over fixed-width column key words, in the order the block lists
+// applied column-at-a-time; joins are executed with flat open-addressing
+// hash indexes (FlatJoinIndex) built directly over fixed-width column key
+// words and probed in prefetched batches, in the order the block lists
 // its tables (greedily reordered so every step is connected when possible).
 // Errors on unknown tables/columns or repeated table references (self-joins
 // are outside the SPJU fragment this engine targets).
+Result<EvalResult> Evaluate(const Database& db, const Query& q,
+                            const EvalOptions& options);
+
+// Serial evaluation with default tuning — the historical signature.
 Result<EvalResult> Evaluate(const Database& db, const Query& q,
                             ProvenanceCapture capture = ProvenanceCapture::kFull);
 

@@ -1,0 +1,116 @@
+#ifndef LSHAP_EVAL_JOIN_INDEX_H_
+#define LSHAP_EVAL_JOIN_INDEX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "relational/column.h"
+#include "relational/tuple.h"
+
+namespace lshap {
+
+// A flat open-addressing hash index over one join key column, built once per
+// join step and then probed read-only (concurrently, from morsel workers).
+//
+// Layout: a power-of-two array of 16-byte buckets (key word, payload offset,
+// payload count) probed linearly at load factor <= 0.5, plus one contiguous
+// payload array holding the row ids of every key group back to back. A probe
+// is: mix the key, walk at most a couple of buckets in one cache line stride,
+// and return a [begin, end) slice of the payload — no per-node allocation,
+// no pointer chasing through std::unordered_multimap's bucket lists.
+//
+// Rows within a key group keep the order they were inserted in (ascending
+// surviving-row order), so iterating a probe result enumerates matches in
+// exactly the order the serial row-at-a-time join produced them.
+class FlatJoinIndex {
+ public:
+  // Builds the index over `col`'s key words at the given row ids.
+  void Build(const ColumnData& col, const std::vector<uint32_t>& rows) {
+    const size_t n = rows.size();
+    payload_.resize(n);
+    size_t cap = 16;
+    while (cap < n * 2) cap <<= 1;
+    buckets_.assign(cap, Bucket{});
+    mask_ = cap - 1;
+    keys_scratch_.resize(n);
+    col.KeyWords(rows.data(), n, keys_scratch_.data());
+    // Pass 1: count group sizes per distinct key.
+    for (size_t i = 0; i < n; ++i) {
+      size_t b = StartBucket(keys_scratch_[i]);
+      while (buckets_[b].count != 0 && buckets_[b].key != keys_scratch_[i]) {
+        b = (b + 1) & mask_;
+      }
+      buckets_[b].key = keys_scratch_[i];
+      ++buckets_[b].count;
+    }
+    // Prefix-sum the counts into payload offsets.
+    uint32_t off = 0;
+    for (Bucket& bk : buckets_) {
+      if (bk.count == 0) continue;
+      bk.offset = off;
+      off += bk.count;
+    }
+    // Pass 2: scatter row ids, using offset as a running cursor and then
+    // rewinding it by count to recover each group's start.
+    for (size_t i = 0; i < n; ++i) {
+      size_t b = StartBucket(keys_scratch_[i]);
+      while (buckets_[b].key != keys_scratch_[i]) b = (b + 1) & mask_;
+      payload_[buckets_[b].offset++] = rows[i];
+    }
+    for (Bucket& bk : buckets_) {
+      if (bk.count != 0) bk.offset -= bk.count;
+    }
+  }
+
+  // First candidate bucket for `key`; feed to Prefetch and ProbeFrom so the
+  // hash is computed once per probe in the batched loop.
+  size_t StartBucket(uint64_t key) const {
+    return static_cast<size_t>(MixWord(key)) & mask_;
+  }
+
+  void Prefetch(size_t bucket) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&buckets_[bucket]);
+#else
+    (void)bucket;
+#endif
+  }
+
+  struct Range {
+    const uint32_t* begin = nullptr;
+    const uint32_t* end = nullptr;
+  };
+
+  // Linear probe starting at `bucket` (from StartBucket(key)): the matching
+  // key group as a payload slice, or an empty range if the key is absent.
+  Range ProbeFrom(size_t bucket, uint64_t key) const {
+    for (;;) {
+      const Bucket& bk = buckets_[bucket];
+      if (bk.count == 0) return {};
+      if (bk.key == key) {
+        const uint32_t* base = payload_.data() + bk.offset;
+        return {base, base + bk.count};
+      }
+      bucket = (bucket + 1) & mask_;
+    }
+  }
+
+  Range Probe(uint64_t key) const { return ProbeFrom(StartBucket(key), key); }
+
+ private:
+  struct Bucket {
+    uint64_t key = 0;
+    uint32_t offset = 0;
+    uint32_t count = 0;  // 0 marks an empty bucket
+  };
+
+  std::vector<Bucket> buckets_;
+  std::vector<uint32_t> payload_;
+  std::vector<uint64_t> keys_scratch_;  // build-time only, reused across Builds
+  size_t mask_ = 0;
+};
+
+}  // namespace lshap
+
+#endif  // LSHAP_EVAL_JOIN_INDEX_H_

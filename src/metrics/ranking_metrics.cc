@@ -11,8 +11,17 @@ double NdcgAtK(const std::vector<FactId>& predicted,
                const ShapleyValues& gold, size_t k) {
   const size_t depth = std::min(k, predicted.size());
   double dcg = 0.0;
+  std::vector<FactId> seen;
+  seen.reserve(depth);
   for (size_t i = 0; i < depth; ++i) {
-    auto it = gold.find(predicted[i]);
+    const FactId f = predicted[i];
+    // A fact repeated in the prediction earns its gain once, at its first
+    // (best-discounted) position. Counting every occurrence let DCG exceed
+    // IDCG — a ranking spamming the top fact scored NDCG > 1. Later
+    // occurrences still occupy their rank position, they just contribute 0.
+    if (std::find(seen.begin(), seen.end(), f) != seen.end()) continue;
+    seen.push_back(f);
+    auto it = gold.find(f);
     const double rel = it != gold.end() ? it->second : 0.0;
     dcg += rel / std::log2(static_cast<double>(i) + 2.0);
   }
@@ -23,7 +32,9 @@ double NdcgAtK(const std::vector<FactId>& predicted,
     idcg += gold.at(ideal[i]) / std::log2(static_cast<double>(i) + 2.0);
   }
   if (idcg <= 0.0) return 1.0;
-  return dcg / idcg;
+  // Floating-point accumulation of dcg and idcg sums the same terms in
+  // different orders; keep the quotient inside the metric's range.
+  return std::clamp(dcg / idcg, 0.0, 1.0);
 }
 
 double PrecisionAtK(const std::vector<FactId>& predicted,
@@ -34,9 +45,21 @@ double PrecisionAtK(const std::vector<FactId>& predicted,
   std::vector<FactId> top_pred(predicted.begin(),
                                predicted.begin() + static_cast<ptrdiff_t>(
                                    std::min(k, predicted.size())));
-  std::vector<FactId> top_gold(ideal.begin(),
-                               ideal.begin() + static_cast<ptrdiff_t>(
-                                   std::min(k, ideal.size())));
+  // The gold top-k, expanded across the score tie at the k boundary: every
+  // fact tied with the k-th best score is as legitimate a member of the
+  // gold top-k as the ones the FactId tiebreak happened to admit, so a
+  // prediction surfacing either tied fact scores the same. Cutting strictly
+  // at k made P@k depend on which of the tied facts the (arbitrary, e.g.
+  // hash-map-iteration-derived) ranking preferred. |inter| stays <= depth:
+  // the expansion never exceeds |ideal| and depth already caps at |ideal|.
+  const size_t gold_k = std::min(k, ideal.size());
+  const double boundary = gold.at(ideal[gold_k - 1]);
+  size_t gold_end = gold_k;
+  while (gold_end < ideal.size() && gold.at(ideal[gold_end]) == boundary) {
+    ++gold_end;
+  }
+  std::vector<FactId> top_gold(
+      ideal.begin(), ideal.begin() + static_cast<ptrdiff_t>(gold_end));
   std::sort(top_pred.begin(), top_pred.end());
   std::sort(top_gold.begin(), top_gold.end());
   std::vector<FactId> inter;

@@ -11,14 +11,18 @@ namespace lshap {
 
 // NDCG@k of a predicted fact ranking against graded gold relevances (the
 // true Shapley values): DCG@k = Σ_{i<k} rel(pred_i) / log2(i + 2), divided
-// by the ideal DCG of the gold-sorted prefix. Returns 1.0 when the ideal
+// by the ideal DCG of the gold-sorted prefix. A fact repeated in `predicted`
+// gains only at its first occurrence, so duplicated predictions cannot push
+// NDCG past 1; the result is clamped to [0, 1]. Returns 1.0 when the ideal
 // DCG is 0 (no relevant facts — every ranking is vacuously perfect).
 double NdcgAtK(const std::vector<FactId>& predicted,
                const ShapleyValues& gold, size_t k);
 
 // Precision@k: |top-k(predicted) ∩ top-k(gold)| / min(k, n). The gold top-k
-// is by descending Shapley value with fact-id tiebreak (the deterministic
-// gold ranking).
+// is by descending Shapley value, expanded to include every fact whose
+// score ties the k-th best — so gold ties at the boundary cannot make the
+// metric depend on which tied fact a ranking (or a hash-map iteration
+// order) happened to prefer. Always in [0, 1].
 double PrecisionAtK(const std::vector<FactId>& predicted,
                     const ShapleyValues& gold, size_t k);
 

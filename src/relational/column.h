@@ -75,6 +75,35 @@ class ColumnData {
     return 0;
   }
 
+  // Gathers KeyWord for a batch of row indices: out[i] = KeyWord(rows[i]).
+  // One type dispatch per batch instead of per cell — this is what the join
+  // probe loop and the flat index build use to keep their inner loops free
+  // of switches and amenable to unrolling.
+  void KeyWords(const uint32_t* rows, size_t n, uint64_t* out) const {
+    switch (type_) {
+      case ColumnType::kInt: {
+        const int64_t* data = ints_.data();
+        for (size_t i = 0; i < n; ++i) {
+          out[i] = static_cast<uint64_t>(data[rows[i]]);
+        }
+        break;
+      }
+      case ColumnType::kDouble: {
+        const double* data = doubles_.data();
+        for (size_t i = 0; i < n; ++i) {
+          const double d = data[rows[i]];
+          out[i] = std::bit_cast<uint64_t>(d == 0.0 ? 0.0 : d);
+        }
+        break;
+      }
+      case ColumnType::kString: {
+        const StringId* data = strings_.data();
+        for (size_t i = 0; i < n; ++i) out[i] = data[rows[i]];
+        break;
+      }
+    }
+  }
+
   // Decodes one cell back into the boundary Value type.
   Value GetValue(size_t i, const StringPool& pool) const {
     switch (type_) {

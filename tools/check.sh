@@ -1,13 +1,39 @@
 #!/usr/bin/env bash
-# Tier-1 check under sanitizers: configure a dedicated ASan+UBSan build tree,
-# build everything, and run the full test suite. Any sanitizer report aborts
-# the offending test (-fno-sanitize-recover=all), so a green run means clean.
+# Tier-1 check under sanitizers. LSHAP_SANITIZE selects the mode:
+#
+#   address (default, alias ON) — ASan+UBSan build tree (build-sanitize),
+#       full test suite.
+#   thread — TSan build tree (build-tsan), running the concurrency-heavy
+#       tests: the morsel-parallel evaluator differential tests
+#       (eval_property_test), the budget/cancellation machinery
+#       (budget_test), and the ThreadPool stress test (common_test).
+#
+# Any sanitizer report aborts the offending test
+# (-fno-sanitize-recover=all), so a green run means clean.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${BUILD_DIR:-build-sanitize}"
+MODE="${LSHAP_SANITIZE:-address}"
+case "$MODE" in
+  ON|address)
+    BUILD_DIR="${BUILD_DIR:-build-sanitize}"
+    CMAKE_MODE=ON
+    TEST_ARGS=()
+    ;;
+  thread)
+    BUILD_DIR="${BUILD_DIR:-build-tsan}"
+    CMAKE_MODE=thread
+    TEST_ARGS=(-R 'eval_property_test|budget_test|common_test')
+    ;;
+  *)
+    echo "unknown LSHAP_SANITIZE mode '$MODE' (want address|ON|thread)" >&2
+    exit 2
+    ;;
+esac
 
-cmake -B "$BUILD_DIR" -S . -DLSHAP_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake -B "$BUILD_DIR" -S . -DLSHAP_SANITIZE="$CMAKE_MODE" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+      "${TEST_ARGS[@]}"
