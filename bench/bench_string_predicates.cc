@@ -1,0 +1,199 @@
+// Micro-benchmarks of string selection predicates (google-benchmark): the
+// rank-interval path (order sidecar, PR 4) vs. the string-materializing
+// path it replaced. Both run in this binary over the same database — the
+// text path is preserved behind EvalOptions::use_string_ranks=false as the
+// differential oracle, and IS the pre-PR-4 implementation, so the
+// rank/text pair here is a faithful before/after (recorded in
+// BENCH_pr4.json).
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "datasets/imdb.h"
+#include "eval/evaluator.h"
+#include "query/generator.h"
+
+namespace lshap {
+namespace {
+
+// Larger than the eval-log database: string selections here are pure
+// scans, so the tables must be big enough that the per-cell predicate cost
+// dominates per-query setup.
+const GeneratedDb& ScanImdb() {
+  static const GeneratedDb* db = [] {
+    ImdbConfig cfg;
+    cfg.seed = 7;
+    cfg.num_companies = 500;
+    cfg.num_actors = 20000;
+    cfg.num_movies = 40000;
+    cfg.num_roles = 120000;
+    return new GeneratedDb(MakeImdbDatabase(cfg));
+  }();
+  return *db;
+}
+
+// Hand-built single-table scans: an ordered-range selection and a prefix
+// selection over the two biggest string columns. Literals are chosen to
+// keep selectivity moderate (neither empty nor everything).
+std::vector<Query> RangeScanQueries() {
+  std::vector<Query> queries;
+  auto make = [](const char* id, const char* table, const char* column,
+                 CompareOp op, const char* literal, const char* proj) {
+    SpjBlock b;
+    b.tables = {table};
+    b.selections.push_back({{table, column}, op, Value(literal)});
+    b.projections = {{table, proj}};
+    Query q;
+    q.id = id;
+    q.blocks.push_back(b);
+    return q;
+  };
+  queries.push_back(
+      make("lt_titles", "movies", "title", CompareOp::kLt, "Golden", "year"));
+  queries.push_back(
+      make("ge_roles", "roles", "movie", CompareOp::kGe, "Silent", "actor"));
+  queries.push_back(make("between_hi", "movies", "title", CompareOp::kGt,
+                         "Crimson", "company"));
+  return queries;
+}
+
+// Narrow two-sided ranges (>= lo AND < hi) over the biggest string column:
+// almost every row is scanned and rejected, so the per-cell predicate cost
+// — the thing the rank sidecar replaces — dominates over result
+// materialization. This is the cleanest before/after gauge.
+std::vector<Query> SelectiveRangeQueries() {
+  std::vector<Query> queries;
+  auto make = [](const char* id, const char* lo, const char* hi) {
+    SpjBlock b;
+    b.tables = {"roles"};
+    b.selections.push_back({{"roles", "movie"}, CompareOp::kGe, Value(lo)});
+    b.selections.push_back({{"roles", "movie"}, CompareOp::kLt, Value(hi)});
+    b.projections = {{"roles", "actor"}};
+    Query q;
+    q.id = id;
+    q.blocks.push_back(b);
+    return q;
+  };
+  queries.push_back(make("rng_t", "T", "U"));
+  queries.push_back(make("rng_cr", "Crimson", "Crystal"));
+  queries.push_back(make("rng_go", "Golden", "Gos"));
+  return queries;
+}
+
+std::vector<Query> PrefixScanQueries() {
+  std::vector<Query> queries;
+  for (const char* prefix : {"B", "Gold", "S"}) {
+    SpjBlock b;
+    b.tables = {"roles"};
+    b.selections.push_back(
+        {{"roles", "movie"}, CompareOp::kStartsWith, Value(prefix)});
+    b.projections = {{"roles", "actor"}};
+    Query q;
+    q.id = std::string("prefix_") + prefix;
+    q.blocks.push_back(b);
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+// A generator-driven mixed log with the PR 4 knobs turned up: joins of 2-3
+// tables whose string selections are predominantly ordered/prefix — the
+// corpus-build shape these predicates take once enabled.
+const std::vector<Query>& MixedOrderLog() {
+  static const std::vector<Query>* log = [] {
+    QueryGenConfig cfg;
+    cfg.min_tables = 2;
+    cfg.max_tables = 3;
+    cfg.string_order_prob = 0.6;
+    cfg.string_prefix_prob = 0.3;
+    QueryGenerator gen(ScanImdb().db.get(), ScanImdb().graph, cfg, 909);
+    return new std::vector<Query>(gen.GenerateLog(20, "ord"));
+  }();
+  return *log;
+}
+
+void RunQueries(benchmark::State& state, const std::vector<Query>& queries,
+                bool use_ranks) {
+  const Database& db = *ScanImdb().db;
+  EvalOptions opts;
+  opts.capture = ProvenanceCapture::kNone;
+  opts.use_string_ranks = use_ranks;
+  size_t tuples = 0;
+  for (auto _ : state) {
+    tuples = 0;
+    for (const Query& q : queries) {
+      auto result = Evaluate(db, q, opts);
+      if (!result.ok()) continue;
+      tuples += result->tuples.size();
+      benchmark::DoNotOptimize(result->tuples.data());
+    }
+  }
+  state.SetLabel("queries=" + std::to_string(queries.size()) +
+                 " tuples=" + std::to_string(tuples));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tuples));
+}
+
+void BM_StringRangeScanText(benchmark::State& state) {
+  RunQueries(state, RangeScanQueries(), /*use_ranks=*/false);
+}
+BENCHMARK(BM_StringRangeScanText)->Unit(benchmark::kMillisecond);
+
+void BM_StringRangeScanRank(benchmark::State& state) {
+  RunQueries(state, RangeScanQueries(), /*use_ranks=*/true);
+}
+BENCHMARK(BM_StringRangeScanRank)->Unit(benchmark::kMillisecond);
+
+void BM_SelectiveRangeText(benchmark::State& state) {
+  RunQueries(state, SelectiveRangeQueries(), /*use_ranks=*/false);
+}
+BENCHMARK(BM_SelectiveRangeText)->Unit(benchmark::kMillisecond);
+
+void BM_SelectiveRangeRank(benchmark::State& state) {
+  RunQueries(state, SelectiveRangeQueries(), /*use_ranks=*/true);
+}
+BENCHMARK(BM_SelectiveRangeRank)->Unit(benchmark::kMillisecond);
+
+void BM_StringPrefixScanText(benchmark::State& state) {
+  RunQueries(state, PrefixScanQueries(), /*use_ranks=*/false);
+}
+BENCHMARK(BM_StringPrefixScanText)->Unit(benchmark::kMillisecond);
+
+void BM_StringPrefixScanRank(benchmark::State& state) {
+  RunQueries(state, PrefixScanQueries(), /*use_ranks=*/true);
+}
+BENCHMARK(BM_StringPrefixScanRank)->Unit(benchmark::kMillisecond);
+
+void BM_MixedOrderLogText(benchmark::State& state) {
+  RunQueries(state, MixedOrderLog(), /*use_ranks=*/false);
+}
+BENCHMARK(BM_MixedOrderLogText)->Unit(benchmark::kMillisecond);
+
+void BM_MixedOrderLogRank(benchmark::State& state) {
+  RunQueries(state, MixedOrderLog(), /*use_ranks=*/true);
+}
+BENCHMARK(BM_MixedOrderLogRank)->Unit(benchmark::kMillisecond);
+
+// The one-time freeze cost: sorting the dictionary of the scan database
+// (~60k distinct strings), for context against the per-query wins above.
+void BM_FreezeStringOrder(benchmark::State& state) {
+  ImdbConfig cfg;
+  cfg.seed = 7;
+  cfg.num_companies = 500;
+  cfg.num_actors = 20000;
+  cfg.num_movies = 40000;
+  cfg.num_roles = 120000;
+  GeneratedDb g = MakeImdbDatabase(cfg);
+  for (auto _ : state) {
+    g.db->FreezeStringOrder();
+    benchmark::DoNotOptimize(g.db->string_pool().size());
+  }
+  state.SetLabel("pool=" + std::to_string(g.db->string_pool().size()));
+}
+BENCHMARK(BM_FreezeStringOrder)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lshap
+
+BENCHMARK_MAIN();

@@ -208,6 +208,10 @@ GeneratedDb MakeAcademicDatabase(const AcademicConfig& config) {
     }
   }
 
+  // Ingest is complete: freeze the dictionary so ordered/prefix string
+  // predicates evaluate over lexicographic ranks instead of text.
+  db->FreezeStringOrder();
+
   SchemaGraph graph;
   graph.tables = {"organization", "author",    "publication", "writes",
                   "conference",   "domain",    "domain_conference"};

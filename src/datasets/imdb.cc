@@ -124,6 +124,10 @@ GeneratedDb MakeImdbDatabase(const ImdbConfig& config) {
     ++inserted;
   }
 
+  // Ingest is complete: freeze the dictionary so ordered/prefix string
+  // predicates evaluate over lexicographic ranks instead of text.
+  db->FreezeStringOrder();
+
   SchemaGraph graph;
   graph.tables = {"companies", "actors", "movies", "roles"};
   graph.edges = {

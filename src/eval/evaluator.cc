@@ -6,6 +6,7 @@
 #include <limits>
 #include <set>
 #include <string>
+#include <utility>
 
 #include "common/check.h"
 #include "common/strings.h"
@@ -33,6 +34,7 @@ struct EvalContext {
   ThreadPool* pool = nullptr;
   size_t morsel_rows = 4096;
   size_t min_parallel_rows = 4096;
+  bool use_string_ranks = true;
 
   struct Plan {
     size_t count = 1;  // number of morsels
@@ -83,36 +85,88 @@ struct BoundTable {
 // A selection compiled once per (block, table) against the columnar
 // storage. The literal is resolved up front: numeric literals to a double,
 // string-equality literals to their interned id (a literal absent from the
-// pool can match no cell — or every cell, under kNe).
+// pool can match no cell — or every cell, under kNe), and ordered/prefix
+// string literals to a lexicographic rank interval when the pool's order
+// sidecar is fresh (binary search once at compile time, integer compares
+// per cell at scan time).
 struct CompiledSel {
   enum class Kind {
-    kNever,         // type mismatch / null literal: no row matches
-    kAlways,        // kNe against a string not in the pool: every row matches
+    kNever,         // type mismatch / null literal / empty rank interval
+    kAlways,        // kNe on an absent string / full rank interval
     kNumeric,       // double comparison (ints promote)
     kStringId,      // kEq/kNe by interned id
-    kStringOrder,   // kLt/kLe/kGt/kGe by text
-    kStringPrefix,  // kStartsWith by text
+    kStringRank,    // kLt/kLe/kGt/kGe/kStartsWith as a rank interval
+    kStringOrder,   // kLt/kLe/kGt/kGe by text (stale-sidecar fallback)
+    kStringPrefix,  // kStartsWith by text (stale-sidecar fallback)
   };
   Kind kind = Kind::kNever;
   const ColumnData* col = nullptr;
   CompareOp op = CompareOp::kEq;
-  double num = 0.0;                   // kNumeric
-  StringId id = kInvalidStringId;     // kStringId
-  const std::string* text = nullptr;  // kStringOrder / kStringPrefix
+  double num = 0.0;                    // kNumeric
+  StringId id = kInvalidStringId;      // kStringId
+  const std::string* text = nullptr;   // kStringOrder / kStringPrefix
+  const uint32_t* ranks = nullptr;     // kStringRank: id -> lex rank
+  uint32_t rank_lo = 0;                // kStringRank: interval [lo, hi)
+  uint32_t rank_hi = 0;
 };
 
+// Resolves an ordered/prefix string predicate to the half-open rank
+// interval its matches occupy in the pool's lexicographic order. Matching
+// rows are exactly those whose cell rank lands in [lo, hi).
+std::pair<uint32_t, uint32_t> RankInterval(const StringPool& pool,
+                                           CompareOp op,
+                                           const std::string& text) {
+  const uint32_t n = static_cast<uint32_t>(pool.size());
+  switch (op) {
+    case CompareOp::kLt:
+      return {0, pool.RankLowerBound(text)};
+    case CompareOp::kLe:
+      return {0, pool.RankUpperBound(text)};
+    case CompareOp::kGt:
+      return {pool.RankUpperBound(text), n};
+    case CompareOp::kGe:
+      return {pool.RankLowerBound(text), n};
+    case CompareOp::kStartsWith:
+      return pool.PrefixRankRange(text);
+    default:
+      LSHAP_CHECK(false);
+      return {0, 0};
+  }
+}
+
 CompiledSel CompileSel(const Selection& sel, const ColumnData& col,
-                       const StringPool& pool) {
+                       const StringPool& pool, bool use_ranks) {
   CompiledSel c;
   c.col = &col;
   c.op = sel.op;
   const Value& lit = sel.literal;
   if (lit.is_null()) return c;  // kNever
   const bool col_is_string = col.type() == ColumnType::kString;
+  // Ordered and prefix predicates on a fresh pool compile to one rank
+  // interval; degenerate intervals collapse to kNever/kAlways so the scan
+  // loop never runs for them.
+  const auto compile_rank = [&](CompiledSel& out) {
+    const auto [lo, hi] = RankInterval(pool, sel.op, lit.AsString());
+    if (lo >= hi) {
+      out.kind = CompiledSel::Kind::kNever;
+    } else if (lo == 0 && hi == pool.size()) {
+      out.kind = CompiledSel::Kind::kAlways;
+    } else {
+      out.kind = CompiledSel::Kind::kStringRank;
+      out.ranks = pool.ranks().data();
+      out.rank_lo = lo;
+      out.rank_hi = hi;
+    }
+  };
+  const bool ranks_usable = use_ranks && pool.OrderIndexFresh();
   if (sel.op == CompareOp::kStartsWith) {
     if (!col_is_string || !lit.is_string()) return c;
-    c.kind = CompiledSel::Kind::kStringPrefix;
-    c.text = &lit.AsString();
+    if (ranks_usable) {
+      compile_rank(c);
+    } else {
+      c.kind = CompiledSel::Kind::kStringPrefix;
+      c.text = &lit.AsString();
+    }
     return c;
   }
   if (col_is_string != lit.is_string()) return c;  // mixed types never match
@@ -130,6 +184,10 @@ CompiledSel CompileSel(const Selection& sel, const ColumnData& col,
     } else {
       c.kind = CompiledSel::Kind::kStringId;
     }
+    return c;
+  }
+  if (ranks_usable) {
+    compile_rank(c);
     return c;
   }
   c.kind = CompiledSel::Kind::kStringOrder;
@@ -275,6 +333,18 @@ void ApplySel(const EvalContext& ctx, const CompiledSel& sel,
       }
       break;
     }
+    case CompiledSel::Kind::kStringRank: {
+      // One load + one unsigned compare per cell: rank in [lo, hi) iff
+      // (rank - lo) < (hi - lo) with wraparound doing the lower-bound test.
+      const auto& ids = col.string_ids();
+      const uint32_t* ranks = sel.ranks;
+      const uint32_t lo = sel.rank_lo;
+      const uint32_t width = sel.rank_hi - sel.rank_lo;
+      ScanRows(ctx, n, first, rows, [&](uint32_t r) {
+        return static_cast<uint32_t>(ranks[ids[r]] - lo) < width;
+      });
+      break;
+    }
     case CompiledSel::Kind::kStringOrder: {
       const auto& ids = col.string_ids();
       ScanRows(ctx, n, first, rows, [&](uint32_t r) {
@@ -392,7 +462,8 @@ Status EvaluateBlock(const Database& db, const SpjBlock& block,
     const Table& t = *bound[pos->second].table;
     auto col = t.schema().ColumnIndex(sel.column.column);
     if (!col.ok()) return col.status();
-    local_sels[pos->second].push_back(CompileSel(sel, t.column(*col), pool));
+    local_sels[pos->second].push_back(
+        CompileSel(sel, t.column(*col), pool, ctx.use_string_ranks));
   }
   for (const auto& join : block.joins) {
     for (const ColumnRef* ref : {&join.left, &join.right}) {
@@ -786,6 +857,7 @@ Result<EvalResult> Evaluate(const Database& db, const Query& q,
   ctx.pool = options.pool;
   ctx.morsel_rows = options.morsel_rows;
   ctx.min_parallel_rows = options.min_parallel_rows;
+  ctx.use_string_ranks = options.use_string_ranks;
   std::vector<std::vector<Clause>> pending_clauses;
   for (const auto& block : q.blocks) {
     Status s = EvaluateBlock(db, block, options.capture, ctx, result,

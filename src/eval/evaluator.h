@@ -64,6 +64,13 @@ struct EvalOptions {
   // Inputs smaller than this stay serial even when a pool is set — the
   // dispatch overhead would exceed the work.
   size_t min_parallel_rows = 4096;
+  // Compile ordered/prefix string selections to rank-interval tests over
+  // the pool's order sidecar when it is fresh (see StringPool). Disabling
+  // this forces the string-materializing path even on a frozen pool — the
+  // differential oracle the property tests and the before/after micro-bench
+  // (bench_string_predicates) compare against. Both paths must agree
+  // exactly; the flag only selects which one runs.
+  bool use_string_ranks = true;
 };
 
 // Evaluates `q` over `db`. Selections are compiled against the columnar

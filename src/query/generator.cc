@@ -13,6 +13,9 @@ QueryGenerator::QueryGenerator(const Database* db, SchemaGraph graph,
     : db_(db), graph_(std::move(graph)), config_(config), rng_(seed) {
   LSHAP_CHECK(db != nullptr);
   LSHAP_CHECK(!graph_.tables.empty());
+  LSHAP_CHECK(config_.string_order_prob >= 0.0);
+  LSHAP_CHECK(config_.string_prefix_prob >= 0.0);
+  LSHAP_CHECK(config_.string_order_prob + config_.string_prefix_prob <= 1.0);
 }
 
 Value QueryGenerator::SampleLiteral(const std::string& table,
@@ -53,8 +56,21 @@ Selection QueryGenerator::RandomSelection(const std::string& table) {
       break;
     }
     case ColumnType::kString: {
-      if (!sample.is_string() || sample.AsString().empty() ||
-          rng_.NextDouble() < 0.7) {
+      if (!sample.is_string() || sample.AsString().empty()) {
+        sel.op = CompareOp::kEq;
+        sel.literal = sample;
+        break;
+      }
+      // One draw splits [0,1) into order | equality | prefix bands; with
+      // the default string_order_prob of 0 this consumes exactly the draws
+      // the pre-PR-4 generator did, keeping historical logs bit-for-bit.
+      const double r = rng_.NextDouble();
+      if (r < config_.string_order_prob) {
+        static constexpr CompareOp kOrderOps[] = {
+            CompareOp::kLt, CompareOp::kLe, CompareOp::kGt, CompareOp::kGe};
+        sel.op = kOrderOps[rng_.NextBounded(4)];
+        sel.literal = sample;
+      } else if (r < 1.0 - config_.string_prefix_prob) {
         sel.op = CompareOp::kEq;
         sel.literal = sample;
       } else {

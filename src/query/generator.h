@@ -31,6 +31,17 @@ struct QueryGenConfig {
   int max_tables = 5;
   // Probability that a given table in the block receives a selection.
   double selection_prob = 0.6;
+  // How a selection on a STRING column (with a usable sampled literal)
+  // splits between predicate classes: with probability `string_order_prob`
+  // it is an ordered comparison (<, <=, >, >= uniformly) against the
+  // sampled value, with probability `string_prefix_prob` a one-character
+  // prefix test (LIKE 'x%'), and equality otherwise. Must sum to <= 1.
+  // Defaults reproduce the pre-PR-4 generator stream bit-for-bit (no order
+  // predicates; the prefix share was a hard-coded 0.3) — raising
+  // `string_order_prob` is the opt-in that makes id-space range predicates
+  // appear in generated corpora.
+  double string_order_prob = 0.0;
+  double string_prefix_prob = 0.3;
   // Probability a query is a union of two SPJ blocks.
   double union_prob = 0.15;
   // Number of projected columns, inclusive bounds.

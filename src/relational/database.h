@@ -87,6 +87,14 @@ class Database {
   const std::string& name() const { return name_; }
   const StringPool& string_pool() const { return pool_; }
 
+  // Builds the string pool's lexicographic rank sidecar over everything
+  // interned so far — the "pool freeze" hook the dataset generators call
+  // once after ingest, enabling id-space ordered/prefix predicates in the
+  // evaluator. Inserting rows with new strings afterwards makes the sidecar
+  // stale again (the evaluator then falls back to text comparisons until
+  // the next call); freezing is a promise of stability, not an enforcement.
+  void FreezeStringOrder() { pool_.RebuildOrderIndex(); }
+
   // Registers a new empty table; fails on duplicate names.
   Status AddTable(Schema schema);
 

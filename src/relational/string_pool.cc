@@ -1,5 +1,7 @@
 #include "relational/string_pool.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace lshap {
@@ -23,6 +25,62 @@ StringId StringPool::Find(std::string_view s) const {
 const std::string& StringPool::Get(StringId id) const {
   LSHAP_CHECK_LT(id, by_id_.size());
   return *by_id_[id];
+}
+
+void StringPool::RebuildOrderIndex() {
+  const size_t n = by_id_.size();
+  sorted_.resize(n);
+  for (size_t i = 0; i < n; ++i) sorted_[i] = static_cast<StringId>(i);
+  std::sort(sorted_.begin(), sorted_.end(), [this](StringId a, StringId b) {
+    return *by_id_[a] < *by_id_[b];
+  });
+  rank_of_.resize(n);
+  for (size_t r = 0; r < n; ++r) rank_of_[sorted_[r]] = static_cast<uint32_t>(r);
+  order_generation_ = n;
+}
+
+uint32_t StringPool::Rank(StringId id) const {
+  LSHAP_CHECK(OrderIndexFresh());
+  LSHAP_CHECK_LT(id, rank_of_.size());
+  return rank_of_[id];
+}
+
+const std::vector<uint32_t>& StringPool::ranks() const {
+  LSHAP_CHECK(OrderIndexFresh());
+  return rank_of_;
+}
+
+uint32_t StringPool::RankLowerBound(std::string_view s) const {
+  LSHAP_CHECK(OrderIndexFresh());
+  auto it = std::partition_point(
+      sorted_.begin(), sorted_.end(),
+      [this, s](StringId id) { return std::string_view(*by_id_[id]) < s; });
+  return static_cast<uint32_t>(it - sorted_.begin());
+}
+
+uint32_t StringPool::RankUpperBound(std::string_view s) const {
+  LSHAP_CHECK(OrderIndexFresh());
+  auto it = std::partition_point(
+      sorted_.begin(), sorted_.end(),
+      [this, s](StringId id) { return std::string_view(*by_id_[id]) <= s; });
+  return static_cast<uint32_t>(it - sorted_.begin());
+}
+
+std::pair<uint32_t, uint32_t> StringPool::PrefixRankRange(
+    std::string_view prefix) const {
+  LSHAP_CHECK(OrderIndexFresh());
+  // A string x sorts before the prefix interval iff x < prefix, and inside
+  // it iff x starts with prefix; both conditions compare only the first
+  // |prefix| characters, so the partition predicate for the interval's end
+  // is compare(first |prefix| chars, prefix) <= 0 (shorter strings that are
+  // proper prefixes of `prefix` compare < 0 and sort before the interval).
+  const uint32_t lo = RankLowerBound(prefix);
+  auto it = std::partition_point(
+      sorted_.begin() + lo, sorted_.end(), [this, prefix](StringId id) {
+        return std::string_view(*by_id_[id])
+                   .compare(0, prefix.size(), prefix) <= 0;
+      });
+  return {lo, static_cast<uint32_t>(it - sorted_.begin())};
 }
 
 }  // namespace lshap

@@ -5,6 +5,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace lshap {
@@ -13,13 +14,28 @@ namespace lshap {
 // are stable for the lifetime of the pool. Equal ids <=> equal strings, so
 // string equality on the hot paths (join keys, selection predicates, output
 // dedup) is one 32-bit compare. Ids are NOT ordered like the strings they
-// name; order predicates still go through the text (see ROADMAP open items).
+// name; ordered predicates go through the rank sidecar below when it is
+// fresh, and through the text otherwise.
 using StringId = uint32_t;
 inline constexpr StringId kInvalidStringId = static_cast<StringId>(-1);
 
 // A per-database string dictionary. All string cells of all tables store
 // StringIds into one shared pool, so the same title appearing as movies.title
 // and roles.movie interns once and joins by id.
+//
+// Order sidecar. Interning order is ingestion order, not lexicographic
+// order, so a plain id compare says nothing about text order. The sidecar
+// is the standard columnar fix: a permutation of the dictionary sorted by
+// text, stored both ways (`rank -> id` for binary searching literals,
+// `id -> rank` for O(1) per-cell lookups). Once built, an ordered predicate
+// on a string column becomes an integer rank-interval test over the flat
+// StringId column — no text is materialized per cell. The sidecar carries
+// the generation (= dictionary size) it was built at; interning a NEW
+// string makes it stale (re-interning an existing string does not).
+// Consumers must check OrderIndexFresh() and fall back to text comparisons
+// when stale — rebuilds happen only through the explicit
+// RebuildOrderIndex() call (Database::FreezeStringOrder), never implicitly
+// from a const accessor, so concurrent readers are safe by construction.
 class StringPool {
  public:
   StringPool() = default;
@@ -38,6 +54,42 @@ class StringPool {
 
   size_t size() const { return by_id_.size(); }
 
+  // --- Order sidecar -----------------------------------------------------
+
+  // Number of distinct strings ever interned; doubles as the generation
+  // stamp the order sidecar validates against.
+  uint64_t generation() const { return by_id_.size(); }
+
+  // True iff the sidecar covers every interned string (so Rank and the
+  // bound queries below are usable). Trivially true for an empty pool.
+  bool OrderIndexFresh() const { return order_generation_ == by_id_.size(); }
+
+  // (Re)builds the sidecar over the current dictionary, O(n log n). Called
+  // once after ingest via Database::FreezeStringOrder; safe to call again
+  // after further interning.
+  void RebuildOrderIndex();
+
+  // Rank of `id` in lexicographic order over the dictionary as of the last
+  // rebuild: Rank(a) < Rank(b) <=> Get(a) < Get(b). Requires
+  // OrderIndexFresh().
+  uint32_t Rank(StringId id) const;
+
+  // The full id -> rank map, indexable by any interned StringId. Requires
+  // OrderIndexFresh(); this is what compiled predicates capture so the scan
+  // loop is one load and one compare per cell.
+  const std::vector<uint32_t>& ranks() const;
+
+  // First rank whose string is >= `s` — i.e. the number of interned strings
+  // strictly below `s`. Requires OrderIndexFresh().
+  uint32_t RankLowerBound(std::string_view s) const;
+
+  // First rank whose string is > `s`. Requires OrderIndexFresh().
+  uint32_t RankUpperBound(std::string_view s) const;
+
+  // Half-open rank interval [lo, hi) of the strings starting with `prefix`
+  // (the empty prefix covers the whole pool). Requires OrderIndexFresh().
+  std::pair<uint32_t, uint32_t> PrefixRankRange(std::string_view prefix) const;
+
  private:
   struct Hash {
     using is_transparent = void;
@@ -50,6 +102,13 @@ class StringPool {
   // can point into them.
   std::unordered_map<std::string, StringId, Hash, std::equal_to<>> index_;
   std::vector<const std::string*> by_id_;
+
+  // Order sidecar: sorted_[rank] = id in ascending text order, and
+  // rank_of_[id] = rank — inverse permutations of each other, valid for the
+  // first order_generation_ ids.
+  std::vector<StringId> sorted_;
+  std::vector<uint32_t> rank_of_;
+  uint64_t order_generation_ = 0;
 };
 
 }  // namespace lshap

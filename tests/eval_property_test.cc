@@ -158,11 +158,39 @@ void CheckParallelMatchesSerial(const Database& db, const Query& q,
   }
 }
 
+// Asserts the string-materializing selection path (use_string_ranks=false)
+// produces exactly the result of the rank-compiled default. On a frozen
+// pool the two take genuinely different code paths for ordered/prefix
+// string predicates — text comparison per cell vs. one rank-interval test —
+// so this is the id-space predicates' differential oracle.
+void CheckTextOracleMatches(const Database& db, const Query& q,
+                            ProvenanceCapture capture,
+                            const EvalResult& ranked) {
+  EvalOptions opts;
+  opts.capture = capture;
+  opts.use_string_ranks = false;
+  auto text = Evaluate(db, q, opts);
+  ASSERT_TRUE(text.ok()) << q.ToSql();
+  const std::string ctx = q.ToSql() + " [text oracle] capture=" +
+                          std::to_string(static_cast<int>(capture));
+  ASSERT_EQ(text->tuples, ranked.tuples) << ctx;
+  EXPECT_EQ(text->index, ranked.index) << ctx;
+  EXPECT_EQ(text->lineages, ranked.lineages) << ctx;
+  if (capture == ProvenanceCapture::kFull) {
+    ASSERT_EQ(text->provenance.size(), ranked.provenance.size()) << ctx;
+    for (size_t i = 0; i < ranked.provenance.size(); ++i) {
+      EXPECT_EQ(text->provenance[i].clauses(), ranked.provenance[i].clauses())
+          << ctx << " tuple " << i;
+    }
+  }
+}
+
 // Differential check of one query against the reference under all three
 // capture modes: identical tuple sets always; identical lineage sets under
 // kLineageOnly and kFull; identical DNFs under kFull. Each case then runs
 // through the parallel evaluator at every pool size against the serial
-// result.
+// result, and through the text-path oracle against the rank-compiled
+// serial result.
 void CheckAgainstReference(const Database& db, const Query& q) {
   const std::map<OutputTuple, std::vector<Clause>> want = NaiveQuery(db, q);
 
@@ -188,7 +216,26 @@ void CheckAgainstReference(const Database& db, const Query& q) {
       }
     }
     CheckParallelMatchesSerial(db, q, capture, *got);
+    CheckTextOracleMatches(db, q, capture, *got);
   }
+}
+
+// Counts selections in `q` whose op is an ordered string comparison or a
+// prefix test on a string column — the predicate classes the rank sidecar
+// compiles to id-space interval tests.
+size_t CountOrderedStringSelections(const Query& q) {
+  size_t n = 0;
+  for (const auto& block : q.blocks) {
+    for (const auto& sel : block.selections) {
+      if (!sel.literal.is_string()) continue;
+      if (sel.op == CompareOp::kLt || sel.op == CompareOp::kLe ||
+          sel.op == CompareOp::kGt || sel.op == CompareOp::kGe ||
+          sel.op == CompareOp::kStartsWith) {
+        ++n;
+      }
+    }
+  }
+  return n;
 }
 
 TEST(EvalPropertyTest, MatchesNaiveEvaluatorOnRandomQueries) {
@@ -224,6 +271,87 @@ TEST(EvalPropertyTest, MatchesNaiveEvaluatorOnIntJoins) {
     CheckAgainstReference(*data.db, q);
   }
   EXPECT_GT(nonempty, 10u);
+}
+
+// Opt-in generator knobs flood the log with ordered (<, <=, >, >=) and
+// prefix string selections, which compile to rank-interval tests over the
+// frozen pools — differentially verified against the naive text reference,
+// the text-path oracle, and the parallel evaluator at 1/2/8 threads under
+// every capture mode.
+TEST(EvalPropertyTest, MatchesNaiveEvaluatorOnOrderedStringPredicates) {
+  GeneratedDb data = SmallImdb();
+  ASSERT_TRUE(data.db->string_pool().OrderIndexFresh());
+  QueryGenConfig gen_cfg;
+  gen_cfg.max_tables = 3;
+  gen_cfg.union_prob = 0.3;
+  gen_cfg.string_order_prob = 0.45;
+  gen_cfg.string_prefix_prob = 0.35;
+  QueryGenerator gen(data.db.get(), data.graph, gen_cfg, 20240);
+
+  size_t ordered = 0;
+  size_t nonempty = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Query q = gen.Generate("o" + std::to_string(trial));
+    ordered += CountOrderedStringSelections(q);
+    if (!NaiveQuery(*data.db, q).empty()) ++nonempty;
+    CheckAgainstReference(*data.db, q);
+  }
+  // The knobs must actually produce the predicate classes under test, and a
+  // healthy share of non-empty results.
+  EXPECT_GT(ordered, 25u);
+  EXPECT_GT(nonempty, 10u);
+}
+
+TEST(EvalPropertyTest, MatchesNaiveEvaluatorOnOrderedAcademicPredicates) {
+  GeneratedDb data = SmallAcademic();
+  ASSERT_TRUE(data.db->string_pool().OrderIndexFresh());
+  QueryGenConfig gen_cfg;
+  gen_cfg.max_tables = 3;
+  gen_cfg.union_prob = 0.3;
+  gen_cfg.string_order_prob = 0.5;
+  gen_cfg.string_prefix_prob = 0.3;
+  QueryGenerator gen(data.db.get(), data.graph, gen_cfg, 20241);
+
+  size_t ordered = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const Query q = gen.Generate("oa" + std::to_string(trial));
+    ordered += CountOrderedStringSelections(q);
+    CheckAgainstReference(*data.db, q);
+  }
+  EXPECT_GT(ordered, 10u);
+}
+
+// Interning a new string after the dataset froze its pool makes the order
+// sidecar stale: the evaluator must fall back to text comparisons (the
+// rank map no longer covers every id) and still match the reference.
+TEST(EvalPropertyTest, StaleOrderSidecarFallsBackToTextPath) {
+  GeneratedDb data = SmallImdb();
+  ASSERT_TRUE(data.db->string_pool().OrderIndexFresh());
+  QueryGenConfig gen_cfg;
+  gen_cfg.max_tables = 2;
+  gen_cfg.string_order_prob = 0.6;
+  gen_cfg.string_prefix_prob = 0.3;
+  QueryGenerator gen(data.db.get(), data.graph, gen_cfg, 20242);
+  std::vector<Query> queries;
+  for (int trial = 0; trial < 10; ++trial) {
+    queries.push_back(gen.Generate("s" + std::to_string(trial)));
+    CheckAgainstReference(*data.db, queries.back());
+  }
+
+  // A new company name (a string the pool has never seen, sorting past the
+  // frozen range) invalidates the sidecar...
+  ASSERT_TRUE(data.db
+                  ->Insert("companies", {Value("zzz unfrozen studio"),
+                                         Value("Nowhere")})
+                  .ok());
+  ASSERT_FALSE(data.db->string_pool().OrderIndexFresh());
+  // ...and every query still matches the reference through the fallback.
+  for (const Query& q : queries) CheckAgainstReference(*data.db, q);
+
+  // Re-freezing restores the rank path over the grown dictionary.
+  data.db->FreezeStringOrder();
+  ASSERT_TRUE(data.db->string_pool().OrderIndexFresh());
+  for (const Query& q : queries) CheckAgainstReference(*data.db, q);
 }
 
 TEST(EvalPropertyTest, DisconnectedQueryCrossProductMatches) {

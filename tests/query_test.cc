@@ -3,6 +3,7 @@
 #include <set>
 #include <unordered_set>
 
+#include "datasets/academic.h"
 #include "datasets/imdb.h"
 #include "paper_fixture.h"
 #include "query/ast.h"
@@ -135,6 +136,78 @@ TEST_F(GeneratorTest, LogHasUniqueSqlAndIds) {
     EXPECT_TRUE(sql.insert(q.ToSql()).second) << q.ToSql();
     EXPECT_TRUE(ids.insert(q.id).second) << q.id;
   }
+}
+
+uint64_t Fnv1a(uint64_t h, const std::string& s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t LogFingerprint(const std::vector<Query>& log) {
+  uint64_t h = 14695981039346656037ull;
+  for (const Query& q : log) {
+    h = Fnv1a(h, q.id);
+    h = Fnv1a(h, q.ToSql());
+  }
+  return h;
+}
+
+// The default QueryGenConfig must reproduce historical corpora bit-for-bit:
+// these fingerprints were recorded against the pre-PR-4 generator (before
+// string_order_prob/string_prefix_prob existed) over the default IMDB and
+// Academic databases. If either changes, a generator edit perturbed the RNG
+// stream of existing logs — every recorded BENCH_* number and the corpus
+// ground truth would silently shift.
+TEST(GeneratorPinTest, DefaultConfigReproducesHistoricalLogs) {
+  {
+    GeneratedDb data = MakeImdbDatabase(ImdbConfig{});
+    QueryGenerator gen(data.db.get(), data.graph, QueryGenConfig{}, 4242);
+    const auto log = gen.GenerateLog(25, "pin");
+    EXPECT_EQ(log.size(), 68u);
+    EXPECT_EQ(LogFingerprint(log), 8010808381602465292ull);
+  }
+  {
+    GeneratedDb data = MakeAcademicDatabase(AcademicConfig{});
+    QueryGenerator gen(data.db.get(), data.graph, QueryGenConfig{}, 777);
+    const auto log = gen.GenerateLog(25, "pin");
+    EXPECT_EQ(log.size(), 66u);
+    EXPECT_EQ(LogFingerprint(log), 12802659380387097211ull);
+  }
+}
+
+// The opt-in knobs actually emit the new predicate classes, and only on
+// string columns.
+TEST(GeneratorPinTest, OrderKnobEmitsOrderedStringSelections) {
+  GeneratedDb data = MakeImdbDatabase(ImdbConfig{});
+  QueryGenConfig cfg;
+  cfg.string_order_prob = 0.6;
+  cfg.string_prefix_prob = 0.2;
+  QueryGenerator gen(data.db.get(), data.graph, cfg, 11);
+  size_t ordered = 0;
+  size_t prefix = 0;
+  for (int i = 0; i < 60; ++i) {
+    const Query q = gen.Generate("k" + std::to_string(i));
+    for (const auto& block : q.blocks) {
+      for (const auto& sel : block.selections) {
+        const bool is_order =
+            sel.op == CompareOp::kLt || sel.op == CompareOp::kLe ||
+            sel.op == CompareOp::kGt || sel.op == CompareOp::kGe;
+        if (sel.literal.is_string()) {
+          ordered += is_order ? 1 : 0;
+          prefix += sel.op == CompareOp::kStartsWith ? 1 : 0;
+        } else {
+          // Numeric order selections existed before the knobs; string ones
+          // must carry string literals.
+          EXPECT_NE(sel.op, CompareOp::kStartsWith);
+        }
+      }
+    }
+  }
+  EXPECT_GT(ordered, 20u);
+  EXPECT_GT(prefix, 5u);
 }
 
 }  // namespace

@@ -1,0 +1,194 @@
+// StringPool edge cases: interning identities, Find on missing strings,
+// and the lexicographic order sidecar — rank stability across incremental
+// interning + rebuild, bound queries, and prefix intervals at the pool
+// extremes.
+#include "relational/string_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace lshap {
+namespace {
+
+TEST(StringPoolTest, EmptyStringInternsLikeAnyOther) {
+  StringPool pool;
+  const StringId empty = pool.Intern("");
+  const StringId a = pool.Intern("a");
+  EXPECT_NE(empty, a);
+  EXPECT_EQ(pool.Intern(""), empty);
+  EXPECT_EQ(pool.Get(empty), "");
+  EXPECT_EQ(pool.Find(""), empty);
+
+  pool.RebuildOrderIndex();
+  // The empty string sorts before everything.
+  EXPECT_EQ(pool.Rank(empty), 0u);
+  EXPECT_EQ(pool.Rank(a), 1u);
+}
+
+TEST(StringPoolTest, DuplicateInternReturnsSameIdAndKeepsGeneration) {
+  StringPool pool;
+  const StringId x = pool.Intern("x");
+  const uint64_t gen = pool.generation();
+  pool.RebuildOrderIndex();
+  ASSERT_TRUE(pool.OrderIndexFresh());
+  // Re-interning an existing string must not invalidate the sidecar.
+  EXPECT_EQ(pool.Intern("x"), x);
+  EXPECT_EQ(pool.generation(), gen);
+  EXPECT_TRUE(pool.OrderIndexFresh());
+  // A genuinely new string must.
+  pool.Intern("y");
+  EXPECT_FALSE(pool.OrderIndexFresh());
+}
+
+TEST(StringPoolTest, FindMissingReturnsInvalid) {
+  StringPool pool;
+  EXPECT_EQ(pool.Find("absent"), kInvalidStringId);
+  pool.Intern("present");
+  EXPECT_EQ(pool.Find("absent"), kInvalidStringId);
+  EXPECT_EQ(pool.Find("presen"), kInvalidStringId);  // prefixes don't match
+}
+
+TEST(StringPoolTest, EmptyPoolSidecarIsTriviallyFresh) {
+  StringPool pool;
+  EXPECT_TRUE(pool.OrderIndexFresh());
+  pool.RebuildOrderIndex();
+  EXPECT_EQ(pool.RankLowerBound("anything"), 0u);
+  EXPECT_EQ(pool.RankUpperBound("anything"), 0u);
+  const auto [lo, hi] = pool.PrefixRankRange("p");
+  EXPECT_EQ(lo, 0u);
+  EXPECT_EQ(hi, 0u);
+}
+
+TEST(StringPoolTest, RanksMatchLexicographicOrder) {
+  StringPool pool;
+  const std::vector<std::string> words = {"delta", "alpha", "echo",
+                                          "charlie", "bravo", ""};
+  std::vector<StringId> ids;
+  for (const auto& w : words) ids.push_back(pool.Intern(w));
+  pool.RebuildOrderIndex();
+
+  // Rank order must agree with text order for every pair.
+  for (size_t i = 0; i < words.size(); ++i) {
+    for (size_t j = 0; j < words.size(); ++j) {
+      EXPECT_EQ(pool.Rank(ids[i]) < pool.Rank(ids[j]), words[i] < words[j])
+          << words[i] << " vs " << words[j];
+    }
+  }
+  // ranks() is the same mapping, indexable by id.
+  const std::vector<uint32_t>& ranks = pool.ranks();
+  for (StringId id : ids) EXPECT_EQ(ranks[id], pool.Rank(id));
+}
+
+TEST(StringPoolTest, RankStabilityAcrossIncrementalInternAndRebuild) {
+  StringPool pool;
+  const StringId b = pool.Intern("banana");
+  const StringId d = pool.Intern("date");
+  pool.RebuildOrderIndex();
+  EXPECT_EQ(pool.Rank(b), 0u);
+  EXPECT_EQ(pool.Rank(d), 1u);
+
+  // Interning a string that sorts between them invalidates, and the rebuild
+  // shifts ranks — but ids stay stable and order stays consistent.
+  const StringId c = pool.Intern("cherry");
+  EXPECT_FALSE(pool.OrderIndexFresh());
+  pool.RebuildOrderIndex();
+  ASSERT_TRUE(pool.OrderIndexFresh());
+  EXPECT_EQ(pool.Get(b), "banana");  // ids unaffected by rebuilds
+  EXPECT_EQ(pool.Rank(b), 0u);
+  EXPECT_EQ(pool.Rank(c), 1u);
+  EXPECT_EQ(pool.Rank(d), 2u);
+}
+
+TEST(StringPoolTest, RankBoundsAtPoolExtremes) {
+  StringPool pool;
+  pool.Intern("m");
+  pool.Intern("b");
+  pool.Intern("x");
+  pool.RebuildOrderIndex();  // order: b, m, x
+
+  // Below every string / above every string.
+  EXPECT_EQ(pool.RankLowerBound("a"), 0u);
+  EXPECT_EQ(pool.RankUpperBound("a"), 0u);
+  EXPECT_EQ(pool.RankLowerBound("z"), 3u);
+  EXPECT_EQ(pool.RankUpperBound("z"), 3u);
+  // Exact hits: lower bound is the hit's rank, upper bound is one past.
+  EXPECT_EQ(pool.RankLowerBound("b"), 0u);
+  EXPECT_EQ(pool.RankUpperBound("b"), 1u);
+  EXPECT_EQ(pool.RankLowerBound("x"), 2u);
+  EXPECT_EQ(pool.RankUpperBound("x"), 3u);
+}
+
+TEST(StringPoolTest, PrefixIntervalBounds) {
+  StringPool pool;
+  const std::vector<std::string> words = {"app",    "apple", "applesauce",
+                                          "apricot", "banana", "ap"};
+  for (const auto& w : words) pool.Intern(w);
+  pool.RebuildOrderIndex();
+  // Sorted: ap, app, apple, applesauce, apricot, banana.
+
+  auto range = pool.PrefixRankRange("app");
+  EXPECT_EQ(range.first, 1u);   // "ap" is shorter than the prefix: outside
+  EXPECT_EQ(range.second, 4u);  // app, apple, applesauce
+  range = pool.PrefixRankRange("ap");
+  EXPECT_EQ(range.first, 0u);
+  EXPECT_EQ(range.second, 5u);  // everything but banana
+  range = pool.PrefixRankRange("apple");
+  EXPECT_EQ(range.first, 2u);
+  EXPECT_EQ(range.second, 4u);  // apple, applesauce
+  // The empty prefix covers the whole pool.
+  range = pool.PrefixRankRange("");
+  EXPECT_EQ(range.first, 0u);
+  EXPECT_EQ(range.second, 6u);
+  // A prefix matching nothing lands on an empty interval at its sort
+  // position, at either extreme and in the middle.
+  range = pool.PrefixRankRange("aa");
+  EXPECT_EQ(range.first, range.second);
+  range = pool.PrefixRankRange("az");
+  EXPECT_EQ(range.first, range.second);
+  range = pool.PrefixRankRange("zzz");
+  EXPECT_EQ(range.first, 6u);
+  EXPECT_EQ(range.second, 6u);
+}
+
+// Cross-check every bound query against a brute-force scan on a pool with
+// duplicate-ish clustered words, including at the extremes.
+TEST(StringPoolTest, BoundsAgreeWithBruteForce) {
+  StringPool pool;
+  std::vector<std::string> words;
+  for (const char* stem : {"ab", "abc", "abd", "b", "ba", "bb", "z"}) {
+    for (int i = 0; i < 3; ++i) {
+      words.push_back(std::string(stem) + std::string(static_cast<size_t>(i),
+                                                      'x'));
+    }
+  }
+  for (const auto& w : words) pool.Intern(w);
+  pool.RebuildOrderIndex();
+  std::sort(words.begin(), words.end());
+
+  for (const std::string& probe :
+       {std::string(""), std::string("a"), std::string("ab"),
+        std::string("abcx"), std::string("bb"), std::string("z"),
+        std::string("zz")}) {
+    const auto lb = static_cast<uint32_t>(
+        std::lower_bound(words.begin(), words.end(), probe) - words.begin());
+    const auto ub = static_cast<uint32_t>(
+        std::upper_bound(words.begin(), words.end(), probe) - words.begin());
+    EXPECT_EQ(pool.RankLowerBound(probe), lb) << probe;
+    EXPECT_EQ(pool.RankUpperBound(probe), ub) << probe;
+    uint32_t plo = 0;
+    uint32_t phi = 0;
+    for (const auto& w : words) {
+      if (w < probe || (w.compare(0, probe.size(), probe) == 0)) ++phi;
+      if (w < probe && w.compare(0, probe.size(), probe) != 0) ++plo;
+    }
+    const auto got = pool.PrefixRankRange(probe);
+    EXPECT_EQ(got.first, plo) << probe;
+    EXPECT_EQ(got.second, phi) << probe;
+  }
+}
+
+}  // namespace
+}  // namespace lshap

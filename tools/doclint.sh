@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Documentation lint, run as a cheap CI job (see .github/workflows/ci.yml):
+#
+#   1. Every intra-repo markdown link in tracked *.md files must resolve to
+#      an existing file (anchors are stripped; external http(s)/mailto links
+#      are ignored).
+#   2. CHANGES.md must gain at least one line in the commit range under
+#      review, so every PR leaves a trail for the next session. The range
+#      is ${DOCLINT_BASE:-HEAD~1}..HEAD; the check is skipped (with a
+#      notice) when the base cannot be resolved (shallow clone, first
+#      commit) or when the range is empty.
+#
+# Exit code 0 = clean, 1 = lint errors.
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+errors=0
+
+# --- 1. Intra-repo markdown links resolve -------------------------------
+
+# Tracked markdown only, so stray scratch files don't fail CI.
+mapfile -t md_files < <(git ls-files '*.md')
+
+for f in "${md_files[@]}"; do
+  # Inline links: [text](target). Reference-style links and autolinks are
+  # rare in this repo and out of scope. Targets with a scheme or pure
+  # anchors are skipped.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*|'') continue ;;
+    esac
+    path="${target%%#*}"          # strip anchor
+    # Only path-like targets (containing '.' or '/') are checked; this
+    # keeps math notation like Φ[f:=i](E) from reading as a link.
+    if [[ "$path" != *.* && "$path" != */* ]]; then continue; fi
+    # Links resolve relative to the file's directory.
+    dir=$(dirname "$f")
+    if [[ ! -e "$dir/$path" && ! -e "$path" ]]; then
+      echo "doclint: $f: broken link -> $target"
+      errors=1
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$f" 2>/dev/null |
+           sed 's/.*(\([^)]*\))/\1/')
+done
+
+# --- 2. CHANGES.md gained a line in the diff ----------------------------
+
+base="${DOCLINT_BASE:-HEAD~1}"
+if git rev-parse --verify --quiet "$base" >/dev/null; then
+  if [[ -n "$(git diff --name-only "$base"..HEAD)" ]]; then
+    added=$(git diff --numstat "$base"..HEAD -- CHANGES.md |
+            awk '{print $1}')
+    if [[ -z "$added" || "$added" == "0" ]]; then
+      echo "doclint: CHANGES.md gained no lines in $base..HEAD —" \
+           "append one line describing this change"
+      errors=1
+    fi
+  else
+    echo "doclint: empty diff $base..HEAD; skipping CHANGES.md check"
+  fi
+else
+  echo "doclint: cannot resolve base '$base'; skipping CHANGES.md check"
+fi
+
+if [[ "$errors" -eq 0 ]]; then
+  echo "doclint: ok (${#md_files[@]} markdown files checked)"
+fi
+exit "$errors"
