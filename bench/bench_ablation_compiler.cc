@@ -52,8 +52,8 @@ int main() {
       {
         WallTimer t;
         DnfCompiler with;
-        auto circuit = with.Compile(prov);
-        (void)ComputeShapleyExact(prov);
+        auto circuit = with.CompileUnlimited(prov);
+        (void)ComputeShapleyExactUnlimited(prov);
         bucket.nodes_with += static_cast<double>(with.last_num_nodes());
         bucket.ms_with += t.ElapsedMillis();
       }
@@ -66,7 +66,7 @@ int main() {
         if (prov.num_clauses() > 24) {
           bucket.timeouts_without += 1.0;
         } else {
-          auto circuit = without.Compile(prov);
+          auto circuit = without.CompileUnlimited(prov);
           bucket.nodes_without +=
               static_cast<double>(without.last_num_nodes());
         }

@@ -1,11 +1,29 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace lshap {
 namespace bench {
 
 namespace {
+
+MetricsRegistry* g_bench_metrics = nullptr;
+std::string g_metrics_path;
+
+void FlushBenchMetrics() {
+  if (g_bench_metrics == nullptr) return;
+  const std::string json = g_bench_metrics->ToJson();
+  std::FILE* f = std::fopen(g_metrics_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot open %s for writing\n",
+                 g_metrics_path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+}
 
 CorpusConfig ImdbCorpusConfig() {
   CorpusConfig cfg;
@@ -16,6 +34,7 @@ CorpusConfig ImdbCorpusConfig() {
   // on IMDB); single-table scans have trivial single-fact lineages.
   cfg.query_gen.min_tables = 2;
   cfg.query_gen.max_tables = 4;
+  cfg.metrics = BenchMetrics();
   return cfg;
 }
 
@@ -26,10 +45,32 @@ CorpusConfig AcademicCorpusConfig() {
   cfg.max_outputs_per_query = 24;
   cfg.query_gen.min_tables = 2;
   cfg.query_gen.max_tables = 5;
+  cfg.metrics = BenchMetrics();
   return cfg;
 }
 
 }  // namespace
+
+MetricsRegistry* InitBenchMetrics(int* argc, char** argv) {
+  constexpr char kFlag[] = "--metrics-json=";
+  constexpr size_t kFlagLen = sizeof(kFlag) - 1;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, kFlagLen) == 0) {
+      g_metrics_path = argv[i] + kFlagLen;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  if (!g_metrics_path.empty() && g_bench_metrics == nullptr) {
+    g_bench_metrics = &MetricsRegistry::Global();
+    std::atexit(FlushBenchMetrics);
+  }
+  return g_bench_metrics;
+}
+
+MetricsRegistry* BenchMetrics() { return g_bench_metrics; }
 
 Workbench MakeImdbWorkbench(ThreadPool& pool) {
   Workbench wb;

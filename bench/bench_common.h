@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "common/metrics.h"
 #include "corpus/corpus.h"
 #include "datasets/academic.h"
 #include "datasets/imdb.h"
@@ -28,6 +29,19 @@ Workbench MakeAcademicWorkbench(ThreadPool& pool);
 
 // Prints a horizontal rule + centered title, paper-style.
 void PrintHeader(const std::string& title);
+
+// --metrics-json=PATH support. Call first thing in main: strips the flag
+// from (argc, argv) and, when it was present, returns the process-global
+// MetricsRegistry and registers an atexit hook that writes its ToJson()
+// snapshot to PATH. Returns null (and arranges nothing) when the flag is
+// absent — the benchmarks then run with no-op handles, which is the
+// baseline side of the BENCH_pr5.json overhead comparison.
+MetricsRegistry* InitBenchMetrics(int* argc, char** argv);
+
+// The registry handed out by InitBenchMetrics, or null. Thread this into
+// EvalOptions/CorpusConfig/TrainConfig and set_metrics calls; the workbench
+// builders do so themselves.
+MetricsRegistry* BenchMetrics();
 
 }  // namespace bench
 }  // namespace lshap

@@ -20,6 +20,7 @@ CorpusConfig BaseConfig() {
   cfg.max_outputs_per_query = 24;
   cfg.query_gen.min_tables = 2;
   cfg.query_gen.max_tables = 4;
+  cfg.metrics = BenchMetrics();
   return cfg;
 }
 
@@ -40,7 +41,8 @@ void Run(const char* label, const CorpusConfig& cfg, const GeneratedDb& data,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchMetrics(&argc, argv);
   ThreadPool pool;
   PrintHeader("Corpus build under execution budgets (IMDB scale, seed 101)");
   const GeneratedDb data = MakeImdbDatabase({});

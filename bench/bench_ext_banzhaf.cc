@@ -37,10 +37,10 @@ int main() {
       if (prov.Variables().size() < 3) continue;
 
       WallTimer t1;
-      const ShapleyValues shapley = ComputeShapleyExact(prov);
+      const ShapleyValues shapley = ComputeShapleyExactUnlimited(prov);
       shapley_ms += t1.ElapsedMillis();
       WallTimer t2;
-      const ShapleyValues banzhaf = ComputeBanzhafExact(prov);
+      const ShapleyValues banzhaf = ComputeBanzhafExactUnlimited(prov);
       banzhaf_ms += t2.ElapsedMillis();
 
       const auto rank_b = RankByScore(banzhaf);

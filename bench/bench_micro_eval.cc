@@ -6,6 +6,7 @@
 // storage-engine changes (see BENCH_pr1.json).
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "common/thread_pool.h"
 #include "datasets/imdb.h"
 #include "eval/evaluator.h"
@@ -44,11 +45,13 @@ const std::vector<Query>& EvalLog() {
 void RunLog(benchmark::State& state, ProvenanceCapture capture) {
   const Database& db = *BigImdb().db;
   const std::vector<Query>& log = EvalLog();
+  const EvalOptions opts = EvalOptions().WithCapture(capture).WithMetrics(
+      bench::BenchMetrics());
   size_t tuples = 0;
   for (auto _ : state) {
     tuples = 0;
     for (const Query& q : log) {
-      auto result = Evaluate(db, q, capture);
+      auto result = Evaluate(db, q, opts);
       if (!result.ok()) continue;
       tuples += result->tuples.size();
       benchmark::DoNotOptimize(result->tuples.data());
@@ -82,9 +85,10 @@ void RunLogParallel(benchmark::State& state, ProvenanceCapture capture) {
   const Database& db = *BigImdb().db;
   const std::vector<Query>& log = EvalLog();
   ThreadPool pool(static_cast<size_t>(state.range(0)));
-  EvalOptions opts;
-  opts.capture = capture;
-  opts.pool = &pool;
+  const EvalOptions opts = EvalOptions()
+                               .WithCapture(capture)
+                               .WithPool(&pool)
+                               .WithMetrics(bench::BenchMetrics());
   size_t tuples = 0;
   for (auto _ : state) {
     tuples = 0;
@@ -137,4 +141,13 @@ BENCHMARK(BM_BuildImdb)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace lshap
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() expanded by hand so the --metrics-json flag can be
+// stripped before google-benchmark sees (and rejects) it.
+int main(int argc, char** argv) {
+  lshap::bench::InitBenchMetrics(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

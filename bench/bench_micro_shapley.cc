@@ -4,6 +4,7 @@
 // computation dominates inference-time alternatives as provenance grows.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "common/rng.h"
 #include "provenance/bool_expr.h"
 #include "provenance/compiler.h"
@@ -30,8 +31,12 @@ Dnf MakeProvenance(size_t num_vars, size_t num_clauses, size_t clause_len) {
 void BM_ShapleyExact(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   const Dnf d = MakeProvenance(n, n / 2 + 1, 4);
+  // Span per benchmark, not per iteration: span enter/exit costs a mutex
+  // and two clock reads, which would be measurable noise on the µs-scale
+  // iterations here.
+  ScopedSpan span(bench::BenchMetrics(), "bench.shapley.exact");
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ComputeShapleyExact(d));
+    benchmark::DoNotOptimize(ComputeShapleyExactUnlimited(d));
   }
   state.SetLabel("lineage=" + std::to_string(d.Variables().size()));
 }
@@ -40,6 +45,7 @@ BENCHMARK(BM_ShapleyExact)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 void BM_ShapleyBrute(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   const Dnf d = MakeProvenance(n, n / 2 + 1, 4);
+  ScopedSpan span(bench::BenchMetrics(), "bench.shapley.brute");
   for (auto _ : state) {
     benchmark::DoNotOptimize(ComputeShapleyBrute(d).value());
   }
@@ -49,8 +55,9 @@ BENCHMARK(BM_ShapleyBrute)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
 void BM_CnfProxy(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   const Dnf d = MakeProvenance(n, n / 2 + 1, 4);
+  ScopedSpan span(bench::BenchMetrics(), "bench.shapley.cnf_proxy");
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ComputeCnfProxy(d));
+    benchmark::DoNotOptimize(ComputeCnfProxyUnlimited(d));
   }
 }
 BENCHMARK(BM_CnfProxy)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
@@ -59,8 +66,9 @@ void BM_MonteCarlo1k(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   const Dnf d = MakeProvenance(n, n / 2 + 1, 4);
   Rng rng(7);
+  ScopedSpan span(bench::BenchMetrics(), "bench.shapley.monte_carlo");
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ComputeShapleyMonteCarlo(d, 1000, rng));
+    benchmark::DoNotOptimize(ComputeShapleyMonteCarloUnlimited(d, 1000, rng));
   }
 }
 BENCHMARK(BM_MonteCarlo1k)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
@@ -68,9 +76,10 @@ BENCHMARK(BM_MonteCarlo1k)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 void BM_CircuitCompile(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   const Dnf d = MakeProvenance(n, n / 2 + 1, 4);
+  ScopedSpan span(bench::BenchMetrics(), "bench.shapley.compile");
   for (auto _ : state) {
     DnfCompiler compiler;
-    benchmark::DoNotOptimize(compiler.Compile(d));
+    benchmark::DoNotOptimize(compiler.CompileUnlimited(d));
   }
 }
 BENCHMARK(BM_CircuitCompile)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
@@ -78,4 +87,12 @@ BENCHMARK(BM_CircuitCompile)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 }  // namespace
 }  // namespace lshap
 
-BENCHMARK_MAIN();
+// Hand-expanded BENCHMARK_MAIN(); see bench_micro_eval.cc.
+int main(int argc, char** argv) {
+  lshap::bench::InitBenchMetrics(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -60,7 +60,8 @@ void PrintDb(const Workbench& wb) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchMetrics(&argc, argv);
   ThreadPool pool;
   PrintHeader("Table 1: DBShap statistics (synthetic corpora; see DESIGN.md "
               "for scaling)");

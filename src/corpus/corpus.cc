@@ -29,39 +29,83 @@ struct LadderOutcome {
 
 }  // namespace
 
+// BuildCorpus's metric handles — the registry-backed successor of the
+// ad-hoc BuildStats counters. BuildStats stays (it is serialized with the
+// corpus and printed by the benches); the fold loop mirrors every count
+// into these handles so one --metrics-json snapshot carries the rung
+// transitions alongside the evaluator and trainer sections.
+struct CorpusMetricSet {
+  Counter queries_generated, queries_kept, tuples_prefiltered, jobs,
+      rung_exact, rung_monte_carlo, rung_cnf_proxy, rung_skipped,
+      budget_trips;
+  Histogram lineage_facts, circuit_nodes;
+  Gauge wall_seconds;
+
+  CorpusMetricSet() = default;
+  explicit CorpusMetricSet(MetricsRegistry* r)
+      : queries_generated(CounterFor(r, "corpus.queries_generated")),
+        queries_kept(CounterFor(r, "corpus.queries_kept")),
+        tuples_prefiltered(CounterFor(r, "corpus.tuples_prefiltered")),
+        jobs(CounterFor(r, "corpus.ground_truth_jobs")),
+        rung_exact(CounterFor(r, "corpus.rung_exact")),
+        rung_monte_carlo(CounterFor(r, "corpus.rung_monte_carlo")),
+        rung_cnf_proxy(CounterFor(r, "corpus.rung_cnf_proxy")),
+        rung_skipped(CounterFor(r, "corpus.rung_skipped")),
+        budget_trips(CounterFor(r, "corpus.budget_trips")),
+        lineage_facts(HistogramFor(r, "corpus.lineage_facts",
+                                   ExponentialBuckets(1.0, 2.0, 10))),
+        circuit_nodes(HistogramFor(r, "corpus.circuit_nodes",
+                                   ExponentialBuckets(4.0, 4.0, 10))),
+        wall_seconds(GaugeFor(r, "corpus.wall_seconds")) {}
+};
+
 Corpus BuildCorpus(const Database& db, const SchemaGraph& graph,
                    const CorpusConfig& config, ThreadPool& pool) {
   WallTimer build_timer;
+  ScopedSpan build_span(config.metrics, "corpus.build");
+  const CorpusMetricSet metrics(config.metrics);
   Corpus corpus;
   corpus.db = &db;
 
-  QueryGenerator generator(&db, graph, config.query_gen, config.seed);
-  const std::vector<Query> log =
-      generator.GenerateLog(config.num_base_queries, db.name());
+  std::vector<Query> log;
+  {
+    ScopedSpan span(config.metrics, "corpus.generate_log");
+    QueryGenerator generator(&db, graph, config.query_gen, config.seed);
+    log = generator.GenerateLog(config.num_base_queries, db.name());
+    metrics.queries_generated.Inc(log.size());
+  }
 
   Rng rng(config.seed ^ 0xc0ffee);
 
   // Evaluate each query; keep those with non-empty (and bounded) results.
+  // The registry threads through to the evaluator, so a corpus build's
+  // snapshot also carries the eval.* section for its query replay.
+  const EvalOptions eval_options =
+      EvalOptions().WithMetrics(config.metrics);
   struct Pending {
     Query query;
     EvalResult result;
     std::vector<size_t> sampled;  // output indices to compute Shapley for
   };
   std::vector<Pending> pending;
-  for (const Query& q : log) {
-    auto eval = Evaluate(db, q);
-    if (!eval.ok()) continue;
-    EvalResult result = std::move(eval).value();
-    if (result.tuples.size() < config.min_outputs_per_query) continue;
+  {
+    ScopedSpan span(config.metrics, "corpus.evaluate_log");
+    for (const Query& q : log) {
+      auto eval = Evaluate(db, q, eval_options);
+      if (!eval.ok()) continue;
+      EvalResult result = std::move(eval).value();
+      if (result.tuples.size() < config.min_outputs_per_query) continue;
 
-    Pending p;
-    p.query = q;
-    const size_t total = result.tuples.size();
-    const size_t want = std::min(total, config.max_outputs_per_query);
-    p.sampled = rng.SampleWithoutReplacement(total, want);
-    std::sort(p.sampled.begin(), p.sampled.end());
-    p.result = std::move(result);
-    pending.push_back(std::move(p));
+      Pending p;
+      p.query = q;
+      const size_t total = result.tuples.size();
+      const size_t want = std::min(total, config.max_outputs_per_query);
+      p.sampled = rng.SampleWithoutReplacement(total, want);
+      std::sort(p.sampled.begin(), p.sampled.end());
+      p.result = std::move(result);
+      pending.push_back(std::move(p));
+    }
+    metrics.queries_kept.Inc(pending.size());
   }
 
   // Shapley ground truth, parallel over (query, tuple) pairs, each pair
@@ -88,8 +132,11 @@ Corpus BuildCorpus(const Database& db, const SchemaGraph& graph,
         // never reaches the ladder, but it still leaves a skip record.
         ++stats.skipped;
         ++stats.budget_trips[kSiteCorpusPrefilter];
+        metrics.tuples_prefiltered.Inc();
         continue;
       }
+      metrics.lineage_facts.Observe(
+          static_cast<double>(prov.Variables().size()));
       entry.contributions.push_back({entry.all_outputs[idx], {}});
       jobs.push_back({e, slot, &prov});
       ++slot;
@@ -125,6 +172,11 @@ Corpus BuildCorpus(const Database& db, const SchemaGraph& graph,
       if (exact.ok()) {
         dest = std::move(exact).value();
         outcome.rung = LadderOutcome::kExact;
+        // Charge accounting runs even on an unlimited budget, so after a
+        // successful exact rung the charged units are (almost exactly) the
+        // compiled circuit's node count.
+        metrics.circuit_nodes.Observe(
+            static_cast<double>(budget.charged_units()));
         return Status::Ok();
       }
       outcome.trip_sites.push_back(budget.trip_site());
@@ -169,10 +221,15 @@ Corpus BuildCorpus(const Database& db, const SchemaGraph& graph,
     outcome.rung = LadderOutcome::kSkip;
     return Status::Ok();
   };
+  metrics.jobs.Inc(jobs.size());
   // The wave status is deliberately dropped: a cancelled build is not an
   // error of BuildCorpus — the unprocessed jobs are folded into the skip
   // accounting below and the (partial) corpus is still valid.
-  (void)ParallelFor(pool, jobs.size(), build_cancel, ladder);
+  {
+    ScopedSpan span(config.metrics, "corpus.ground_truth");
+    (void)ParallelFor(pool, jobs.size(), build_cancel, ladder);
+  }
+  ScopedSpan finalize_span(config.metrics, "corpus.finalize");
 
   // Fold the per-job outcomes into BuildStats serially (deterministic
   // counts), then drop the contributions that got no ground truth.
@@ -235,6 +292,16 @@ Corpus BuildCorpus(const Database& db, const SchemaGraph& graph,
     }
   }
   stats.wall_seconds = build_timer.ElapsedSeconds();
+  // Mirror the folded BuildStats into the registry (rung counts are
+  // deterministic; see the serial fold above).
+  metrics.rung_exact.Inc(stats.exact);
+  metrics.rung_monte_carlo.Inc(stats.monte_carlo);
+  metrics.rung_cnf_proxy.Inc(stats.cnf_proxy);
+  metrics.rung_skipped.Inc(stats.skipped);
+  for (const auto& [site, n] : stats.budget_trips) {
+    metrics.budget_trips.Inc(n);
+  }
+  metrics.wall_seconds.Set(stats.wall_seconds);
   return corpus;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/budget.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "query/generator.h"
 #include "relational/database.h"
@@ -66,6 +67,9 @@ struct Corpus {
   BuildStats stats;
 };
 
+// Follows the options-builder convention (DESIGN.md §9.4): a
+// default-constructed config reproduces the historical corpus bit-for-bit,
+// and every knob has a chainable With* setter.
 struct CorpusConfig {
   uint64_t seed = 1;
   // Base queries to generate; mutated variants multiply this by ~2-3x.
@@ -104,6 +108,57 @@ struct CorpusConfig {
   double build_deadline_seconds = 0.0;
   // Deterministic test hook forcing budget trips at exact sites; not owned.
   FaultInjector* fault_injector = nullptr;
+  // Observability opt-in: when set, BuildCorpus records corpus.* counters
+  // (rung transitions, budget trips, circuit sizes) and phase spans into
+  // the registry, and threads it through every per-query Evaluate call.
+  // The registry only observes; corpus contents are identical either way.
+  MetricsRegistry* metrics = nullptr;
+
+  CorpusConfig& WithSeed(uint64_t s) { seed = s; return *this; }
+  CorpusConfig& WithNumBaseQueries(size_t n) {
+    num_base_queries = n;
+    return *this;
+  }
+  CorpusConfig& WithMaxOutputsPerQuery(size_t n) {
+    max_outputs_per_query = n;
+    return *this;
+  }
+  CorpusConfig& WithMaxLineage(size_t n) { max_lineage = n; return *this; }
+  CorpusConfig& WithMaxClauses(size_t n) { max_clauses = n; return *this; }
+  CorpusConfig& WithMinOutputsPerQuery(size_t n) {
+    min_outputs_per_query = n;
+    return *this;
+  }
+  CorpusConfig& WithSplit(double train, double dev) {
+    train_frac = train;
+    dev_frac = dev;
+    return *this;
+  }
+  CorpusConfig& WithQueryGen(const QueryGenConfig& qg) {
+    query_gen = qg;
+    return *this;
+  }
+  CorpusConfig& WithTupleDeadlineSeconds(double s) {
+    tuple_deadline_seconds = s;
+    return *this;
+  }
+  CorpusConfig& WithMaxCircuitNodes(size_t n) {
+    max_circuit_nodes = n;
+    return *this;
+  }
+  CorpusConfig& WithMcFallbackSamples(size_t n) {
+    mc_fallback_samples = n;
+    return *this;
+  }
+  CorpusConfig& WithBuildDeadlineSeconds(double s) {
+    build_deadline_seconds = s;
+    return *this;
+  }
+  CorpusConfig& WithFaultInjector(FaultInjector* f) {
+    fault_injector = f;
+    return *this;
+  }
+  CorpusConfig& WithMetrics(MetricsRegistry* m) { metrics = m; return *this; }
 };
 
 // Generates a query log over `db`, evaluates it with provenance, computes

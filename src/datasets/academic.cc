@@ -1,7 +1,9 @@
 #include "datasets/academic.h"
 
 #include <iterator>
+#include <span>
 #include <string>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
@@ -101,111 +103,145 @@ GeneratedDb MakeAcademicDatabase(const AcademicConfig& config) {
                                    {"did", ColumnType::kInt}}))
                   .ok());
 
-  // Organizations.
-  TableAppender organizations = db->AppenderFor("organization");
-  for (size_t i = 0; i < config.num_organizations; ++i) {
-    std::string name = kOrgStems[i % std::size(kOrgStems)];
-    if (i >= std::size(kOrgStems)) {
-      name += StrFormat(" Campus %zu", i / std::size(kOrgStems) + 1);
+  // Organizations — no RNG involved, so this table uses the pure
+  // column-at-a-time ingest shape (see relational/table.h); the RNG-driven
+  // tables below stage RowBatches to keep their per-row draw order.
+  {
+    TableAppender organizations = db->AppenderFor("organization");
+    std::vector<int64_t> ids(config.num_organizations);
+    std::vector<std::string> names;
+    names.reserve(config.num_organizations);
+    for (size_t i = 0; i < config.num_organizations; ++i) {
+      ids[i] = static_cast<int64_t>(i);
+      std::string name = kOrgStems[i % std::size(kOrgStems)];
+      if (i >= std::size(kOrgStems)) {
+        name += StrFormat(" Campus %zu", i / std::size(kOrgStems) + 1);
+      }
+      names.push_back(std::move(name));
     }
-    organizations.Begin().Int(static_cast<int64_t>(i)).Str(name).Commit();
+    organizations.AppendColumn(0, std::span<const int64_t>(ids))
+        .AppendColumn(1, std::span<const std::string>(names))
+        .CommitRows();
   }
 
   // Authors.
-  TableAppender authors = db->AppenderFor("author");
-  for (size_t i = 0; i < config.num_authors; ++i) {
-    std::string name =
-        std::string(kAuthorFirst[rng.NextBounded(std::size(kAuthorFirst))]) +
-        " " + kAuthorLast[rng.NextBounded(std::size(kAuthorLast))] +
-        StrFormat(" #%zu", i);
-    const int64_t org =
-        static_cast<int64_t>(rng.NextBounded(config.num_organizations));
-    const int64_t papers = rng.NextInt(1, 160);
-    const int64_t citations = papers * rng.NextInt(2, 90);
-    authors.Begin()
-        .Int(static_cast<int64_t>(i))
-        .Str(name)
-        .Int(org)
-        .Int(papers)
-        .Int(citations)
-        .Commit();
+  {
+    TableAppender authors = db->AppenderFor("author");
+    RowBatch batch(authors.schema());
+    for (size_t i = 0; i < config.num_authors; ++i) {
+      std::string name =
+          std::string(kAuthorFirst[rng.NextBounded(std::size(kAuthorFirst))]) +
+          " " + kAuthorLast[rng.NextBounded(std::size(kAuthorLast))] +
+          StrFormat(" #%zu", i);
+      const int64_t org =
+          static_cast<int64_t>(rng.NextBounded(config.num_organizations));
+      const int64_t papers = rng.NextInt(1, 160);
+      const int64_t citations = papers * rng.NextInt(2, 90);
+      batch.Begin()
+          .Int(static_cast<int64_t>(i))
+          .Str(name)
+          .Int(org)
+          .Int(papers)
+          .Int(citations)
+          .End();
+    }
+    authors.Append(batch);
   }
 
-  // Conferences, domains and their many-to-many bridge.
-  TableAppender conferences = db->AppenderFor("conference");
-  for (size_t i = 0; i < config.num_conferences; ++i) {
-    std::string name = kConfStems[i % std::size(kConfStems)];
-    if (i >= std::size(kConfStems)) {
-      name += StrFormat(" Workshop %zu", i / std::size(kConfStems));
+  // Conferences, domains and their many-to-many bridge. The first two are
+  // RNG-free: columnar ingest again.
+  {
+    TableAppender conferences = db->AppenderFor("conference");
+    std::vector<int64_t> ids(config.num_conferences);
+    std::vector<std::string> names;
+    names.reserve(config.num_conferences);
+    for (size_t i = 0; i < config.num_conferences; ++i) {
+      ids[i] = static_cast<int64_t>(i);
+      std::string name = kConfStems[i % std::size(kConfStems)];
+      if (i >= std::size(kConfStems)) {
+        name += StrFormat(" Workshop %zu", i / std::size(kConfStems));
+      }
+      names.push_back(std::move(name));
     }
-    conferences.Begin().Int(static_cast<int64_t>(i)).Str(name).Commit();
+    conferences.AppendColumn(0, std::span<const int64_t>(ids))
+        .AppendColumn(1, std::span<const std::string>(names))
+        .CommitRows();
   }
-  TableAppender domains = db->AppenderFor("domain");
-  for (size_t i = 0; i < config.num_domains; ++i) {
-    domains.Begin()
-        .Int(static_cast<int64_t>(i))
-        .Str(kDomainNames[i % std::size(kDomainNames)])
-        .Commit();
+  {
+    TableAppender domains = db->AppenderFor("domain");
+    std::vector<int64_t> ids(config.num_domains);
+    std::vector<std::string_view> names(config.num_domains);
+    for (size_t i = 0; i < config.num_domains; ++i) {
+      ids[i] = static_cast<int64_t>(i);
+      names[i] = kDomainNames[i % std::size(kDomainNames)];
+    }
+    domains.AppendColumn(0, std::span<const int64_t>(ids))
+        .AppendColumn(1, std::span<const std::string_view>(names))
+        .CommitRows();
   }
   {
     TableAppender bridge = db->AppenderFor("domain_conference");
+    RowBatch batch(bridge.schema());
     std::unordered_set<uint64_t> seen;
-    size_t inserted = 0;
     size_t attempts = 0;
-    while (inserted < config.num_domain_conference &&
+    while (batch.num_rows() < config.num_domain_conference &&
            attempts < config.num_domain_conference * 20) {
       ++attempts;
       const uint64_t cid = rng.NextBounded(config.num_conferences);
       const uint64_t did = rng.NextBounded(config.num_domains);
       if (!seen.insert(cid * 1000 + did).second) continue;
-      bridge.Begin()
+      batch.Begin()
           .Int(static_cast<int64_t>(cid))
           .Int(static_cast<int64_t>(did))
-          .Commit();
-      ++inserted;
+          .End();
     }
+    bridge.Append(batch);
   }
 
   // Publications, with Zipf-skewed conference popularity.
-  TableAppender publications = db->AppenderFor("publication");
   ZipfSampler conf_sampler(config.num_conferences, config.conference_zipf);
-  for (size_t i = 0; i < config.num_publications; ++i) {
-    std::string title =
-        std::string(
-            kPaperAdjectives[rng.NextBounded(std::size(kPaperAdjectives))]) +
-        " " + kPaperNouns[rng.NextBounded(std::size(kPaperNouns))] +
-        StrFormat(" v%zu", i);
-    const int64_t year = rng.NextInt(2000, 2023);
-    const int64_t cid = static_cast<int64_t>(conf_sampler.Sample(rng));
-    const int64_t citations = rng.NextInt(0, 400);
-    publications.Begin()
-        .Int(static_cast<int64_t>(i))
-        .Str(title)
-        .Int(year)
-        .Int(cid)
-        .Int(citations)
-        .Commit();
+  {
+    TableAppender publications = db->AppenderFor("publication");
+    RowBatch batch(publications.schema());
+    for (size_t i = 0; i < config.num_publications; ++i) {
+      std::string title =
+          std::string(
+              kPaperAdjectives[rng.NextBounded(std::size(kPaperAdjectives))]) +
+          " " + kPaperNouns[rng.NextBounded(std::size(kPaperNouns))] +
+          StrFormat(" v%zu", i);
+      const int64_t year = rng.NextInt(2000, 2023);
+      const int64_t cid = static_cast<int64_t>(conf_sampler.Sample(rng));
+      const int64_t citations = rng.NextInt(0, 400);
+      batch.Begin()
+          .Int(static_cast<int64_t>(i))
+          .Str(title)
+          .Int(year)
+          .Int(cid)
+          .Int(citations)
+          .End();
+    }
+    publications.Append(batch);
   }
 
   // Authorship, with Zipf-skewed author productivity.
   ZipfSampler author_sampler(config.num_authors, config.author_zipf);
   {
     TableAppender writes = db->AppenderFor("writes");
+    RowBatch batch(writes.schema());
     std::unordered_set<uint64_t> seen;
-    size_t inserted = 0;
     size_t attempts = 0;
-    while (inserted < config.num_writes &&
+    while (batch.num_rows() < config.num_writes &&
            attempts < config.num_writes * 10) {
       ++attempts;
       const uint64_t author = author_sampler.Sample(rng);
       const uint64_t pub = rng.NextBounded(config.num_publications);
       if (!seen.insert(author * 1000000 + pub).second) continue;
-      writes.Begin()
+      batch.Begin()
           .Int(static_cast<int64_t>(author))
           .Int(static_cast<int64_t>(pub))
-          .Commit();
-      ++inserted;
+          .End();
     }
+    writes.Append(batch);
   }
 
   // Ingest is complete: freeze the dictionary so ordered/prefix string

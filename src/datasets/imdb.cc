@@ -65,30 +65,41 @@ GeneratedDb MakeImdbDatabase(const ImdbConfig& config) {
                                             {"actor", ColumnType::kString}}))
                   .ok());
 
-  // Companies.
+  // Companies. Each table is staged into a RowBatch and appended in one
+  // call — the batch ingest path (see relational/table.h). The RNG draws
+  // stay interleaved exactly as the old row-at-a-time loops made them, so
+  // generated content is unchanged.
   TableAppender companies = db->AppenderFor("companies");
   std::vector<std::string> company_names;
   company_names.reserve(config.num_companies);
   constexpr size_t kNumStems = std::size(kCompanyStems);
-  for (size_t i = 0; i < config.num_companies; ++i) {
-    std::string name = kCompanyStems[i % kNumStems];
-    if (i >= kNumStems) name += StrFormat(" %zu", i / kNumStems + 1);
-    const char* country = kCountries[rng.NextBounded(std::size(kCountries))];
-    companies.Begin().Str(name).Str(country).Commit();
-    company_names.push_back(std::move(name));
+  {
+    RowBatch batch(companies.schema());
+    for (size_t i = 0; i < config.num_companies; ++i) {
+      std::string name = kCompanyStems[i % kNumStems];
+      if (i >= kNumStems) name += StrFormat(" %zu", i / kNumStems + 1);
+      const char* country = kCountries[rng.NextBounded(std::size(kCountries))];
+      batch.Begin().Str(name).Str(country).End();
+      company_names.push_back(std::move(name));
+    }
+    companies.Append(batch);
   }
 
   // Actors.
   TableAppender actors = db->AppenderFor("actors");
   std::vector<std::string> actor_names;
   actor_names.reserve(config.num_actors);
-  for (size_t i = 0; i < config.num_actors; ++i) {
-    std::string name =
-        std::string(kFirstNames[rng.NextBounded(std::size(kFirstNames))]) +
-        " " + kLastNames[rng.NextBounded(std::size(kLastNames))];
-    name += StrFormat(" #%zu", i);  // ensure uniqueness
-    actors.Begin().Str(name).Int(rng.NextInt(18, 80)).Commit();
-    actor_names.push_back(std::move(name));
+  {
+    RowBatch batch(actors.schema());
+    for (size_t i = 0; i < config.num_actors; ++i) {
+      std::string name =
+          std::string(kFirstNames[rng.NextBounded(std::size(kFirstNames))]) +
+          " " + kLastNames[rng.NextBounded(std::size(kLastNames))];
+      name += StrFormat(" #%zu", i);  // ensure uniqueness
+      batch.Begin().Str(name).Int(rng.NextInt(18, 80)).End();
+      actor_names.push_back(std::move(name));
+    }
+    actors.Append(batch);
   }
 
   // Movies, with Zipf-skewed company popularity.
@@ -96,32 +107,39 @@ GeneratedDb MakeImdbDatabase(const ImdbConfig& config) {
   ZipfSampler company_sampler(config.num_companies, config.company_zipf);
   std::vector<std::string> movie_titles;
   movie_titles.reserve(config.num_movies);
-  for (size_t i = 0; i < config.num_movies; ++i) {
-    std::string title =
-        std::string(
-            kTitleAdjectives[rng.NextBounded(std::size(kTitleAdjectives))]) +
-        " " + kTitleNouns[rng.NextBounded(std::size(kTitleNouns))];
-    title += StrFormat(" (%zu)", i);  // ensure uniqueness
-    const int64_t year = rng.NextInt(1990, 2023);
-    const std::string& company = company_names[company_sampler.Sample(rng)];
-    movies.Begin().Str(title).Int(year).Str(company).Commit();
-    movie_titles.push_back(std::move(title));
+  {
+    RowBatch batch(movies.schema());
+    for (size_t i = 0; i < config.num_movies; ++i) {
+      std::string title =
+          std::string(
+              kTitleAdjectives[rng.NextBounded(std::size(kTitleAdjectives))]) +
+          " " + kTitleNouns[rng.NextBounded(std::size(kTitleNouns))];
+      title += StrFormat(" (%zu)", i);  // ensure uniqueness
+      const int64_t year = rng.NextInt(1990, 2023);
+      const std::string& company = company_names[company_sampler.Sample(rng)];
+      batch.Begin().Str(title).Int(year).Str(company).End();
+      movie_titles.push_back(std::move(title));
+    }
+    movies.Append(batch);
   }
 
   // Roles, with Zipf-skewed actor popularity; duplicates are skipped.
   TableAppender roles = db->AppenderFor("roles");
   ZipfSampler actor_sampler(config.num_actors, config.actor_zipf);
   std::unordered_set<std::string> seen_roles;
-  size_t inserted = 0;
-  size_t attempts = 0;
-  while (inserted < config.num_roles && attempts < config.num_roles * 10) {
-    ++attempts;
-    const std::string& movie =
-        movie_titles[rng.NextBounded(movie_titles.size())];
-    const std::string& actor = actor_names[actor_sampler.Sample(rng)];
-    if (!seen_roles.insert(movie + "\x1f" + actor).second) continue;
-    roles.Begin().Str(movie).Str(actor).Commit();
-    ++inserted;
+  {
+    RowBatch batch(roles.schema());
+    size_t attempts = 0;
+    while (batch.num_rows() < config.num_roles &&
+           attempts < config.num_roles * 10) {
+      ++attempts;
+      const std::string& movie =
+          movie_titles[rng.NextBounded(movie_titles.size())];
+      const std::string& actor = actor_names[actor_sampler.Sample(rng)];
+      if (!seen_roles.insert(movie + "\x1f" + actor).second) continue;
+      batch.Begin().Str(movie).Str(actor).End();
+    }
+    roles.Append(batch);
   }
 
   // Ingest is complete: freeze the dictionary so ordered/prefix string

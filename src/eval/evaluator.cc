@@ -1,6 +1,7 @@
 #include "eval/evaluator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <iterator>
 #include <limits>
@@ -24,6 +25,39 @@ struct PartialRow {
   std::vector<FactId> facts;          // sorted
 };
 
+// The evaluator's metric handles, resolved once per Evaluate call (registry
+// lookups take a mutex — never in a hot loop). Default-constructed = all
+// no-op, the metrics-off path. Counts are per-scan / per-join-step /
+// per-block, never per row, and are identical at every thread count because
+// they are computed from the same deterministic sizes the merge discipline
+// pins down.
+struct EvalMetricSet {
+  Counter queries, blocks, rows_scanned, sel_rank_path, sel_text_fallback,
+      morsels, index_builds, cross_products, rows_probed, probe_batches,
+      join_output_rows, output_tuples;
+  Histogram query_seconds, index_occupancy;
+
+  EvalMetricSet() = default;
+  explicit EvalMetricSet(MetricsRegistry* r)
+      : queries(CounterFor(r, "eval.queries")),
+        blocks(CounterFor(r, "eval.blocks")),
+        rows_scanned(CounterFor(r, "eval.rows_scanned")),
+        sel_rank_path(CounterFor(r, "eval.sel_rank_path")),
+        sel_text_fallback(CounterFor(r, "eval.sel_text_fallback")),
+        morsels(CounterFor(r, "eval.morsels")),
+        index_builds(CounterFor(r, "eval.join.index_builds")),
+        cross_products(CounterFor(r, "eval.join.cross_products")),
+        rows_probed(CounterFor(r, "eval.join.rows_probed")),
+        probe_batches(CounterFor(r, "eval.join.probe_batches")),
+        join_output_rows(CounterFor(r, "eval.join.output_rows")),
+        output_tuples(CounterFor(r, "eval.output_tuples")),
+        query_seconds(HistogramFor(r, "eval.query_seconds",
+                                   ExponentialBuckets(1e-5, 4.0, 12))),
+        index_occupancy(HistogramFor(
+            r, "eval.join.index_occupancy",
+            {0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0})) {}
+};
+
 // How the scan/probe/project phases split their input rows into morsels.
 // Each phase plans against its own input size, runs one body per contiguous
 // row range, and merges per-morsel outputs in morsel order — which is the
@@ -35,6 +69,8 @@ struct EvalContext {
   size_t morsel_rows = 4096;
   size_t min_parallel_rows = 4096;
   bool use_string_ranks = true;
+  MetricsRegistry* registry = nullptr;  // span parent for phase timers
+  EvalMetricSet metrics;
 
   struct Plan {
     size_t count = 1;  // number of morsels
@@ -53,6 +89,7 @@ struct EvalContext {
   // single morsel, dispatched on the pool otherwise.
   void Run(size_t n, const Plan& plan,
            const std::function<void(size_t, size_t, size_t)>& body) const {
+    metrics.morsels.Inc(plan.count);
     if (plan.count == 1) {
       body(0, 0, n);
       return;
@@ -223,6 +260,7 @@ template <typename Pred>
 void ScanRows(const EvalContext& ctx, size_t n, bool first,
               std::vector<uint32_t>& rows, Pred pred) {
   const size_t domain = first ? n : rows.size();
+  ctx.metrics.rows_scanned.Inc(domain);
   const EvalContext::Plan plan = ctx.PlanMorsels(domain);
   if (plan.count == 1) {
     if (first) {
@@ -336,6 +374,7 @@ void ApplySel(const EvalContext& ctx, const CompiledSel& sel,
     case CompiledSel::Kind::kStringRank: {
       // One load + one unsigned compare per cell: rank in [lo, hi) iff
       // (rank - lo) < (hi - lo) with wraparound doing the lower-bound test.
+      ctx.metrics.sel_rank_path.Inc();
       const auto& ids = col.string_ids();
       const uint32_t* ranks = sel.ranks;
       const uint32_t lo = sel.rank_lo;
@@ -346,6 +385,7 @@ void ApplySel(const EvalContext& ctx, const CompiledSel& sel,
       break;
     }
     case CompiledSel::Kind::kStringOrder: {
+      ctx.metrics.sel_text_fallback.Inc();
       const auto& ids = col.string_ids();
       ScanRows(ctx, n, first, rows, [&](uint32_t r) {
         return CompareMatches(pool.Get(ids[r]).compare(*sel.text), sel.op);
@@ -353,6 +393,7 @@ void ApplySel(const EvalContext& ctx, const CompiledSel& sel,
       break;
     }
     case CompiledSel::Kind::kStringPrefix: {
+      ctx.metrics.sel_text_fallback.Inc();
       const auto& ids = col.string_ids();
       ScanRows(ctx, n, first, rows, [&](uint32_t r) {
         return StartsWith(pool.Get(ids[r]), *sel.text);
@@ -427,6 +468,7 @@ Status EvaluateBlock(const Database& db, const SpjBlock& block,
                      ProvenanceCapture capture, const EvalContext& ctx,
                      EvalResult& result,
                      std::vector<std::vector<Clause>>& pending_clauses) {
+  ctx.metrics.blocks.Inc();
   if (block.tables.empty()) {
     return Status::InvalidArgument("SPJ block with empty FROM clause");
   }
@@ -487,19 +529,22 @@ Status EvaluateBlock(const Database& db, const SpjBlock& block,
   }
 
   // Local selections, column-at-a-time.
-  for (size_t i = 0; i < bound.size(); ++i) {
-    const Table* t = bound[i].table;
-    std::vector<uint32_t>& rows = bound[i].surviving_rows;
-    if (local_sels[i].empty()) {
-      rows.resize(t->num_rows());
-      for (uint32_t r = 0; r < t->num_rows(); ++r) rows[r] = r;
-    } else {
-      for (size_t s = 0; s < local_sels[i].size(); ++s) {
-        ApplySel(ctx, local_sels[i][s], pool, /*first=*/s == 0, rows);
-        if (rows.empty()) break;
+  {
+    ScopedSpan scan_span(ctx.registry, "eval.scan");
+    for (size_t i = 0; i < bound.size(); ++i) {
+      const Table* t = bound[i].table;
+      std::vector<uint32_t>& rows = bound[i].surviving_rows;
+      if (local_sels[i].empty()) {
+        rows.resize(t->num_rows());
+        for (uint32_t r = 0; r < t->num_rows(); ++r) rows[r] = r;
+      } else {
+        for (size_t s = 0; s < local_sels[i].size(); ++s) {
+          ApplySel(ctx, local_sels[i][s], pool, /*first=*/s == 0, rows);
+          if (rows.empty()) break;
+        }
       }
+      if (rows.empty()) return Status::Ok();  // empty result
     }
-    if (rows.empty()) return Status::Ok();  // empty result
   }
 
   // Greedy join order: start from the block's first table, repeatedly add a
@@ -555,6 +600,7 @@ Status EvaluateBlock(const Database& db, const SpjBlock& block,
   }
 
   // Join in the remaining tables one by one.
+  ScopedSpan join_span(ctx.registry, "eval.join");
   for (size_t step = 1; step < order.size(); ++step) {
     const size_t ti = order[step];
     const BoundTable& bt = bound[ti];
@@ -602,7 +648,9 @@ Status EvaluateBlock(const Database& db, const SpjBlock& block,
     const Table* fact_table = track_facts ? bt.table : nullptr;
     const EvalContext::Plan plan = ctx.PlanMorsels(current.size());
     std::vector<std::vector<PartialRow>> parts(plan.count);
+    ctx.metrics.rows_probed.Inc(current.size());
     if (key_parts.empty()) {
+      ctx.metrics.cross_products.Inc();
       // Cross product (rare; disconnected query). The exact output size
       // current * surviving can overflow size_t, so reservations saturate
       // and cap; past the cap the vectors grow geometrically.
@@ -625,11 +673,28 @@ Status EvaluateBlock(const Database& db, const SpjBlock& block,
       // `current`, in batches: gather the probe-side key words through the
       // batch accessor, prefetch every batch's bucket heads, then walk the
       // payload slices — by which point the buckets are in cache.
+      constexpr size_t kProbeBatch = 64;
       FlatJoinIndex index;
       index.Build(*key_parts[0].new_col, bt.surviving_rows);
+      ctx.metrics.index_builds.Inc();
+      if (ctx.metrics.index_occupancy.enabled() && index.num_buckets() > 0) {
+        ctx.metrics.index_occupancy.Observe(
+            static_cast<double>(index.num_keys()) /
+            static_cast<double>(index.num_buckets()));
+      }
+      // Probe batches are a deterministic function of the morsel plan:
+      // each morsel walks its range in kProbeBatch-row gathers.
+      {
+        uint64_t batches = 0;
+        for (size_t m = 0; m < plan.count; ++m) {
+          const size_t lo = m * plan.grain;
+          const size_t hi = std::min(current.size(), lo + plan.grain);
+          batches += (hi - lo + kProbeBatch - 1) / kProbeBatch;
+        }
+        ctx.metrics.probe_batches.Inc(batches);
+      }
       const ColumnData& probe_col = *key_parts[0].placed_col;
       const size_t probe_pos = key_parts[0].placed_order_pos;
-      constexpr size_t kProbeBatch = 64;
       ctx.Run(current.size(), plan, [&](size_t m, size_t lo, size_t hi) {
         std::vector<PartialRow>& out = parts[m];
         uint32_t probe_rows[kProbeBatch];
@@ -670,6 +735,7 @@ Status EvaluateBlock(const Database& db, const SpjBlock& block,
     }
     MergeJoinParts(parts, next);
     current = std::move(next);
+    ctx.metrics.join_output_rows.Inc(current.size());
     if (current.empty()) return Status::Ok();
   }
 
@@ -700,6 +766,7 @@ Status EvaluateBlock(const Database& db, const SpjBlock& block,
     std::vector<std::vector<Clause>> clauses;    // kFull only
     std::vector<std::vector<FactId>> lineages;   // kLineageOnly only
   };
+  ScopedSpan project_span(ctx.registry, "eval.project");
   const EvalContext::Plan proj_plan = ctx.PlanMorsels(current.size());
   std::vector<ProjLocal> proj_parts(proj_plan.count);
   ctx.Run(current.size(), proj_plan, [&](size_t m, size_t lo, size_t hi) {
@@ -858,6 +925,11 @@ Result<EvalResult> Evaluate(const Database& db, const Query& q,
   ctx.morsel_rows = options.morsel_rows;
   ctx.min_parallel_rows = options.min_parallel_rows;
   ctx.use_string_ranks = options.use_string_ranks;
+  ctx.registry = options.metrics;
+  ctx.metrics = EvalMetricSet(options.metrics);
+  ScopedSpan query_span(ctx.registry, "eval.query");
+  const auto query_start = std::chrono::steady_clock::now();
+  ctx.metrics.queries.Inc();
   std::vector<std::vector<Clause>> pending_clauses;
   for (const auto& block : q.blocks) {
     Status s = EvaluateBlock(db, block, options.capture, ctx, result,
@@ -872,6 +944,13 @@ Result<EvalResult> Evaluate(const Database& db, const Query& q,
       result.provenance.emplace_back(std::move(clauses));
       result.lineages.push_back(result.provenance.back().Variables());
     }
+  }
+  ctx.metrics.output_tuples.Inc(result.tuples.size());
+  if (ctx.metrics.query_seconds.enabled()) {
+    ctx.metrics.query_seconds.Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      query_start)
+            .count());
   }
   return result;
 }

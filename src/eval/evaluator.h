@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "provenance/bool_expr.h"
@@ -54,6 +55,10 @@ struct EvalResult {
 // the morsel dispatch blocks on ParallelFor, which deadlocks under such
 // nesting (BuildCorpus parallelizes across tuples and therefore evaluates
 // each query serially).
+//
+// Follows the repo's options-builder convention (DESIGN.md §9.4): a
+// default-constructed EvalOptions reproduces historical behavior exactly,
+// and every knob has a chainable With* setter.
 struct EvalOptions {
   ProvenanceCapture capture = ProvenanceCapture::kFull;
   ThreadPool* pool = nullptr;  // nullptr => serial evaluation
@@ -71,6 +76,21 @@ struct EvalOptions {
   // (bench_string_predicates) compare against. Both paths must agree
   // exactly; the flag only selects which one runs.
   bool use_string_ranks = true;
+  // Observability opt-in: when set, the evaluator records eval.* counters,
+  // histograms, and spans into the registry (see DESIGN.md §9). Null means
+  // no-op handles everywhere — zero instrumentation cost, and results are
+  // byte-identical either way.
+  MetricsRegistry* metrics = nullptr;
+
+  EvalOptions& WithCapture(ProvenanceCapture c) { capture = c; return *this; }
+  EvalOptions& WithPool(ThreadPool* p) { pool = p; return *this; }
+  EvalOptions& WithMorselRows(size_t n) { morsel_rows = n; return *this; }
+  EvalOptions& WithMinParallelRows(size_t n) {
+    min_parallel_rows = n;
+    return *this;
+  }
+  EvalOptions& WithStringRanks(bool on) { use_string_ranks = on; return *this; }
+  EvalOptions& WithMetrics(MetricsRegistry* m) { metrics = m; return *this; }
 };
 
 // Evaluates `q` over `db`. Selections are compiled against the columnar

@@ -36,11 +36,13 @@ class FlatJoinIndex {
     keys_scratch_.resize(n);
     col.KeyWords(rows.data(), n, keys_scratch_.data());
     // Pass 1: count group sizes per distinct key.
+    num_keys_ = 0;
     for (size_t i = 0; i < n; ++i) {
       size_t b = StartBucket(keys_scratch_[i]);
       while (buckets_[b].count != 0 && buckets_[b].key != keys_scratch_[i]) {
         b = (b + 1) & mask_;
       }
+      if (buckets_[b].count == 0) ++num_keys_;
       buckets_[b].key = keys_scratch_[i];
       ++buckets_[b].count;
     }
@@ -98,6 +100,12 @@ class FlatJoinIndex {
 
   Range Probe(uint64_t key) const { return ProbeFrom(StartBucket(key), key); }
 
+  // Shape of the last Build, for occupancy metrics: bucket-array size,
+  // distinct key groups, and indexed rows.
+  size_t num_buckets() const { return buckets_.size(); }
+  size_t num_keys() const { return num_keys_; }
+  size_t num_rows() const { return payload_.size(); }
+
  private:
   struct Bucket {
     uint64_t key = 0;
@@ -109,6 +117,7 @@ class FlatJoinIndex {
   std::vector<uint32_t> payload_;
   std::vector<uint64_t> keys_scratch_;  // build-time only, reused across Builds
   size_t mask_ = 0;
+  size_t num_keys_ = 0;
 };
 
 }  // namespace lshap

@@ -46,6 +46,12 @@ NearestQueriesScorer::NearestQueriesScorer(const Corpus* corpus,
   }
 }
 
+void NearestQueriesScorer::set_metrics(MetricsRegistry* registry) {
+  scores_ = CounterFor(registry, "knn.scores");
+  candidates_ = HistogramFor(registry, "knn.candidates",
+                             ExponentialBuckets(1.0, 2.0, 12));
+}
+
 std::vector<std::pair<size_t, double>> NearestQueriesScorer::Neighbors(
     size_t entry_idx) const {
   const std::vector<std::vector<double>>* matrix = nullptr;
@@ -82,6 +88,15 @@ ShapleyValues NearestQueriesScorer::Score(const Corpus& corpus,
                                           size_t contrib_idx) {
   const TupleContribution& contrib =
       corpus.entries[entry_idx].contributions[contrib_idx];
+  scores_.Inc();
+  if (candidates_.enabled()) {
+    // The candidate pool is every usable train entry, before the top-n cut —
+    // the quantity the paper's KNN cost scales with.
+    const bool self = std::find(train_subset_.begin(), train_subset_.end(),
+                                entry_idx) != train_subset_.end();
+    candidates_.Observe(
+        static_cast<double>(train_subset_.size() - (self ? 1 : 0)));
+  }
   const auto neighbors = Neighbors(entry_idx);
 
   ShapleyValues out;

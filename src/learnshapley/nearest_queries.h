@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "learnshapley/scorer.h"
 
 namespace lshap {
@@ -36,6 +37,11 @@ class NearestQueriesScorer : public FactScorer {
   // entry, with their similarity scores. Exposed for Figure 10.
   std::vector<std::pair<size_t, double>> Neighbors(size_t entry_idx) const;
 
+  // Observability opt-in: histograms how many KNN candidates each Score
+  // call ranks (knn.candidates) and counts scoring calls (knn.scores).
+  // Copied by Clone, like LearnShapleyRanker's handles.
+  void set_metrics(MetricsRegistry* registry);
+
  private:
   const Corpus* corpus_;
   const SimilarityMatrices* sims_;
@@ -45,6 +51,8 @@ class NearestQueriesScorer : public FactScorer {
   // Per train entry: mean Shapley value of each fact across the entry's
   // contributions where it appears.
   std::unordered_map<size_t, std::unordered_map<FactId, double>> fact_means_;
+  Counter scores_;
+  Histogram candidates_;
 };
 
 }  // namespace lshap

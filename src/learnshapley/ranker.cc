@@ -1,5 +1,7 @@
 #include "learnshapley/ranker.h"
 
+#include <chrono>
+
 #include "learnshapley/serialization.h"
 
 namespace lshap {
@@ -14,9 +16,18 @@ LearnShapleyRanker::LearnShapleyRanker(LearnShapleyModel model,
       shapley_scale_(shapley_scale),
       name_(std::move(name)) {}
 
+void LearnShapleyRanker::set_metrics(MetricsRegistry* registry) {
+  facts_scored_ = CounterFor(registry, "rank.facts_scored");
+  score_seconds_ = HistogramFor(registry, "rank.score_seconds",
+                                ExponentialBuckets(1e-5, 4.0, 12));
+}
+
 ShapleyValues LearnShapleyRanker::ScoreLineage(
     const Database& db, const Query& q, const OutputTuple& t,
     const std::vector<FactId>& lineage) {
+  const auto start = score_seconds_.enabled()
+                         ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point{};
   const std::vector<std::string> q_tokens = QueryTokens(q);
   const std::vector<std::string> t_tokens = TupleTokens(t);
   ShapleyValues out;
@@ -27,6 +38,12 @@ ShapleyValues LearnShapleyRanker::ScoreLineage(
         max_len_);
     out[f] = static_cast<double>(model_.PredictShapley(input)) /
              static_cast<double>(shapley_scale_);
+  }
+  facts_scored_.Inc(lineage.size());
+  if (score_seconds_.enabled()) {
+    score_seconds_.Observe(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count());
   }
   return out;
 }

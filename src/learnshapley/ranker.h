@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "common/metrics.h"
 #include "learnshapley/model.h"
 #include "learnshapley/scorer.h"
 #include "ml/tokenizer.h"
@@ -35,12 +36,21 @@ class LearnShapleyRanker : public FactScorer {
   const Vocab& vocab() const { return *vocab_; }
   size_t max_len() const { return max_len_; }
 
+  // Observability opt-in: records a per-ScoreLineage latency histogram
+  // (rank.score_seconds) and a scored-fact counter (rank.facts_scored).
+  // Handles are plain values, so Clone() copies them and cloned rankers
+  // keep reporting into the same registry (the evaluation harness scores
+  // per-worker clones in parallel; the shards absorb the contention).
+  void set_metrics(MetricsRegistry* registry);
+
  private:
   LearnShapleyModel model_;
   std::shared_ptr<const Vocab> vocab_;
   size_t max_len_;
   float shapley_scale_;
   std::string name_;
+  Counter facts_scored_;
+  Histogram score_seconds_;
 };
 
 }  // namespace lshap

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 
 #include "common/timer.h"
@@ -147,12 +148,53 @@ double PairMse(const std::vector<PairSample>& pairs,
   return total / static_cast<double>(pairs.size());
 }
 
+// Handle bundle resolved once per TrainLearnShapley call; every member is a
+// no-op handle when config.metrics is null.
+struct TrainMetricSet {
+  Counter pretrain_examples, finetune_examples, adam_steps;
+  Gauge pretrain_epoch_loss, pretrain_dev_mse, finetune_epoch_loss,
+      finetune_dev_ndcg10, examples_per_sec;
+  Histogram adam_step_seconds;
+
+  TrainMetricSet() = default;
+  explicit TrainMetricSet(MetricsRegistry* r)
+      : pretrain_examples(CounterFor(r, "train.pretrain_examples")),
+        finetune_examples(CounterFor(r, "train.finetune_examples")),
+        adam_steps(CounterFor(r, "train.adam_steps")),
+        pretrain_epoch_loss(GaugeFor(r, "train.pretrain_epoch_loss")),
+        pretrain_dev_mse(GaugeFor(r, "train.pretrain_dev_mse")),
+        finetune_epoch_loss(GaugeFor(r, "train.finetune_epoch_loss")),
+        finetune_dev_ndcg10(GaugeFor(r, "train.finetune_dev_ndcg10")),
+        examples_per_sec(GaugeFor(r, "train.examples_per_sec")),
+        adam_step_seconds(HistogramFor(r, "train.adam_step_seconds",
+                                       ExponentialBuckets(1e-5, 4.0, 12))) {}
+};
+
+// optimizer.Step() with its wall time observed into the step histogram.
+// The timing reads are guarded so the disabled path stays two branches.
+template <typename Opt>
+void TimedStep(Opt& optimizer, const TrainMetricSet& metrics) {
+  if (!metrics.adam_step_seconds.enabled()) {
+    optimizer.Step();
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  optimizer.Step();
+  const auto t1 = std::chrono::steady_clock::now();
+  metrics.adam_steps.Inc();
+  metrics.adam_step_seconds.Observe(
+      std::chrono::duration<double>(t1 - t0).count());
+}
+
 }  // namespace
 
 TrainResult TrainLearnShapley(const Corpus& corpus,
                               const SimilarityMatrices& sims,
                               const TrainConfig& config, ThreadPool& pool) {
   WallTimer timer;
+  ScopedSpan train_span(config.metrics, "train");
+  const TrainMetricSet metrics(config.metrics);
+  size_t total_examples = 0;
   Rng rng(config.seed);
 
   const std::vector<size_t>& train =
@@ -186,6 +228,7 @@ TrainResult TrainLearnShapley(const Corpus& corpus,
 
   // ---- Pre-training on similarity objectives. ----
   if (config.do_pretrain && config.objectives.AnyEnabled()) {
+    ScopedSpan pretrain_span(config.metrics, "train.pretrain");
     // All train-train pairs (i < j) as candidates.
     std::vector<std::pair<size_t, size_t>> train_pairs;
     for (size_t a = 0; a < train.size(); ++a) {
@@ -249,10 +292,16 @@ TrainResult TrainLearnShapley(const Corpus& corpus,
                                 samples[i].sim_witness, samples[i].sim_syntax,
                                 config.objectives);
         });
-        optimizer.Step();
+        TimedStep(optimizer, metrics);
       }
+      metrics.pretrain_examples.Inc(take);
+      total_examples += take;
+      metrics.pretrain_epoch_loss.Set(
+          static_cast<double>(epoch_loss) /
+          static_cast<double>(std::max<size_t>(1, take)));
       const double dev_mse =
           PairMse(dev_pairs, config.objectives, model, pool);
+      metrics.pretrain_dev_mse.Set(dev_mse);
       if (config.verbose) {
         std::fprintf(stderr,
                      "[pretrain] epoch %zu loss %.4f dev-mse %.5f\n", epoch,
@@ -271,6 +320,7 @@ TrainResult TrainLearnShapley(const Corpus& corpus,
   }
 
   // ---- Fine-tuning on Shapley regression. ----
+  ScopedSpan finetune_span(config.metrics, "train.finetune");
   std::vector<FinetuneSample> all_samples;
   for (size_t e : train) {
     const CorpusEntry& entry = corpus.entries[e];
@@ -335,8 +385,13 @@ TrainResult TrainLearnShapley(const Corpus& corpus,
             const FinetuneSample& fs = all_samples[sample_order[i]];
             return m.FinetuneStep(fs.input, fs.target);
           });
-      optimizer.Step();
+      TimedStep(optimizer, metrics);
     }
+    metrics.finetune_examples.Inc(take);
+    total_examples += take;
+    metrics.finetune_epoch_loss.Set(
+        static_cast<double>(epoch_loss) /
+        static_cast<double>(std::max<size_t>(1, take)));
     // Dev NDCG@10 for checkpoint selection.
     LearnShapleyRanker dev_ranker(model, vocab, config.max_len,
                                   config.shapley_scale, "dev");
@@ -349,6 +404,7 @@ TrainResult TrainLearnShapley(const Corpus& corpus,
                        static_cast<double>(std::max<size_t>(1, take)),
                    dev.ndcg10);
     }
+    metrics.finetune_dev_ndcg10.Set(dev.ndcg10);
     if (dev.ndcg10 > best_ndcg) {
       best_ndcg = dev.ndcg10;
       best_weights = model.SnapshotWeights();
@@ -374,6 +430,10 @@ TrainResult TrainLearnShapley(const Corpus& corpus,
   result.ranker = std::make_unique<LearnShapleyRanker>(
       std::move(model), vocab, config.max_len, config.shapley_scale, name);
   result.train_seconds = timer.ElapsedSeconds();
+  if (result.train_seconds > 0.0) {
+    metrics.examples_per_sec.Set(static_cast<double>(total_examples) /
+                                 result.train_seconds);
+  }
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "corpus/corpus.h"
 #include "learnshapley/ranker.h"
@@ -12,7 +13,8 @@ namespace lshap {
 
 // Training configuration for the full LearnShapley pipeline (pre-train on
 // similarity objectives, fine-tune on Shapley regression, checkpoint on the
-// dev split).
+// dev split). Follows the options-builder convention (DESIGN.md §9.4):
+// default-constructed reproduces the paper pipeline, every knob chains.
 struct TrainConfig {
   enum class ModelSize { kBase, kLarge, kSmallAblation };
 
@@ -60,6 +62,55 @@ struct TrainConfig {
   // empty means corpus.train_idx.
   std::vector<size_t> train_subset;
   bool verbose = false;
+  // Observability opt-in: when set, training records train.* gauges
+  // (per-epoch loss, dev metrics, examples/sec), example counters, and an
+  // Adam step-time histogram, under "train" > "train.pretrain" /
+  // "train.finetune" spans. Null disables all of it at one-branch cost.
+  MetricsRegistry* metrics = nullptr;
+
+  TrainConfig& WithModelSize(ModelSize s) { model_size = s; return *this; }
+  TrainConfig& WithObjectives(const PretrainObjectives& o) {
+    objectives = o;
+    return *this;
+  }
+  TrainConfig& WithDoPretrain(bool on) { do_pretrain = on; return *this; }
+  TrainConfig& WithPretrainEpochs(size_t n) {
+    pretrain_epochs = n;
+    return *this;
+  }
+  TrainConfig& WithPretrainPairsPerEpoch(size_t n) {
+    pretrain_pairs_per_epoch = n;
+    return *this;
+  }
+  TrainConfig& WithFinetuneEpochs(size_t n) {
+    finetune_epochs = n;
+    return *this;
+  }
+  TrainConfig& WithFinetuneSamplesPerEpoch(size_t n) {
+    finetune_samples_per_epoch = n;
+    return *this;
+  }
+  TrainConfig& WithBatchSize(size_t n) { batch_size = n; return *this; }
+  TrainConfig& WithPretrainLr(float lr) { pretrain_lr = lr; return *this; }
+  TrainConfig& WithFinetuneLr(float lr) { finetune_lr = lr; return *this; }
+  TrainConfig& WithLrDecay(float d) { lr_decay = d; return *this; }
+  TrainConfig& WithShapleyScale(float s) { shapley_scale = s; return *this; }
+  TrainConfig& WithNormalizeTargetsPerTuple(bool on) {
+    normalize_targets_per_tuple = on;
+    return *this;
+  }
+  TrainConfig& WithMaxLen(size_t n) { max_len = n; return *this; }
+  TrainConfig& WithSeed(uint64_t s) { seed = s; return *this; }
+  TrainConfig& WithNegativeSamplesPerContribution(size_t n) {
+    negative_samples_per_contribution = n;
+    return *this;
+  }
+  TrainConfig& WithTrainSubset(std::vector<size_t> subset) {
+    train_subset = std::move(subset);
+    return *this;
+  }
+  TrainConfig& WithVerbose(bool on) { verbose = on; return *this; }
+  TrainConfig& WithMetrics(MetricsRegistry* m) { metrics = m; return *this; }
 };
 
 struct TrainResult {

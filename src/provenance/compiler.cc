@@ -16,7 +16,7 @@ struct DnfCompiler::Ctx {
   Status error;
 };
 
-std::unique_ptr<Circuit> DnfCompiler::Compile(const Dnf& dnf) {
+std::unique_ptr<Circuit> DnfCompiler::CompileUnlimited(const Dnf& dnf) {
   ExecutionBudget unlimited = ExecutionBudget::Unlimited();
   Result<std::unique_ptr<Circuit>> result = Compile(dnf, unlimited);
   // An unlimited budget cannot trip.

@@ -5,69 +5,6 @@
 
 namespace lshap {
 
-Table::Table(Schema schema, const StringPool* pool)
-    : schema_(std::move(schema)), pool_(pool) {
-  columns_.reserve(schema_.num_columns());
-  for (const Column& c : schema_.columns()) columns_.emplace_back(c.type);
-}
-
-std::vector<Value> Table::DecodeRow(size_t row) const {
-  std::vector<Value> values;
-  values.reserve(columns_.size());
-  for (const ColumnData& col : columns_) {
-    values.push_back(col.GetValue(row, *pool_));
-  }
-  return values;
-}
-
-TableAppender::TableAppender(Database* db, uint32_t table_index)
-    : db_(db),
-      table_index_(table_index),
-      // "Complete row" state, so the first Begin() passes its check.
-      next_col_(db->tables_[table_index].num_columns()) {}
-
-TableAppender& TableAppender::Begin() {
-  Table& t = db_->tables_[table_index_];
-  LSHAP_CHECK_EQ(next_col_, t.num_columns());  // previous row complete
-  next_col_ = 0;
-  return *this;
-}
-
-TableAppender& TableAppender::Int(int64_t v) {
-  Table& t = db_->tables_[table_index_];
-  LSHAP_CHECK_LT(next_col_, t.num_columns());
-  ColumnData& col = t.columns_[next_col_++];
-  if (col.type() == ColumnType::kDouble) {
-    col.AppendDouble(static_cast<double>(v));
-  } else {
-    col.AppendInt(v);
-  }
-  return *this;
-}
-
-TableAppender& TableAppender::Real(double v) {
-  Table& t = db_->tables_[table_index_];
-  LSHAP_CHECK_LT(next_col_, t.num_columns());
-  t.columns_[next_col_++].AppendDouble(v);
-  return *this;
-}
-
-TableAppender& TableAppender::Str(std::string_view s) {
-  Table& t = db_->tables_[table_index_];
-  LSHAP_CHECK_LT(next_col_, t.num_columns());
-  t.columns_[next_col_++].AppendString(db_->pool_.Intern(s));
-  return *this;
-}
-
-FactId TableAppender::Commit() {
-  Table& t = db_->tables_[table_index_];
-  LSHAP_CHECK_EQ(next_col_, t.num_columns());
-  const uint32_t row = static_cast<uint32_t>(t.fact_ids_.size());
-  const FactId id = db_->RegisterFact(table_index_, row);
-  t.fact_ids_.push_back(id);
-  return id;
-}
-
 Status Database::AddTable(Schema schema) {
   const std::string& name = schema.table_name();
   if (table_index_.count(name) > 0) {

@@ -8,74 +8,11 @@
 #include <vector>
 
 #include "common/status.h"
-#include "relational/column.h"
-#include "relational/schema.h"
+#include "relational/table.h"
 #include "relational/string_pool.h"
 #include "relational/value.h"
 
 namespace lshap {
-
-// Globally unique identifier of a database fact (the "annotation" of
-// provenance semirings). FactIds double as the boolean variables of
-// provenance expressions.
-using FactId = uint32_t;
-inline constexpr FactId kInvalidFactId = static_cast<FactId>(-1);
-
-// A relation instance in column-major layout: one typed contiguous column
-// per schema attribute plus the per-row fact annotations. Rows exist only
-// implicitly (index i across all columns); Value materializes at the
-// boundary via GetValue/DecodeRow.
-class Table {
- public:
-  Table(Schema schema, const StringPool* pool);
-
-  const Schema& schema() const { return schema_; }
-  size_t num_rows() const { return fact_ids_.size(); }
-  size_t num_columns() const { return columns_.size(); }
-
-  const ColumnData& column(size_t c) const { return columns_[c]; }
-  FactId fact_id(size_t i) const { return fact_ids_[i]; }
-  const std::vector<FactId>& fact_ids() const { return fact_ids_; }
-
-  // Boundary decode of one cell / one row.
-  Value GetValue(size_t row, size_t col) const {
-    return columns_[col].GetValue(row, *pool_);
-  }
-  std::vector<Value> DecodeRow(size_t row) const;
-
- private:
-  friend class Database;
-  friend class TableAppender;
-
-  Schema schema_;
-  const StringPool* pool_;
-  std::vector<ColumnData> columns_;
-  std::vector<FactId> fact_ids_;
-};
-
-class Database;
-
-// Typed row-append cursor bound to one table — the bulk-load path the
-// dataset generators use. Cells go straight into the typed columns (one
-// string intern per string cell, no Value construction). Misuse (wrong
-// type/arity for the schema) is a programming error and CHECK-fails; the
-// Result-returning boundary is Database::Insert.
-class TableAppender {
- public:
-  TableAppender& Begin();  // starts a new row; previous row must be complete
-  TableAppender& Int(int64_t v);
-  TableAppender& Real(double v);
-  TableAppender& Str(std::string_view s);
-  FactId Commit();  // finishes the row, registers and returns its fact id
-
- private:
-  friend class Database;
-  TableAppender(Database* db, uint32_t table_index);
-
-  Database* db_;
-  uint32_t table_index_;
-  size_t next_col_;
-};
 
 // A database: a disjoint union of named relations, a fact registry that
 // resolves FactIds back to (table, row), and the string dictionary shared by

@@ -1,0 +1,160 @@
+#ifndef LSHAP_RELATIONAL_TABLE_H_
+#define LSHAP_RELATIONAL_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relational/column.h"
+#include "relational/schema.h"
+#include "relational/string_pool.h"
+#include "relational/value.h"
+
+namespace lshap {
+
+class Database;
+class RowBatch;
+
+// Globally unique identifier of a database fact (the "annotation" of
+// provenance semirings). FactIds double as the boolean variables of
+// provenance expressions.
+using FactId = uint32_t;
+inline constexpr FactId kInvalidFactId = static_cast<FactId>(-1);
+
+// A relation instance in column-major layout: one typed contiguous column
+// per schema attribute plus the per-row fact annotations. Rows exist only
+// implicitly (index i across all columns); Value materializes at the
+// boundary via GetValue/DecodeRow.
+class Table {
+ public:
+  Table(Schema schema, const StringPool* pool);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return fact_ids_.size(); }
+  size_t num_columns() const { return columns_.size(); }
+
+  const ColumnData& column(size_t c) const { return columns_[c]; }
+  FactId fact_id(size_t i) const { return fact_ids_[i]; }
+  const std::vector<FactId>& fact_ids() const { return fact_ids_; }
+
+  // Boundary decode of one cell / one row.
+  Value GetValue(size_t row, size_t col) const {
+    return columns_[col].GetValue(row, *pool_);
+  }
+  std::vector<Value> DecodeRow(size_t row) const;
+
+ private:
+  friend class Database;
+  friend class TableAppender;
+
+  Schema schema_;
+  const StringPool* pool_;
+  std::vector<ColumnData> columns_;
+  std::vector<FactId> fact_ids_;
+};
+
+// Typed bulk-load cursor bound to one table, with two interchangeable
+// shapes sharing one commit path:
+//
+//   Row-at-a-time:    appender.Begin().Int(1).Str("x").Commit();
+//   Column-at-a-time: appender.AppendColumn(0, ints)
+//                             .AppendColumn(1, names)
+//                             .CommitRows();
+//   Staged batch:     RowBatch batch(schema); ...; appender.Append(batch);
+//
+// Cells go straight into the typed columns (one string intern per string
+// cell, no Value construction). The row-at-a-time path is a thin wrapper:
+// Commit() is CommitRows() over a single staged row. Column appends stage
+// directly into the table's columns; CommitRows() checks every column
+// gained the same number of rows (rectangular batch) and then registers
+// one fact per new row, in row order — so batch and row-at-a-time ingest
+// of the same data produce byte-identical tables and fact ids. Misuse
+// (wrong type/arity for the schema, ragged batches, mixing an open row
+// with column appends) is a programming error and CHECK-fails; the
+// Result-returning boundary is Database::Insert.
+class TableAppender {
+ public:
+  TableAppender& Begin();  // starts a new row; previous row must be complete
+  TableAppender& Int(int64_t v);
+  TableAppender& Real(double v);
+  TableAppender& Str(std::string_view s);
+  FactId Commit();  // finishes the row, registers and returns its fact id
+
+  // Column-at-a-time bulk appends. `col` is the schema column index; ints
+  // promote into kDouble columns exactly like Int(). No row may be open.
+  TableAppender& AppendColumn(size_t col, std::span<const int64_t> values);
+  TableAppender& AppendColumn(size_t col, std::span<const double> values);
+  TableAppender& AppendColumn(size_t col,
+                              std::span<const std::string_view> values);
+  TableAppender& AppendColumn(size_t col,
+                              std::span<const std::string> values);
+
+  // Registers facts for the rows staged by AppendColumn since the last
+  // commit and returns their ids in row order. CHECK-fails if the staged
+  // columns are ragged (unequal append counts).
+  std::vector<FactId> CommitRows();
+
+  // Bulk-appends a staged RowBatch (column-at-a-time under the hood) and
+  // returns the new fact ids. The batch must have been built against this
+  // table's schema.
+  std::vector<FactId> Append(const RowBatch& batch);
+
+  // The appended table's schema — what a RowBatch staging rows for this
+  // appender should be constructed with.
+  const Schema& schema() const;
+
+ private:
+  friend class Database;
+  TableAppender(Database* db, uint32_t table_index);
+
+  Table& table();
+  // Shared commit tail: registers `new_rows` facts for rows already present
+  // in the columns but not yet annotated.
+  void RegisterRows(size_t new_rows, std::vector<FactId>* out);
+
+  Database* db_;
+  uint32_t table_index_;
+  size_t next_col_;
+  // Rows appended per column since the last commit (column-at-a-time path).
+  std::vector<size_t> staged_;
+};
+
+// A row-major staging buffer decoupled from any database: build rows with
+// the same fluent cell calls as TableAppender, then hand the whole batch to
+// TableAppender::Append. Lets dataset generators keep their per-row RNG
+// call order while the database sees one bulk append per table.
+class RowBatch {
+ public:
+  explicit RowBatch(const Schema& schema);
+
+  RowBatch& Begin();  // starts a new row; previous row must be complete
+  RowBatch& Int(int64_t v);
+  RowBatch& Real(double v);
+  RowBatch& Str(std::string_view s);
+  RowBatch& End();  // finishes the row
+
+  size_t num_rows() const { return num_rows_; }
+  const Schema& schema() const { return schema_; }
+
+ private:
+  friend class TableAppender;
+
+  // One staging buffer per schema column; only the vector matching the
+  // column's type is used.
+  struct ColumnBuffer {
+    std::vector<int64_t> ints;
+    std::vector<double> reals;
+    std::vector<std::string> strs;
+  };
+
+  Schema schema_;
+  std::vector<ColumnBuffer> columns_;
+  size_t num_rows_ = 0;
+  size_t next_col_;
+};
+
+}  // namespace lshap
+
+#endif  // LSHAP_RELATIONAL_TABLE_H_

@@ -23,14 +23,6 @@ long double ShapleyWeight(size_t n, size_t k) {
 
 }  // namespace
 
-ShapleyValues ComputeShapleyExact(const Dnf& provenance) {
-  ExecutionBudget unlimited = ExecutionBudget::Unlimited();
-  Result<ShapleyValues> result = ComputeShapleyExact(provenance, unlimited);
-  // An unlimited budget cannot trip.
-  LSHAP_CHECK(result.ok());
-  return std::move(result).value();
-}
-
 Result<ShapleyValues> ComputeShapleyExact(const Dnf& provenance,
                                           ExecutionBudget& budget) {
   ShapleyValues out;
@@ -68,21 +60,26 @@ Result<ShapleyValues> ComputeShapleyExact(const Dnf& provenance,
   return out;
 }
 
-ShapleyValues ComputeBanzhafExact(const Dnf& provenance) {
+Result<ShapleyValues> ComputeBanzhafExact(const Dnf& provenance,
+                                          ExecutionBudget& budget) {
   ShapleyValues out;
   const std::vector<FactId> lineage = provenance.Variables();
   const size_t n = lineage.size();
   if (n == 0) return out;
 
   DnfCompiler compiler;
-  std::unique_ptr<Circuit> circuit = compiler.Compile(provenance);
-  const NodeId root = circuit->root();
-  CountingSession session(circuit.get());
+  Result<std::unique_ptr<Circuit>> circuit =
+      compiler.Compile(provenance, budget);
+  if (!circuit.ok()) return circuit.status();
+  const NodeId root = (*circuit)->root();
+  CountingSession session(circuit->get());
 
   // Banzhaf(f) = (#E with Φ[f=1] − #E with Φ[f=0]) / 2^(n-1): total model
   // counts, uniformly weighted over coalition sizes.
   const long double denom = std::pow(2.0L, static_cast<long double>(n - 1));
   for (FactId f : lineage) {
+    Status status = budget.Check(kSiteBanzhafCount);
+    if (!status.ok()) return status;
     CountVec c1 = ExtendCounts(session.Forced(root, f, true), n - 1);
     CountVec c0 = ExtendCounts(session.Forced(root, f, false), n - 1);
     long double pivotal = 0.0L;
@@ -131,16 +128,6 @@ Result<ShapleyValues> ComputeShapleyBrute(const Dnf& provenance) {
   return out;
 }
 
-ShapleyValues ComputeShapleyMonteCarlo(const Dnf& provenance,
-                                       size_t num_samples, Rng& rng) {
-  ExecutionBudget unlimited = ExecutionBudget::Unlimited();
-  Result<ShapleyValues> result =
-      ComputeShapleyMonteCarlo(provenance, num_samples, rng, unlimited);
-  // An unlimited budget cannot trip.
-  LSHAP_CHECK(result.ok());
-  return std::move(result).value();
-}
-
 Result<ShapleyValues> ComputeShapleyMonteCarlo(const Dnf& provenance,
                                                size_t num_samples, Rng& rng,
                                                ExecutionBudget& budget) {
@@ -174,14 +161,6 @@ Result<ShapleyValues> ComputeShapleyMonteCarlo(const Dnf& provenance,
   }
   for (auto& [f, v] : out) v /= static_cast<double>(num_samples);
   return out;
-}
-
-ShapleyValues ComputeCnfProxy(const Dnf& provenance) {
-  ExecutionBudget unlimited = ExecutionBudget::Unlimited();
-  Result<ShapleyValues> result = ComputeCnfProxy(provenance, unlimited);
-  // An unlimited budget cannot trip.
-  LSHAP_CHECK(result.ok());
-  return std::move(result).value();
 }
 
 Result<ShapleyValues> ComputeCnfProxy(const Dnf& provenance,
@@ -244,6 +223,39 @@ Result<ShapleyValues> ComputeCnfProxy(const Dnf& provenance,
     out[cnf.original_facts[i]] = scores[i];
   }
   return out;
+}
+
+// Unlimited wrappers (DESIGN.md §9.4): the budgeted form with an
+// unlimited budget, which cannot trip.
+ShapleyValues ComputeShapleyExactUnlimited(const Dnf& provenance) {
+  ExecutionBudget unlimited = ExecutionBudget::Unlimited();
+  Result<ShapleyValues> result = ComputeShapleyExact(provenance, unlimited);
+  LSHAP_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+ShapleyValues ComputeShapleyMonteCarloUnlimited(const Dnf& provenance,
+                                                size_t num_samples,
+                                                Rng& rng) {
+  ExecutionBudget unlimited = ExecutionBudget::Unlimited();
+  Result<ShapleyValues> result =
+      ComputeShapleyMonteCarlo(provenance, num_samples, rng, unlimited);
+  LSHAP_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+ShapleyValues ComputeBanzhafExactUnlimited(const Dnf& provenance) {
+  ExecutionBudget unlimited = ExecutionBudget::Unlimited();
+  Result<ShapleyValues> result = ComputeBanzhafExact(provenance, unlimited);
+  LSHAP_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+ShapleyValues ComputeCnfProxyUnlimited(const Dnf& provenance) {
+  ExecutionBudget unlimited = ExecutionBudget::Unlimited();
+  Result<ShapleyValues> result = ComputeCnfProxy(provenance, unlimited);
+  LSHAP_CHECK(result.ok());
+  return std::move(result).value();
 }
 
 std::vector<FactId> RankByScore(const ShapleyValues& scores) {

@@ -22,21 +22,23 @@ using ShapleyValues = std::unordered_map<FactId, double>;
 inline constexpr char kSiteShapleyCount[] = "shapley.count";
 inline constexpr char kSiteShapleyMcSample[] = "shapley.mc_sample";
 inline constexpr char kSiteCnfProxy[] = "shapley.cnf_proxy";
+inline constexpr char kSiteBanzhafCount[] = "banzhaf.count";
 
 // Exact Shapley values of every variable of the provenance DNF, computed by
 // compiling the DNF into a decision-DNNF circuit and counting satisfying
 // assignments by size (the SIGMOD 2022 algorithm of Deutch et al.). The
 // player universe is the lineage (facts outside it are null players, which
 // by the Shapley null-player/dummy property does not change any value).
-ShapleyValues ComputeShapleyExact(const Dnf& provenance);
-
-// Budgeted variant: the budget governs circuit compilation (node charges +
-// deadline/cancellation polls) and is re-polled before each per-fact
-// counting pass, so an exhausted budget yields kResourceExhausted (or
-// kCancelled) instead of an exponential blow-up. The unbudgeted form above
-// is this with an unlimited budget.
+//
+// The budget governs circuit compilation (node charges + deadline /
+// cancellation polls) and is re-polled before each per-fact counting pass,
+// so an exhausted budget yields kResourceExhausted (or kCancelled) instead
+// of an exponential blow-up. The Unlimited variant (see the fallible-call
+// convention in DESIGN.md §9.4) is this with an unlimited budget and
+// cannot fail.
 Result<ShapleyValues> ComputeShapleyExact(const Dnf& provenance,
                                           ExecutionBudget& budget);
+ShapleyValues ComputeShapleyExactUnlimited(const Dnf& provenance);
 
 // Exact Shapley values by brute-force subset enumeration. Exponential in
 // the lineage size; lineages above 25 variables are refused with
@@ -45,25 +47,26 @@ Result<ShapleyValues> ComputeShapleyExact(const Dnf& provenance,
 Result<ShapleyValues> ComputeShapleyBrute(const Dnf& provenance);
 
 // Monte-Carlo permutation-sampling estimate with `num_samples` random
-// permutations. Unbiased; error ~ O(1/sqrt(num_samples)).
-ShapleyValues ComputeShapleyMonteCarlo(const Dnf& provenance,
-                                       size_t num_samples, Rng& rng);
-
-// Budgeted variant: polls the budget once per sampled permutation and
-// charges one work unit per sample. On a trip, the samples drawn so far are
-// discarded and the error is returned (a truncated average would be biased
-// toward early-permutation pivots).
+// permutations. Unbiased; error ~ O(1/sqrt(num_samples)). Polls the budget
+// once per sampled permutation and charges one work unit per sample. On a
+// trip, the samples drawn so far are discarded and the error is returned (a
+// truncated average would be biased toward early-permutation pivots).
 Result<ShapleyValues> ComputeShapleyMonteCarlo(const Dnf& provenance,
                                                size_t num_samples, Rng& rng,
                                                ExecutionBudget& budget);
+ShapleyValues ComputeShapleyMonteCarloUnlimited(const Dnf& provenance,
+                                                size_t num_samples, Rng& rng);
 
 // Exact Banzhaf values over the same circuits: the Banzhaf index replaces
 // the Shapley coalition weights with a uniform 1/2^(n-1), i.e. the
 // probability that f is pivotal for a uniformly random coalition. It is the
 // other standard power index in fact attribution (studied by the same
 // line of work as a cheaper alternative) and usually induces a very similar
-// ranking; `bench_ext_banzhaf` quantifies the agreement.
-ShapleyValues ComputeBanzhafExact(const Dnf& provenance);
+// ranking; `bench_ext_banzhaf` quantifies the agreement. Budgeted like
+// ComputeShapleyExact: compilation charges + a poll per counted fact.
+Result<ShapleyValues> ComputeBanzhafExact(const Dnf& provenance,
+                                          ExecutionBudget& budget);
+ShapleyValues ComputeBanzhafExactUnlimited(const Dnf& provenance);
 
 // The inexact "CNF Proxy" comparator of Deutch et al.: apply the Tseytin
 // transformation to the provenance DNF and score each original fact by its
@@ -71,14 +74,13 @@ ShapleyValues ComputeBanzhafExact(const Dnf& provenance);
 // (value of a coalition = number of CNF clauses it satisfies). Each clause
 // is an OR-game whose Shapley values have a closed form, and Shapley is
 // linear across games, so the proxy is cheap to evaluate. Only the induced
-// ranking is meaningful, not the magnitudes.
-ShapleyValues ComputeCnfProxy(const Dnf& provenance);
-
-// Budgeted variant (polled per CNF clause). The proxy is polynomial, so in
-// practice only fault injection or a cancelled token trips it; it exists so
-// the corpus builder's last computing rung is governed like the others.
+// ranking is meaningful, not the magnitudes. The budget is polled per CNF
+// clause; the proxy is polynomial, so in practice only fault injection or a
+// cancelled token trips it — it exists so the corpus builder's last
+// computing rung is governed like the others.
 Result<ShapleyValues> ComputeCnfProxy(const Dnf& provenance,
                                       ExecutionBudget& budget);
+ShapleyValues ComputeCnfProxyUnlimited(const Dnf& provenance);
 
 // Ranks fact ids by descending score; ties broken by ascending fact id so
 // rankings are deterministic.

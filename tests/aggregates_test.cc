@@ -33,7 +33,7 @@ TEST_F(AggregatesTest, CountLinearityOverTuples) {
   ASSERT_TRUE(eval.ok());
   ShapleyValues manual;
   for (size_t i = 0; i < eval->tuples.size(); ++i) {
-    for (const auto& [f, v] : ComputeShapleyExact(eval->ProvenanceOf(i))) {
+    for (const auto& [f, v] : ComputeShapleyExactUnlimited(eval->ProvenanceOf(i))) {
       manual[f] += v;
     }
   }

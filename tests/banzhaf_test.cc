@@ -41,17 +41,17 @@ ShapleyValues BruteBanzhaf(const Dnf& d) {
 
 TEST(BanzhafTest, SingleFact) {
   const Dnf d(std::vector<Clause>{{5}});
-  const auto v = ComputeBanzhafExact(d);
+  const auto v = ComputeBanzhafExactUnlimited(d);
   EXPECT_DOUBLE_EQ(v.at(5), 1.0);
 }
 
 TEST(BanzhafTest, ConjunctionAndDisjunction) {
   // x1 ∧ x2: each pivotal iff the other is present → 1/2.
-  const auto conj = ComputeBanzhafExact(Dnf(std::vector<Clause>{{1, 2}}));
+  const auto conj = ComputeBanzhafExactUnlimited(Dnf(std::vector<Clause>{{1, 2}}));
   EXPECT_DOUBLE_EQ(conj.at(1), 0.5);
   EXPECT_DOUBLE_EQ(conj.at(2), 0.5);
   // x1 ∨ x2: each pivotal iff the other is absent → 1/2.
-  const auto disj = ComputeBanzhafExact(Dnf(std::vector<Clause>{{1}, {2}}));
+  const auto disj = ComputeBanzhafExactUnlimited(Dnf(std::vector<Clause>{{1}, {2}}));
   EXPECT_DOUBLE_EQ(disj.at(1), 0.5);
   EXPECT_DOUBLE_EQ(disj.at(2), 0.5);
 }
@@ -60,9 +60,9 @@ TEST(BanzhafTest, UnlikeShapleyDoesNotSumToOne) {
   // 3-way disjunction: Banzhaf(x) = P(other two absent) = 1/4 each; the
   // total 3/4 ≠ 1 (Banzhaf is not efficient), while Shapley sums to 1.
   const Dnf d(std::vector<Clause>{{1}, {2}, {3}});
-  const auto banzhaf = ComputeBanzhafExact(d);
+  const auto banzhaf = ComputeBanzhafExactUnlimited(d);
   EXPECT_DOUBLE_EQ(banzhaf.at(1), 0.25);
-  const auto shapley = ComputeShapleyExact(d);
+  const auto shapley = ComputeShapleyExactUnlimited(d);
   double sum_s = 0.0;
   for (const auto& [f, v] : shapley) sum_s += v;
   EXPECT_NEAR(sum_s, 1.0, 1e-12);
@@ -83,7 +83,7 @@ TEST(BanzhafTest, MatchesBruteForceOnRandomDnfs) {
       clauses.push_back(clause);
     }
     const Dnf d(std::move(clauses));
-    const auto exact = ComputeBanzhafExact(d);
+    const auto exact = ComputeBanzhafExactUnlimited(d);
     const auto brute = BruteBanzhaf(d);
     ASSERT_EQ(exact.size(), brute.size());
     for (const auto& [f, v] : brute) {
@@ -96,8 +96,8 @@ TEST(BanzhafTest, MatchesBruteForceOnRandomDnfs) {
 TEST(BanzhafTest, RankingUsuallyAgreesWithShapley) {
   // On hub-structured provenance the two indices share the top fact.
   const Dnf d(std::vector<Clause>{{0, 1, 10}, {0, 1, 11}, {0, 2, 12}});
-  const auto shapley = ComputeShapleyExact(d);
-  const auto banzhaf = ComputeBanzhafExact(d);
+  const auto shapley = ComputeShapleyExactUnlimited(d);
+  const auto banzhaf = ComputeBanzhafExactUnlimited(d);
   EXPECT_EQ(RankByScore(shapley)[0], RankByScore(banzhaf)[0]);
 }
 

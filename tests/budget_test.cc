@@ -122,7 +122,7 @@ TEST(BudgetedCompilerTest, UnlimitedMatchesInfallible) {
     const Dnf d = RandomDnf(rng, 2 + rng.NextBounded(8),
                             1 + rng.NextBounded(5), 3);
     DnfCompiler a;
-    const auto plain = a.Compile(d);
+    const auto plain = a.CompileUnlimited(d);
     ExecutionBudget unlimited = ExecutionBudget::Unlimited();
     DnfCompiler b;
     auto budgeted = b.Compile(d, unlimited);
@@ -162,7 +162,7 @@ TEST(BudgetedShapleyTest, UnlimitedMatchesInfallibleExact) {
   for (int trial = 0; trial < 20; ++trial) {
     const Dnf d = RandomDnf(rng, 2 + rng.NextBounded(8),
                             1 + rng.NextBounded(5), 3);
-    const auto plain = ComputeShapleyExact(d);
+    const auto plain = ComputeShapleyExactUnlimited(d);
     ExecutionBudget unlimited = ExecutionBudget::Unlimited();
     auto budgeted = ComputeShapleyExact(d, unlimited);
     ASSERT_TRUE(budgeted.ok());
@@ -209,7 +209,7 @@ TEST(BudgetedShapleyTest, MonteCarloWithinBudgetMatchesInfallible) {
   Rng data_rng(13);
   const Dnf d = RandomDnf(data_rng, 8, 4, 3);
   Rng rng_a(14);
-  const auto plain = ComputeShapleyMonteCarlo(d, 400, rng_a);
+  const auto plain = ComputeShapleyMonteCarloUnlimited(d, 400, rng_a);
   Rng rng_b(14);
   ExecutionBudget budget({0.0, 400});
   auto budgeted = ComputeShapleyMonteCarlo(d, 400, rng_b, budget);
@@ -261,9 +261,9 @@ TEST(BudgetedShapleyTest, MonteCarloRankingAgreesWithExactOnSmallLineages) {
     const Dnf d = RandomDnf(data_rng, 6 + data_rng.NextBounded(6),
                             2 + data_rng.NextBounded(4), 3);
     const std::vector<FactId> lineage = d.Variables();
-    const auto exact = ComputeShapleyExact(d);
+    const auto exact = ComputeShapleyExactUnlimited(d);
     Rng mc_rng(100 + static_cast<uint64_t>(trial));
-    const auto mc = ComputeShapleyMonteCarlo(d, 20000, mc_rng);
+    const auto mc = ComputeShapleyMonteCarloUnlimited(d, 20000, mc_rng);
     EXPECT_GE(RankingAgreement(exact, mc, lineage), 0.9)
         << "trial " << trial << ": " << d.ToString();
   }

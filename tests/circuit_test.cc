@@ -68,7 +68,7 @@ TEST(CountingSessionTest, SharedUnforcedCountsMatchFreshTraversal) {
   // from-scratch per-call counts for every variable.
   const Dnf d(std::vector<Clause>{{1, 2}, {2, 3}, {4, 5}, {6}});
   DnfCompiler compiler;
-  auto circuit = compiler.Compile(d);
+  auto circuit = compiler.CompileUnlimited(d);
   CountingSession session(circuit.get());
   for (FactId f : d.Variables()) {
     for (bool value : {false, true}) {
@@ -99,11 +99,11 @@ TEST(CompilerTest, ComponentDecompositionProducesSmallCircuits) {
   const Dnf d(clauses);
 
   DnfCompiler with;
-  auto c1 = with.Compile(d);
+  auto c1 = with.CompileUnlimited(d);
   CompilerOptions off;
   off.component_decomposition = false;
   DnfCompiler without(off);
-  auto c2 = without.Compile(d);
+  auto c2 = without.CompileUnlimited(d);
   EXPECT_LT(with.last_num_nodes(), 300u);
   EXPECT_GT(without.last_num_nodes(), 5 * with.last_num_nodes());
 
@@ -122,7 +122,7 @@ TEST(CompilerTest, CacheHitsOnRepeatedSubformulas) {
   // Two identical independent components share the cached compilation.
   const Dnf d(std::vector<Clause>{{1, 2}, {1, 3}, {10, 20}, {10, 30}});
   DnfCompiler compiler;
-  auto circuit = compiler.Compile(d);
+  auto circuit = compiler.CompileUnlimited(d);
   (void)circuit;
   EXPECT_GE(compiler.last_cache_hits(), 0u);  // smoke: stats exposed
 }

@@ -8,6 +8,7 @@
 #include <map>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "datasets/academic.h"
 #include "datasets/imdb.h"
@@ -405,6 +406,88 @@ TEST(EvalPropertyTest, EveryClauseJoinsOneFactPerTable) {
     for (const auto& prov : result->provenance) {
       for (const auto& clause : prov.clauses()) {
         EXPECT_EQ(clause.size(), expected) << q.ToSql();
+      }
+    }
+  }
+}
+
+// Instrumentation must be observational only: attaching a MetricsRegistry
+// may not change a single output byte, at any thread count, and the
+// deterministic eval.* counters must agree across thread counts (the
+// metric-resolution discipline in DESIGN.md Â§9 — counts are per scan /
+// per join step / per block, never per worker).
+TEST(EvalPropertyTest, MetricsAreObservationalOnly) {
+  GeneratedDb data = SmallImdb();
+  QueryGenConfig gen_cfg;
+  gen_cfg.max_tables = 3;
+  gen_cfg.union_prob = 0.3;
+  QueryGenerator gen(data.db.get(), data.graph, gen_cfg, 555);
+
+  const char* const kDeterministic[] = {
+      "eval.queries",          "eval.blocks",
+      "eval.rows_scanned",     "eval.sel_rank_path",
+      "eval.sel_text_fallback", "eval.morsels",
+      "eval.join.index_builds", "eval.join.cross_products",
+      "eval.join.rows_probed", "eval.join.probe_batches",
+      "eval.join.output_rows", "eval.output_tuples",
+  };
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const Query q = gen.Generate("m" + std::to_string(trial));
+    const auto plain = Evaluate(*data.db, q);
+    ASSERT_TRUE(plain.ok()) << q.ToSql();
+
+    // Serial, instrumented: byte-identical to the uninstrumented run.
+    MetricsRegistry serial_registry;
+    auto serial = Evaluate(*data.db, q,
+                           EvalOptions().WithMetrics(&serial_registry));
+    ASSERT_TRUE(serial.ok()) << q.ToSql();
+    ASSERT_EQ(serial->tuples, plain->tuples) << q.ToSql();
+    EXPECT_EQ(serial->index, plain->index) << q.ToSql();
+    EXPECT_EQ(serial->lineages, plain->lineages) << q.ToSql();
+    ASSERT_EQ(serial->provenance.size(), plain->provenance.size());
+    for (size_t i = 0; i < plain->provenance.size(); ++i) {
+      EXPECT_EQ(serial->provenance[i].clauses(),
+                plain->provenance[i].clauses())
+          << q.ToSql() << " tuple " << i;
+    }
+
+    // Parallel at 1, 2 and 8 threads, instrumented: still byte-identical,
+    // and the deterministic counters agree across all three pools.
+    std::vector<uint64_t> baseline;
+    for (ThreadPool* pool : SharedPools()) {
+      MetricsRegistry registry;
+      auto got = Evaluate(*data.db, q,
+                          EvalOptions()
+                              .WithPool(pool)
+                              .WithMorselRows(3)
+                              .WithMinParallelRows(1)
+                              .WithMetrics(&registry));
+      ASSERT_TRUE(got.ok()) << q.ToSql();
+      const std::string ctx =
+          q.ToSql() + " threads=" + std::to_string(pool->num_threads());
+      ASSERT_EQ(got->tuples, plain->tuples) << ctx;
+      EXPECT_EQ(got->index, plain->index) << ctx;
+      EXPECT_EQ(got->lineages, plain->lineages) << ctx;
+      ASSERT_EQ(got->provenance.size(), plain->provenance.size()) << ctx;
+      for (size_t i = 0; i < plain->provenance.size(); ++i) {
+        EXPECT_EQ(got->provenance[i].clauses(),
+                  plain->provenance[i].clauses())
+            << ctx << " tuple " << i;
+      }
+
+      std::vector<uint64_t> counts;
+      for (const char* name : kDeterministic) {
+        counts.push_back(registry.CounterValue(name));
+      }
+      if (baseline.empty()) {
+        baseline = counts;
+        EXPECT_GT(registry.CounterValue("eval.queries"), 0u) << ctx;
+      } else {
+        for (size_t i = 0; i < counts.size(); ++i) {
+          EXPECT_EQ(counts[i], baseline[i])
+              << ctx << " counter " << kDeterministic[i];
+        }
       }
     }
   }

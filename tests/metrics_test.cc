@@ -1,159 +1,228 @@
-#include <gtest/gtest.h>
+// Tests for the observability substrate (src/common/metrics.h): sharded
+// counter merge, histogram bucket-edge semantics, nested span trees, the
+// no-op (disabled) mode, and concurrent mutation vs. ToJson snapshots.
+#include "common/metrics.h"
 
-#include <cmath>
+#include <atomic>
+#include <thread>
+#include <vector>
 
-#include "metrics/ranking_metrics.h"
+#include "gtest/gtest.h"
 
 namespace lshap {
 namespace {
 
-TEST(NdcgTest, PerfectRankingScoresOne) {
-  ShapleyValues gold = {{1, 0.5}, {2, 0.3}, {3, 0.2}};
-  EXPECT_DOUBLE_EQ(NdcgAtK({1, 2, 3}, gold, 10), 1.0);
+TEST(MetricsCounter, SingleThreadTotals) {
+  MetricsRegistry registry;
+  Counter c = registry.GetCounter("events");
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(registry.CounterValue("events"), 42u);
+  // Same name resolves to the same cell.
+  Counter again = registry.GetCounter("events");
+  again.Inc(8);
+  EXPECT_EQ(registry.CounterValue("events"), 50u);
+  EXPECT_EQ(registry.CounterValue("never_registered"), 0u);
 }
 
-TEST(NdcgTest, WorstRankingScoresBelowOne) {
-  ShapleyValues gold = {{1, 0.9}, {2, 0.05}, {3, 0.05}};
-  const double best = NdcgAtK({1, 2, 3}, gold, 10);
-  const double worst = NdcgAtK({3, 2, 1}, gold, 10);
-  EXPECT_DOUBLE_EQ(best, 1.0);
-  EXPECT_LT(worst, best);
-  EXPECT_GT(worst, 0.0);
-}
-
-TEST(NdcgTest, RespectsCutoff) {
-  // Perfect in the top-2; garbage afterwards is invisible to NDCG@2.
-  ShapleyValues gold = {{1, 0.5}, {2, 0.4}, {3, 0.1}, {4, 0.0}};
-  EXPECT_DOUBLE_EQ(NdcgAtK({1, 2, 4, 3}, gold, 2), 1.0);
-}
-
-TEST(NdcgTest, ExactValueForKnownSwap) {
-  // gold: a=3, b=2, c=1 (relevance). predicted order: b, a, c.
-  ShapleyValues gold = {{10, 3.0}, {20, 2.0}, {30, 1.0}};
-  const double dcg = 2.0 / std::log2(2) + 3.0 / std::log2(3) +
-                     1.0 / std::log2(4);
-  const double idcg = 3.0 / std::log2(2) + 2.0 / std::log2(3) +
-                      1.0 / std::log2(4);
-  EXPECT_NEAR(NdcgAtK({20, 10, 30}, gold, 10), dcg / idcg, 1e-12);
-}
-
-TEST(NdcgTest, AllZeroGoldIsVacuouslyPerfect) {
-  ShapleyValues gold = {{1, 0.0}, {2, 0.0}};
-  EXPECT_DOUBLE_EQ(NdcgAtK({2, 1}, gold, 10), 1.0);
-}
-
-TEST(NdcgTest, EmptyInputs) {
-  EXPECT_DOUBLE_EQ(NdcgAtK({}, {}, 10), 1.0);
-}
-
-TEST(NdcgTest, DuplicatedPredictionsCannotExceedOne) {
-  // Regression: a prediction repeating the top fact used to earn its gain
-  // once per occurrence, pushing DCG past IDCG (NDCG > 1).
-  ShapleyValues gold = {{1, 0.9}, {2, 0.1}};
-  const double spam = NdcgAtK({1, 1, 1, 1, 2}, gold, 10);
-  EXPECT_LE(spam, 1.0);
-  // The duplicate occupies rank 2 but contributes nothing, so the honest
-  // ranking {1, 2} strictly beats {1, 1, 2}.
-  EXPECT_LT(NdcgAtK({1, 1, 2}, gold, 10), NdcgAtK({1, 2}, gold, 10));
-  // Exact value: fact 2's gain lands at rank 3 (discount log2(4)).
-  const double dcg = 0.9 / std::log2(2) + 0.1 / std::log2(4);
-  const double idcg = 0.9 / std::log2(2) + 0.1 / std::log2(3);
-  EXPECT_NEAR(NdcgAtK({1, 1, 2}, gold, 10), dcg / idcg, 1e-12);
-}
-
-TEST(NdcgTest, AlwaysWithinUnitInterval) {
-  ShapleyValues gold = {{1, 0.5}, {2, 0.3}, {3, 0.2}};
-  const std::vector<std::vector<FactId>> rankings = {
-      {1, 2, 3}, {3, 2, 1}, {1, 1, 1}, {2, 2, 3, 3, 1, 1}, {7, 8, 9}, {}};
-  for (const auto& r : rankings) {
-    const double v = NdcgAtK(r, gold, 10);
-    EXPECT_GE(v, 0.0);
-    EXPECT_LE(v, 1.0);
+TEST(MetricsCounter, ShardMergeAcrossThreads) {
+  MetricsRegistry registry;
+  Counter c = registry.GetCounter("events");
+  constexpr int kThreads = 8;
+  constexpr int kIncsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c]() mutable {
+      for (int i = 0; i < kIncsPerThread; ++i) c.Inc();
+    });
   }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(registry.CounterValue("events"),
+            static_cast<uint64_t>(kThreads) * kIncsPerThread);
 }
 
-TEST(PrecisionTest, PerfectTopK) {
-  ShapleyValues gold = {{1, 0.5}, {2, 0.3}, {3, 0.15}, {4, 0.05}};
-  EXPECT_DOUBLE_EQ(PrecisionAtK({1, 2, 3, 4}, gold, 1), 1.0);
-  EXPECT_DOUBLE_EQ(PrecisionAtK({1, 2, 3, 4}, gold, 3), 1.0);
+TEST(MetricsGauge, LastWriteWins) {
+  MetricsRegistry registry;
+  Gauge g = registry.GetGauge("loss");
+  g.Set(0.75);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("loss"), 0.75);
+  g.Set(-3.5);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("loss"), -3.5);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("missing"), 0.0);
 }
 
-TEST(PrecisionTest, SetBasedNotOrderBased) {
-  // Top-3 contains the right facts in the wrong order: still 1.0.
-  ShapleyValues gold = {{1, 0.5}, {2, 0.3}, {3, 0.15}, {4, 0.05}};
-  EXPECT_DOUBLE_EQ(PrecisionAtK({3, 1, 2, 4}, gold, 3), 1.0);
-  // But p@1 sees the wrong head.
-  EXPECT_DOUBLE_EQ(PrecisionAtK({3, 1, 2, 4}, gold, 1), 0.0);
+TEST(MetricsHistogram, BucketEdgesInclusiveUpperBound) {
+  MetricsRegistry registry;
+  Histogram h = registry.GetHistogram("sizes", {1.0, 10.0, 100.0});
+  h.Observe(0.5);    // <= 1      -> bucket 0
+  h.Observe(1.0);    // == edge   -> bucket 0 (upper bound is inclusive)
+  h.Observe(1.0001); // > 1       -> bucket 1
+  h.Observe(10.0);   // == edge   -> bucket 1
+  h.Observe(99.0);   //           -> bucket 2
+  h.Observe(100.0);  // == edge   -> bucket 2
+  h.Observe(5000.0); // overflow  -> bucket 3
+  std::vector<uint64_t> expected = {2, 2, 2, 1};
+  EXPECT_EQ(registry.HistogramBuckets("sizes"), expected);
 }
 
-TEST(PrecisionTest, PartialOverlap) {
-  ShapleyValues gold = {{1, 0.4}, {2, 0.3}, {3, 0.2}, {4, 0.1}};
-  // predicted top-3 {1, 4, 2} vs gold top-3 {1, 2, 3}: overlap 2.
-  EXPECT_NEAR(PrecisionAtK({1, 4, 2, 3}, gold, 3), 2.0 / 3.0, 1e-12);
-}
-
-TEST(PrecisionTest, ShortListsCapDepth) {
-  ShapleyValues gold = {{1, 0.7}, {2, 0.3}};
-  EXPECT_DOUBLE_EQ(PrecisionAtK({1, 2}, gold, 5), 1.0);
-  EXPECT_DOUBLE_EQ(PrecisionAtK({}, gold, 5), 0.0);
-}
-
-TEST(PrecisionTest, GoldTiesAtBoundaryAreOrderIndependent) {
-  // Facts 2 and 3 tie exactly at the k=2 boundary. Whichever of them a
-  // ranking surfaces must score the same — historically the strict-k gold
-  // cutoff admitted only the tiebreak winner, so P@k depended on which
-  // tied fact the prediction (or a hash-map iteration order) preferred.
-  ShapleyValues gold = {{1, 0.6}, {2, 0.2}, {3, 0.2}, {4, 0.0}};
-  const double with_2 = PrecisionAtK({1, 2}, gold, 2);
-  const double with_3 = PrecisionAtK({1, 3}, gold, 2);
-  EXPECT_DOUBLE_EQ(with_2, with_3);
-  EXPECT_DOUBLE_EQ(with_2, 1.0);
-  // A fact below the tied boundary is still a miss.
-  EXPECT_DOUBLE_EQ(PrecisionAtK({1, 4}, gold, 2), 0.5);
-}
-
-TEST(PrecisionTest, TiedGoldIdenticalAcrossInsertionOrders) {
-  // The same tied gold scores inserted in different orders (different
-  // unordered_map iteration orders) must produce identical P@k for every
-  // prediction.
-  const std::vector<std::pair<FactId, double>> items = {
-      {5, 0.25}, {9, 0.25}, {2, 0.25}, {7, 0.25}, {4, 0.0}};
-  ShapleyValues forward, backward;
-  for (const auto& [f, v] : items) forward[f] = v;
-  for (auto it = items.rbegin(); it != items.rend(); ++it) {
-    backward[it->first] = it->second;
+TEST(MetricsHistogram, ShardMergeAcrossThreads) {
+  MetricsRegistry registry;
+  Histogram h = registry.GetHistogram("lat", ExponentialBuckets(1.0, 2.0, 4));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([h, t]() mutable {
+      for (int i = 0; i < 1000; ++i) h.Observe(static_cast<double>(t));
+    });
   }
-  const std::vector<std::vector<FactId>> predictions = {
-      {5, 9, 2}, {2, 7, 9}, {9, 4, 5}, {4, 2, 7}};
-  for (const auto& pred : predictions) {
-    for (size_t k = 1; k <= 4; ++k) {
-      EXPECT_DOUBLE_EQ(PrecisionAtK(pred, forward, k),
-                       PrecisionAtK(pred, backward, k))
-          << "k=" << k;
-      EXPECT_EQ(RankByScore(forward), RankByScore(backward));
+  for (auto& th : threads) th.join();
+  uint64_t total = 0;
+  for (uint64_t c : registry.HistogramBuckets("lat")) total += c;
+  EXPECT_EQ(total, 6000u);
+}
+
+TEST(MetricsHistogram, ExponentialBuckets) {
+  std::vector<double> expected = {0.5, 1.0, 2.0, 4.0};
+  EXPECT_EQ(ExponentialBuckets(0.5, 2.0, 4), expected);
+}
+
+TEST(MetricsSpan, NestedSpansAggregateByPath) {
+  MetricsRegistry registry;
+  for (int i = 0; i < 3; ++i) {
+    ScopedSpan outer(&registry, "build");
+    {
+      ScopedSpan inner(&registry, "scan");
     }
+    {
+      ScopedSpan inner(&registry, "scan");
+    }
+    ScopedSpan other(&registry, "join");
   }
-  // All four tied facts are equally top-2; any two of them score 1.0.
-  EXPECT_DOUBLE_EQ(PrecisionAtK({7, 2}, forward, 2), 1.0);
-  EXPECT_DOUBLE_EQ(PrecisionAtK({9, 5}, forward, 2), 1.0);
+  EXPECT_EQ(registry.SpanAt({"build"}).count, 3u);
+  EXPECT_EQ(registry.SpanAt({"build", "scan"}).count, 6u);
+  EXPECT_EQ(registry.SpanAt({"build", "join"}).count, 3u);
+  // "scan" exists only under "build", not at the root.
+  EXPECT_EQ(registry.SpanAt({"scan"}).count, 0u);
+  EXPECT_GE(registry.SpanAt({"build"}).total_seconds, 0.0);
 }
 
-TEST(PrecisionTest, BoundaryExpansionKeepsUnitRange) {
-  // Everything tied: the expanded gold set is the whole lineage, and P@k
-  // still caps at 1.
-  ShapleyValues gold = {{1, 0.5}, {2, 0.5}, {3, 0.5}, {4, 0.5}};
-  EXPECT_DOUBLE_EQ(PrecisionAtK({4, 3, 2, 1}, gold, 2), 1.0);
-  EXPECT_DOUBLE_EQ(PrecisionAtK({4, 3, 2, 1}, gold, 10), 1.0);
+TEST(MetricsSpan, SeparateThreadsMergeByName) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&registry]() {
+      ScopedSpan outer(&registry, "work");
+      ScopedSpan inner(&registry, "step");
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(registry.SpanAt({"work"}).count, 4u);
+  EXPECT_EQ(registry.SpanAt({"work", "step"}).count, 4u);
 }
 
-TEST(MeanTest, Basics) {
-  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
-  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0}), 3.0);
+TEST(MetricsNoop, DisabledHandlesAreInert) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  c.Inc(100);
+  g.Set(1.0);
+  h.Observe(5.0);
+  EXPECT_FALSE(c.enabled());
+  EXPECT_FALSE(g.enabled());
+  EXPECT_FALSE(h.enabled());
+
+  // Null-registry resolvers hand back the same inert handles, and a null
+  // ScopedSpan records nothing anywhere.
+  Counter c2 = CounterFor(nullptr, "x");
+  c2.Inc();
+  EXPECT_FALSE(c2.enabled());
+  EXPECT_FALSE(GaugeFor(nullptr, "x").enabled());
+  EXPECT_FALSE(HistogramFor(nullptr, "x", {1.0}).enabled());
+  {
+    ScopedSpan span(nullptr, "ghost");
+  }
+
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.CounterValue("x"), 0u);
+  EXPECT_EQ(registry.SpanAt({"ghost"}).count, 0u);
 }
 
-TEST(MseTest, Basics) {
-  EXPECT_DOUBLE_EQ(MeanSquaredError({1.0, 2.0}, {1.0, 4.0}), 2.0);
-  EXPECT_DOUBLE_EQ(MeanSquaredError({}, {}), 0.0);
+TEST(MetricsJson, EmptyRegistryIsWellFormed) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.ToJson(),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n"
+            "  \"histograms\": {},\n  \"spans\": []\n}\n");
+}
+
+TEST(MetricsJson, SnapshotContainsAllSections) {
+  MetricsRegistry registry;
+  registry.GetCounter("c.one").Inc(7);
+  registry.GetGauge("g.two").Set(1.5);
+  registry.GetHistogram("h.three", {1.0, 2.0}).Observe(1.5);
+  {
+    ScopedSpan outer(&registry, "outer");
+    ScopedSpan inner(&registry, "inner");
+  }
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"c.one\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"g.two\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"h.three\""), std::string::npos);
+  EXPECT_NE(json.find("\"counts\": [0, 1, 0]"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"inner\""), std::string::npos);
+}
+
+TEST(MetricsJson, EscapesMetricNames) {
+  MetricsRegistry registry;
+  registry.GetCounter("weird\"name\\with\nstuff").Inc();
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"weird\\\"name\\\\with\\nstuff\": 1"),
+            std::string::npos);
+}
+
+// ToJson must be safe to call while writers are mid-flight (the bench
+// harness dumps the registry while pool threads may still be winding down).
+// Run under TSan via tools/check.sh.
+TEST(MetricsConcurrency, SnapshotDuringWrites) {
+  MetricsRegistry registry;
+  Counter c = registry.GetCounter("spin");
+  Histogram h = registry.GetHistogram("spin_hist", {10.0, 100.0});
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&stop, c, h, &registry]() mutable {
+      do {
+        ScopedSpan span(&registry, "spin_span");
+        c.Inc();
+        h.Observe(42.0);
+      } while (!stop.load(std::memory_order_relaxed));
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    const std::string json = registry.ToJson();
+    EXPECT_FALSE(json.empty());
+    (void)registry.SpanAt({"spin_span"});
+  }
+  stop.store(true);
+  for (auto& th : writers) th.join();
+  EXPECT_GT(registry.CounterValue("spin"), 0u);
+}
+
+TEST(MetricsRegistryLifetime, FreshRegistryAfterDestruction) {
+  // The thread-local trace cache keys on a process-unique registry id, so a
+  // new registry allocated after an old one dies never sees stale traces.
+  for (int i = 0; i < 3; ++i) {
+    auto registry = std::make_unique<MetricsRegistry>();
+    {
+      ScopedSpan span(registry.get(), "ephemeral");
+    }
+    EXPECT_EQ(registry->SpanAt({"ephemeral"}).count, 1u);
+  }
+}
+
+TEST(MetricsRegistryGlobal, IsASingleton) {
+  MetricsRegistry& a = MetricsRegistry::Global();
+  MetricsRegistry& b = MetricsRegistry::Global();
+  EXPECT_EQ(&a, &b);
 }
 
 }  // namespace

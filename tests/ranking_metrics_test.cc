@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/ranking_metrics.h"
+
+namespace lshap {
+namespace {
+
+TEST(NdcgTest, PerfectRankingScoresOne) {
+  ShapleyValues gold = {{1, 0.5}, {2, 0.3}, {3, 0.2}};
+  EXPECT_DOUBLE_EQ(NdcgAtK({1, 2, 3}, gold, 10), 1.0);
+}
+
+TEST(NdcgTest, WorstRankingScoresBelowOne) {
+  ShapleyValues gold = {{1, 0.9}, {2, 0.05}, {3, 0.05}};
+  const double best = NdcgAtK({1, 2, 3}, gold, 10);
+  const double worst = NdcgAtK({3, 2, 1}, gold, 10);
+  EXPECT_DOUBLE_EQ(best, 1.0);
+  EXPECT_LT(worst, best);
+  EXPECT_GT(worst, 0.0);
+}
+
+TEST(NdcgTest, RespectsCutoff) {
+  // Perfect in the top-2; garbage afterwards is invisible to NDCG@2.
+  ShapleyValues gold = {{1, 0.5}, {2, 0.4}, {3, 0.1}, {4, 0.0}};
+  EXPECT_DOUBLE_EQ(NdcgAtK({1, 2, 4, 3}, gold, 2), 1.0);
+}
+
+TEST(NdcgTest, ExactValueForKnownSwap) {
+  // gold: a=3, b=2, c=1 (relevance). predicted order: b, a, c.
+  ShapleyValues gold = {{10, 3.0}, {20, 2.0}, {30, 1.0}};
+  const double dcg = 2.0 / std::log2(2) + 3.0 / std::log2(3) +
+                     1.0 / std::log2(4);
+  const double idcg = 3.0 / std::log2(2) + 2.0 / std::log2(3) +
+                      1.0 / std::log2(4);
+  EXPECT_NEAR(NdcgAtK({20, 10, 30}, gold, 10), dcg / idcg, 1e-12);
+}
+
+TEST(NdcgTest, AllZeroGoldIsVacuouslyPerfect) {
+  ShapleyValues gold = {{1, 0.0}, {2, 0.0}};
+  EXPECT_DOUBLE_EQ(NdcgAtK({2, 1}, gold, 10), 1.0);
+}
+
+TEST(NdcgTest, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(NdcgAtK({}, {}, 10), 1.0);
+}
+
+TEST(NdcgTest, DuplicatedPredictionsCannotExceedOne) {
+  // Regression: a prediction repeating the top fact used to earn its gain
+  // once per occurrence, pushing DCG past IDCG (NDCG > 1).
+  ShapleyValues gold = {{1, 0.9}, {2, 0.1}};
+  const double spam = NdcgAtK({1, 1, 1, 1, 2}, gold, 10);
+  EXPECT_LE(spam, 1.0);
+  // The duplicate occupies rank 2 but contributes nothing, so the honest
+  // ranking {1, 2} strictly beats {1, 1, 2}.
+  EXPECT_LT(NdcgAtK({1, 1, 2}, gold, 10), NdcgAtK({1, 2}, gold, 10));
+  // Exact value: fact 2's gain lands at rank 3 (discount log2(4)).
+  const double dcg = 0.9 / std::log2(2) + 0.1 / std::log2(4);
+  const double idcg = 0.9 / std::log2(2) + 0.1 / std::log2(3);
+  EXPECT_NEAR(NdcgAtK({1, 1, 2}, gold, 10), dcg / idcg, 1e-12);
+}
+
+TEST(NdcgTest, AlwaysWithinUnitInterval) {
+  ShapleyValues gold = {{1, 0.5}, {2, 0.3}, {3, 0.2}};
+  const std::vector<std::vector<FactId>> rankings = {
+      {1, 2, 3}, {3, 2, 1}, {1, 1, 1}, {2, 2, 3, 3, 1, 1}, {7, 8, 9}, {}};
+  for (const auto& r : rankings) {
+    const double v = NdcgAtK(r, gold, 10);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(PrecisionTest, PerfectTopK) {
+  ShapleyValues gold = {{1, 0.5}, {2, 0.3}, {3, 0.15}, {4, 0.05}};
+  EXPECT_DOUBLE_EQ(PrecisionAtK({1, 2, 3, 4}, gold, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({1, 2, 3, 4}, gold, 3), 1.0);
+}
+
+TEST(PrecisionTest, SetBasedNotOrderBased) {
+  // Top-3 contains the right facts in the wrong order: still 1.0.
+  ShapleyValues gold = {{1, 0.5}, {2, 0.3}, {3, 0.15}, {4, 0.05}};
+  EXPECT_DOUBLE_EQ(PrecisionAtK({3, 1, 2, 4}, gold, 3), 1.0);
+  // But p@1 sees the wrong head.
+  EXPECT_DOUBLE_EQ(PrecisionAtK({3, 1, 2, 4}, gold, 1), 0.0);
+}
+
+TEST(PrecisionTest, PartialOverlap) {
+  ShapleyValues gold = {{1, 0.4}, {2, 0.3}, {3, 0.2}, {4, 0.1}};
+  // predicted top-3 {1, 4, 2} vs gold top-3 {1, 2, 3}: overlap 2.
+  EXPECT_NEAR(PrecisionAtK({1, 4, 2, 3}, gold, 3), 2.0 / 3.0, 1e-12);
+}
+
+TEST(PrecisionTest, ShortListsCapDepth) {
+  ShapleyValues gold = {{1, 0.7}, {2, 0.3}};
+  EXPECT_DOUBLE_EQ(PrecisionAtK({1, 2}, gold, 5), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({}, gold, 5), 0.0);
+}
+
+TEST(PrecisionTest, GoldTiesAtBoundaryAreOrderIndependent) {
+  // Facts 2 and 3 tie exactly at the k=2 boundary. Whichever of them a
+  // ranking surfaces must score the same — historically the strict-k gold
+  // cutoff admitted only the tiebreak winner, so P@k depended on which
+  // tied fact the prediction (or a hash-map iteration order) preferred.
+  ShapleyValues gold = {{1, 0.6}, {2, 0.2}, {3, 0.2}, {4, 0.0}};
+  const double with_2 = PrecisionAtK({1, 2}, gold, 2);
+  const double with_3 = PrecisionAtK({1, 3}, gold, 2);
+  EXPECT_DOUBLE_EQ(with_2, with_3);
+  EXPECT_DOUBLE_EQ(with_2, 1.0);
+  // A fact below the tied boundary is still a miss.
+  EXPECT_DOUBLE_EQ(PrecisionAtK({1, 4}, gold, 2), 0.5);
+}
+
+TEST(PrecisionTest, TiedGoldIdenticalAcrossInsertionOrders) {
+  // The same tied gold scores inserted in different orders (different
+  // unordered_map iteration orders) must produce identical P@k for every
+  // prediction.
+  const std::vector<std::pair<FactId, double>> items = {
+      {5, 0.25}, {9, 0.25}, {2, 0.25}, {7, 0.25}, {4, 0.0}};
+  ShapleyValues forward, backward;
+  for (const auto& [f, v] : items) forward[f] = v;
+  for (auto it = items.rbegin(); it != items.rend(); ++it) {
+    backward[it->first] = it->second;
+  }
+  const std::vector<std::vector<FactId>> predictions = {
+      {5, 9, 2}, {2, 7, 9}, {9, 4, 5}, {4, 2, 7}};
+  for (const auto& pred : predictions) {
+    for (size_t k = 1; k <= 4; ++k) {
+      EXPECT_DOUBLE_EQ(PrecisionAtK(pred, forward, k),
+                       PrecisionAtK(pred, backward, k))
+          << "k=" << k;
+      EXPECT_EQ(RankByScore(forward), RankByScore(backward));
+    }
+  }
+  // All four tied facts are equally top-2; any two of them score 1.0.
+  EXPECT_DOUBLE_EQ(PrecisionAtK({7, 2}, forward, 2), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({9, 5}, forward, 2), 1.0);
+}
+
+TEST(PrecisionTest, BoundaryExpansionKeepsUnitRange) {
+  // Everything tied: the expanded gold set is the whole lineage, and P@k
+  // still caps at 1.
+  ShapleyValues gold = {{1, 0.5}, {2, 0.5}, {3, 0.5}, {4, 0.5}};
+  EXPECT_DOUBLE_EQ(PrecisionAtK({4, 3, 2, 1}, gold, 2), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({4, 3, 2, 1}, gold, 10), 1.0);
+}
+
+TEST(MeanTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0}), 3.0);
+}
+
+TEST(MseTest, Basics) {
+  EXPECT_DOUBLE_EQ(MeanSquaredError({1.0, 2.0}, {1.0, 4.0}), 2.0);
+  EXPECT_DOUBLE_EQ(MeanSquaredError({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace lshap

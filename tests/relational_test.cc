@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <bit>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
 
 #include "relational/column.h"
 #include "relational/database.h"
@@ -219,6 +223,114 @@ TEST(OutputTupleTest, HashAndToString) {
   EXPECT_EQ(t, same);
   EXPECT_NE(t, other);
   EXPECT_EQ(OutputTupleToString(t), "(Alice, 45)");
+}
+
+// ---------------------------------------------------------------------------
+// Batch ingest (relational/table.h): the three ingest shapes must produce
+// byte-identical tables and fact ids.
+// ---------------------------------------------------------------------------
+
+Schema BatchSchema() {
+  return Schema("t", {{"a", ColumnType::kInt},
+                      {"b", ColumnType::kString},
+                      {"c", ColumnType::kDouble}});
+}
+
+// The reference: row-at-a-time ingest of three rows. Note the Int() fed to
+// the kDouble column — the promotion rule batch ingest must reproduce.
+// (unique_ptr because Database pins interior pointers and is immovable.)
+std::unique_ptr<Database> RowAtATimeDb() {
+  auto db = std::make_unique<Database>("test");
+  EXPECT_TRUE(db->AddTable(BatchSchema()).ok());
+  TableAppender app = db->AppenderFor("t");
+  app.Begin().Int(1).Str("x").Real(0.5).Commit();
+  app.Begin().Int(2).Str("y").Int(7).Commit();
+  app.Begin().Int(3).Str("x").Real(-1.25).Commit();
+  return db;
+}
+
+void ExpectSameTable(const Database& got, const Database& want) {
+  const Table* tg = *got.FindTable("t");
+  const Table* tw = *want.FindTable("t");
+  ASSERT_EQ(tg->num_rows(), tw->num_rows());
+  for (size_t i = 0; i < tw->num_rows(); ++i) {
+    EXPECT_EQ(tg->DecodeRow(i), tw->DecodeRow(i)) << "row " << i;
+    EXPECT_EQ(tg->fact_id(i), tw->fact_id(i)) << "row " << i;
+  }
+  EXPECT_EQ(got.num_facts(), want.num_facts());
+}
+
+TEST(BatchIngestTest, AppendColumnMatchesRowAtATime) {
+  Database db("test");
+  ASSERT_TRUE(db.AddTable(BatchSchema()).ok());
+  TableAppender app = db.AppenderFor("t");
+  const std::vector<int64_t> a = {1, 2, 3};
+  const std::vector<std::string> b = {"x", "y", "x"};
+  const std::vector<double> cc = {0.5, 7.0, -1.25};
+  const std::vector<FactId> ids =
+      app.AppendColumn(0, std::span<const int64_t>(a))
+          .AppendColumn(1, std::span<const std::string>(b))
+          .AppendColumn(2, std::span<const double>(cc))
+          .CommitRows();
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_LT(ids[0], ids[1]);  // fact ids in row order
+  EXPECT_LT(ids[1], ids[2]);
+  ExpectSameTable(db, *RowAtATimeDb());
+}
+
+TEST(BatchIngestTest, IntSpanPromotesIntoDoubleColumn) {
+  Database db("test");
+  ASSERT_TRUE(db.AddTable(Schema("t", {{"c", ColumnType::kDouble}})).ok());
+  TableAppender app = db.AppenderFor("t");
+  const std::vector<int64_t> v = {4, -2};
+  app.AppendColumn(0, std::span<const int64_t>(v)).CommitRows();
+  const Table* t = *db.FindTable("t");
+  EXPECT_EQ(t->GetValue(0, 0), Value(4.0));
+  EXPECT_EQ(t->GetValue(1, 0), Value(-2.0));
+}
+
+TEST(BatchIngestTest, RowBatchMatchesRowAtATime) {
+  Database db("test");
+  ASSERT_TRUE(db.AddTable(BatchSchema()).ok());
+  TableAppender app = db.AppenderFor("t");
+  RowBatch batch(app.schema());
+  batch.Begin().Int(1).Str("x").Real(0.5).End();
+  batch.Begin().Int(2).Str("y").Int(7).End();  // Int into kDouble promotes
+  batch.Begin().Int(3).Str("x").Real(-1.25).End();
+  EXPECT_EQ(batch.num_rows(), 3u);
+  const std::vector<FactId> ids = app.Append(batch);
+  ASSERT_EQ(ids.size(), 3u);
+  ExpectSameTable(db, *RowAtATimeDb());
+}
+
+TEST(BatchIngestTest, EmptyBatchCommitsNothing) {
+  Database db("test");
+  ASSERT_TRUE(db.AddTable(BatchSchema()).ok());
+  TableAppender app = db.AppenderFor("t");
+  EXPECT_TRUE(app.CommitRows().empty());
+  RowBatch batch(app.schema());
+  EXPECT_TRUE(app.Append(batch).empty());
+  EXPECT_EQ((*db.FindTable("t"))->num_rows(), 0u);
+}
+
+TEST(BatchIngestTest, BatchesInterleaveWithRowAtATime) {
+  // A committed batch and a committed row can alternate freely; fact ids
+  // stay dense and in ingest order.
+  Database db("test");
+  ASSERT_TRUE(db.AddTable(Schema("t", {{"a", ColumnType::kInt}})).ok());
+  TableAppender app = db.AppenderFor("t");
+  const std::vector<int64_t> first = {10, 11};
+  app.AppendColumn(0, std::span<const int64_t>(first)).CommitRows();
+  const FactId mid = app.Begin().Int(12).Commit();
+  const std::vector<int64_t> last = {13};
+  const std::vector<FactId> tail =
+      app.AppendColumn(0, std::span<const int64_t>(last)).CommitRows();
+  const Table* t = *db.FindTable("t");
+  ASSERT_EQ(t->num_rows(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(t->GetValue(i, 0), Value(static_cast<int64_t>(10 + i)));
+  }
+  EXPECT_LT(mid, tail[0]);
 }
 
 }  // namespace

@@ -6,7 +6,8 @@
 #   thread — TSan build tree (build-tsan), running the concurrency-heavy
 #       tests: the morsel-parallel evaluator differential tests
 #       (eval_property_test), the budget/cancellation machinery
-#       (budget_test), and the ThreadPool stress test (common_test).
+#       (budget_test), the ThreadPool stress test (common_test), and the
+#       sharded metrics registry (metrics_test).
 #
 # Any sanitizer report aborts the offending test
 # (-fno-sanitize-recover=all), so a green run means clean.
@@ -24,7 +25,9 @@ case "$MODE" in
   thread)
     BUILD_DIR="${BUILD_DIR:-build-tsan}"
     CMAKE_MODE=thread
-    TEST_ARGS=(-R 'eval_property_test|budget_test|common_test')
+    # ^metrics_test$ is anchored: a bare 'metrics_test' would also match
+    # ranking_metrics_test, which is single-threaded and slow under TSan.
+    TEST_ARGS=(-R 'eval_property_test|budget_test|common_test|^metrics_test$')
     ;;
   *)
     echo "unknown LSHAP_SANITIZE mode '$MODE' (want address|ON|thread)" >&2
