@@ -8,7 +8,9 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/strings.h"
 #include "common/timer.h"
+#include "corpus/format.h"
 #include "eval/evaluator.h"
 #include "shapley/shapley.h"
 
@@ -59,13 +61,39 @@ struct CorpusMetricSet {
         wall_seconds(GaugeFor(r, "corpus.wall_seconds")) {}
 };
 
-Corpus BuildCorpus(const Database& db, const SchemaGraph& graph,
-                   const CorpusConfig& config, ThreadPool& pool) {
+namespace {
+
+// One finished shard, handed to the build's sink in shard order: the kept
+// entries (empty contributions and empty entries already dropped) and the
+// shard's own ladder accounting.
+struct ShardResult {
+  uint32_t shard_index = 0;
+  std::vector<CorpusEntry> entries;
+  ShardBuildStats stats;
+};
+
+// The sharded build driver behind BuildCorpus and BuildCorpusToShards.
+//
+// Determinism contract (DESIGN.md §10.4): the query log is partitioned into
+// K contiguous slices, and the sequential sampling RNG stream — output
+// sampling per kept query, then the final split shuffle — is consumed in
+// shard order, exactly the order the K=1 build consumes it. The
+// Monte-Carlo fallback is seeded by global job index (a running counter
+// across shards). So the merged entries, splits and rung counts are
+// identical for every K and thread count; only wall-clock deadline trips
+// can differ run to run.
+//
+// `sink` receives each ShardResult in shard order and owns the entries
+// from then on — the driver never holds more than one shard's entries.
+template <typename Sink>
+BuildStats RunShardedBuild(const Database& db, const SchemaGraph& graph,
+                           const CorpusConfig& config, ThreadPool& pool,
+                           const CorpusMetricSet& metrics, Sink&& sink,
+                           std::vector<size_t>& train_idx,
+                           std::vector<size_t>& dev_idx,
+                           std::vector<size_t>& test_idx) {
   WallTimer build_timer;
   ScopedSpan build_span(config.metrics, "corpus.build");
-  const CorpusMetricSet metrics(config.metrics);
-  Corpus corpus;
-  corpus.db = &db;
 
   std::vector<Query> log;
   {
@@ -76,224 +104,288 @@ Corpus BuildCorpus(const Database& db, const SchemaGraph& graph,
   }
 
   Rng rng(config.seed ^ 0xc0ffee);
-
-  // Evaluate each query; keep those with non-empty (and bounded) results.
   // The registry threads through to the evaluator, so a corpus build's
   // snapshot also carries the eval.* section for its query replay.
   const EvalOptions eval_options =
       EvalOptions().WithMetrics(config.metrics);
-  struct Pending {
-    Query query;
-    EvalResult result;
-    std::vector<size_t> sampled;  // output indices to compute Shapley for
-  };
-  std::vector<Pending> pending;
-  {
-    ScopedSpan span(config.metrics, "corpus.evaluate_log");
-    for (const Query& q : log) {
-      auto eval = Evaluate(db, q, eval_options);
-      if (!eval.ok()) continue;
-      EvalResult result = std::move(eval).value();
-      if (result.tuples.size() < config.min_outputs_per_query) continue;
 
-      Pending p;
-      p.query = q;
-      const size_t total = result.tuples.size();
-      const size_t want = std::min(total, config.max_outputs_per_query);
-      p.sampled = rng.SampleWithoutReplacement(total, want);
-      std::sort(p.sampled.begin(), p.sampled.end());
-      p.result = std::move(result);
-      pending.push_back(std::move(p));
-    }
-    metrics.queries_kept.Inc(pending.size());
-  }
-
-  // Shapley ground truth, parallel over (query, tuple) pairs, each pair
-  // descending the degradation ladder under the configured budgets.
-  struct Job {
-    size_t entry;
-    size_t slot;
-    const Dnf* prov;
-  };
-  corpus.entries.resize(pending.size());
-  BuildStats& stats = corpus.stats;
-  std::vector<Job> jobs;
-  for (size_t e = 0; e < pending.size(); ++e) {
-    Pending& p = pending[e];
-    CorpusEntry& entry = corpus.entries[e];
-    entry.query = p.query;
-    entry.all_outputs = std::move(p.result.tuples);
-    size_t slot = 0;
-    for (size_t idx : p.sampled) {
-      const Dnf& prov = p.result.provenance[idx];
-      if (prov.Variables().size() > config.max_lineage ||
-          prov.num_clauses() > config.max_clauses) {
-        // The syntactic pre-filter is the outermost skip rung: the tuple
-        // never reaches the ladder, but it still leaves a skip record.
-        ++stats.skipped;
-        ++stats.budget_trips[kSiteCorpusPrefilter];
-        metrics.tuples_prefiltered.Inc();
-        continue;
-      }
-      metrics.lineage_facts.Observe(
-          static_cast<double>(prov.Variables().size()));
-      entry.contributions.push_back({entry.all_outputs[idx], {}});
-      jobs.push_back({e, slot, &prov});
-      ++slot;
-    }
-  }
-
-  // Whole-build deadline: checked at every job start; on expiry the token
-  // cancels the wave (and, via the per-tuple budgets, any rung mid-flight).
+  const size_t num_shards = std::max<size_t>(1, config.num_shards);
+  // Whole-build deadline, shared by every shard's wave. Anchored right
+  // before the first wave launches — for K=1 that is the historical anchor
+  // point (after log evaluation, before the ladder).
   using Clock = std::chrono::steady_clock;
   const bool has_build_deadline = config.build_deadline_seconds > 0.0;
-  const Clock::time_point build_deadline =
-      Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                         std::chrono::duration<double>(
-                             config.build_deadline_seconds));
-  CancelToken build_cancel;
+  bool deadline_anchored = false;
+  Clock::time_point build_deadline{};
 
-  std::vector<LadderOutcome> outcomes(jobs.size());
-  const auto ladder = [&](size_t j) -> Status {
-    const Job& job = jobs[j];
-    LadderOutcome& outcome = outcomes[j];
-    ShapleyValues& dest =
-        corpus.entries[job.entry].contributions[job.slot].shapley;
-    if (has_build_deadline && Clock::now() >= build_deadline) {
-      return Status::ResourceExhausted("corpus build deadline exceeded");
+  BuildStats stats;
+  stats.per_shard.reserve(num_shards);
+  // Global ladder-job counter: jobs are enumerated in the same order for
+  // every K, and this index seeds the Monte-Carlo fallback, so rung results
+  // are shard-count-invariant.
+  size_t job_counter = 0;
+  size_t total_kept = 0;  // kept entries across shards, for the split
+
+  for (size_t s = 0; s < num_shards; ++s) {
+    WallTimer shard_timer;
+    ShardResult shard;
+    shard.shard_index = static_cast<uint32_t>(s);
+    shard.stats.shard_index = static_cast<uint32_t>(s);
+    ShardBuildStats& sstats = shard.stats;
+
+    // This shard's contiguous slice of the query log.
+    const size_t lo = log.size() * s / num_shards;
+    const size_t hi = log.size() * (s + 1) / num_shards;
+
+    // Evaluate the slice; keep queries with non-empty (bounded) results.
+    struct Pending {
+      Query query;
+      EvalResult result;
+      std::vector<size_t> sampled;  // output indices to compute Shapley for
+    };
+    std::vector<Pending> pending;
+    {
+      ScopedSpan span(config.metrics, "corpus.evaluate_log");
+      for (size_t qi = lo; qi < hi; ++qi) {
+        auto eval = Evaluate(db, log[qi], eval_options);
+        if (!eval.ok()) continue;
+        EvalResult result = std::move(eval).value();
+        if (result.tuples.size() < config.min_outputs_per_query) continue;
+
+        Pending p;
+        p.query = log[qi];
+        const size_t total = result.tuples.size();
+        const size_t want = std::min(total, config.max_outputs_per_query);
+        p.sampled = rng.SampleWithoutReplacement(total, want);
+        std::sort(p.sampled.begin(), p.sampled.end());
+        p.result = std::move(result);
+        pending.push_back(std::move(p));
+      }
+      metrics.queries_kept.Inc(pending.size());
     }
 
-    // Rung 1: exact circuit Shapley under the full per-tuple budget.
-    {
-      ExecutionBudget budget(
-          {config.tuple_deadline_seconds, config.max_circuit_nodes},
-          &build_cancel, config.fault_injector);
-      Result<ShapleyValues> exact = ComputeShapleyExact(*job.prov, budget);
-      if (exact.ok()) {
-        dest = std::move(exact).value();
-        outcome.rung = LadderOutcome::kExact;
-        // Charge accounting runs even on an unlimited budget, so after a
-        // successful exact rung the charged units are (almost exactly) the
-        // compiled circuit's node count.
-        metrics.circuit_nodes.Observe(
-            static_cast<double>(budget.charged_units()));
-        return Status::Ok();
-      }
-      outcome.trip_sites.push_back(budget.trip_site());
-      if (exact.status().code() == StatusCode::kCancelled) {
-        return exact.status();
-      }
-    }
-    // Rung 2: Monte-Carlo estimate with a fixed sample budget and a fresh
-    // deadline. Seeded per job index so the fallback is deterministic
-    // regardless of which thread runs it.
-    {
-      ExecutionBudget budget({config.tuple_deadline_seconds, 0},
-                             &build_cancel, config.fault_injector);
-      Rng mc_rng(config.seed ^ (0x9e3779b97f4a7c15ULL * (j + 1)));
-      Result<ShapleyValues> mc = ComputeShapleyMonteCarlo(
-          *job.prov, config.mc_fallback_samples, mc_rng, budget);
-      if (mc.ok()) {
-        dest = std::move(mc).value();
-        outcome.rung = LadderOutcome::kMonteCarlo;
-        return Status::Ok();
-      }
-      outcome.trip_sites.push_back(budget.trip_site());
-      if (mc.status().code() == StatusCode::kCancelled) return mc.status();
-    }
-    // Rung 3: CNF-proxy ranking scores (polynomial closed form).
-    {
-      ExecutionBudget budget({config.tuple_deadline_seconds, 0},
-                             &build_cancel, config.fault_injector);
-      Result<ShapleyValues> proxy = ComputeCnfProxy(*job.prov, budget);
-      if (proxy.ok()) {
-        dest = std::move(proxy).value();
-        outcome.rung = LadderOutcome::kCnfProxy;
-        return Status::Ok();
-      }
-      outcome.trip_sites.push_back(budget.trip_site());
-      if (proxy.status().code() == StatusCode::kCancelled) {
-        return proxy.status();
+    // Shapley ground truth, parallel over this shard's (query, tuple)
+    // pairs, each pair descending the degradation ladder under the
+    // configured budgets.
+    struct Job {
+      size_t entry;
+      size_t slot;
+      const Dnf* prov;
+      size_t global;  // global job index (MC fallback seed)
+    };
+    shard.entries.resize(pending.size());
+    std::vector<Job> jobs;
+    for (size_t e = 0; e < pending.size(); ++e) {
+      Pending& p = pending[e];
+      CorpusEntry& entry = shard.entries[e];
+      entry.query = p.query;
+      entry.all_outputs = std::move(p.result.tuples);
+      size_t slot = 0;
+      for (size_t idx : p.sampled) {
+        const Dnf& prov = p.result.provenance[idx];
+        if (prov.Variables().size() > config.max_lineage ||
+            prov.num_clauses() > config.max_clauses) {
+          // The syntactic pre-filter is the outermost skip rung: the tuple
+          // never reaches the ladder, but it still leaves a skip record.
+          ++sstats.skipped;
+          ++sstats.budget_trips[kSiteCorpusPrefilter];
+          metrics.tuples_prefiltered.Inc();
+          continue;
+        }
+        metrics.lineage_facts.Observe(
+            static_cast<double>(prov.Variables().size()));
+        entry.contributions.push_back({entry.all_outputs[idx], {}});
+        jobs.push_back({e, slot, &prov, job_counter++});
+        ++slot;
       }
     }
-    // Rung 4: skip. The tuple is dropped below with a stats record; the
-    // wave itself keeps going.
-    outcome.rung = LadderOutcome::kSkip;
-    return Status::Ok();
-  };
-  metrics.jobs.Inc(jobs.size());
-  // The wave status is deliberately dropped: a cancelled build is not an
-  // error of BuildCorpus — the unprocessed jobs are folded into the skip
-  // accounting below and the (partial) corpus is still valid.
-  {
-    ScopedSpan span(config.metrics, "corpus.ground_truth");
-    (void)ParallelFor(pool, jobs.size(), build_cancel, ladder);
+
+    if (has_build_deadline && !deadline_anchored) {
+      build_deadline =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 config.build_deadline_seconds));
+      deadline_anchored = true;
+    }
+    // Each shard's wave gets its own token; the shared deadline anchor
+    // still expires every later shard's jobs at their first check.
+    CancelToken shard_cancel;
+
+    std::vector<LadderOutcome> outcomes(jobs.size());
+    const auto ladder = [&](size_t j) -> Status {
+      const Job& job = jobs[j];
+      LadderOutcome& outcome = outcomes[j];
+      ShapleyValues& dest =
+          shard.entries[job.entry].contributions[job.slot].shapley;
+      if (has_build_deadline && Clock::now() >= build_deadline) {
+        return Status::ResourceExhausted("corpus build deadline exceeded");
+      }
+
+      // Rung 1: exact circuit Shapley under the full per-tuple budget.
+      {
+        ExecutionBudget budget(
+            {config.tuple_deadline_seconds, config.max_circuit_nodes},
+            &shard_cancel, config.fault_injector);
+        Result<ShapleyValues> exact = ComputeShapleyExact(*job.prov, budget);
+        if (exact.ok()) {
+          dest = std::move(exact).value();
+          outcome.rung = LadderOutcome::kExact;
+          // Charge accounting runs even on an unlimited budget, so after a
+          // successful exact rung the charged units are (almost exactly)
+          // the compiled circuit's node count.
+          metrics.circuit_nodes.Observe(
+              static_cast<double>(budget.charged_units()));
+          return Status::Ok();
+        }
+        outcome.trip_sites.push_back(budget.trip_site());
+        if (exact.status().code() == StatusCode::kCancelled) {
+          return exact.status();
+        }
+      }
+      // Rung 2: Monte-Carlo estimate with a fixed sample budget and a
+      // fresh deadline. Seeded per global job index so the fallback is
+      // deterministic regardless of thread or shard assignment.
+      {
+        ExecutionBudget budget({config.tuple_deadline_seconds, 0},
+                               &shard_cancel, config.fault_injector);
+        Rng mc_rng(config.seed ^
+                   (0x9e3779b97f4a7c15ULL * (job.global + 1)));
+        Result<ShapleyValues> mc = ComputeShapleyMonteCarlo(
+            *job.prov, config.mc_fallback_samples, mc_rng, budget);
+        if (mc.ok()) {
+          dest = std::move(mc).value();
+          outcome.rung = LadderOutcome::kMonteCarlo;
+          return Status::Ok();
+        }
+        outcome.trip_sites.push_back(budget.trip_site());
+        if (mc.status().code() == StatusCode::kCancelled) return mc.status();
+      }
+      // Rung 3: CNF-proxy ranking scores (polynomial closed form).
+      {
+        ExecutionBudget budget({config.tuple_deadline_seconds, 0},
+                               &shard_cancel, config.fault_injector);
+        Result<ShapleyValues> proxy = ComputeCnfProxy(*job.prov, budget);
+        if (proxy.ok()) {
+          dest = std::move(proxy).value();
+          outcome.rung = LadderOutcome::kCnfProxy;
+          return Status::Ok();
+        }
+        outcome.trip_sites.push_back(budget.trip_site());
+        if (proxy.status().code() == StatusCode::kCancelled) {
+          return proxy.status();
+        }
+      }
+      // Rung 4: skip. The tuple is dropped below with a stats record; the
+      // wave itself keeps going.
+      outcome.rung = LadderOutcome::kSkip;
+      return Status::Ok();
+    };
+    metrics.jobs.Inc(jobs.size());
+    // The wave status is deliberately dropped: a cancelled build is not an
+    // error of the build — the unprocessed jobs are folded into the skip
+    // accounting below and the (partial) shard is still valid.
+    {
+      ScopedSpan span(config.metrics, "corpus.ground_truth");
+      (void)ParallelFor(pool, jobs.size(), shard_cancel, ladder);
+    }
+
+    // Fold the per-job outcomes into the shard's stats serially
+    // (deterministic counts), then drop the contributions that got no
+    // ground truth.
+    for (const LadderOutcome& outcome : outcomes) {
+      switch (outcome.rung) {
+        case LadderOutcome::kExact:
+          ++sstats.exact;
+          break;
+        case LadderOutcome::kMonteCarlo:
+          ++sstats.monte_carlo;
+          break;
+        case LadderOutcome::kCnfProxy:
+          ++sstats.cnf_proxy;
+          break;
+        case LadderOutcome::kSkip:
+          ++sstats.skipped;
+          break;
+        case LadderOutcome::kNotRun:
+          // Build cancelled (or deadline hit) before this tuple ran.
+          ++sstats.skipped;
+          ++sstats.budget_trips[kSiteCorpusBuildDeadline];
+          break;
+      }
+      for (const std::string& site : outcome.trip_sites) {
+        ++sstats.budget_trips[site];
+      }
+    }
+    for (auto& e : shard.entries) {
+      e.contributions.erase(
+          std::remove_if(e.contributions.begin(), e.contributions.end(),
+                         [](const TupleContribution& c) {
+                           return c.shapley.empty();
+                         }),
+          e.contributions.end());
+    }
+    // Drop entries that ended with no usable contributions.
+    std::vector<CorpusEntry> kept;
+    kept.reserve(shard.entries.size());
+    for (auto& e : shard.entries) {
+      if (!e.contributions.empty()) kept.push_back(std::move(e));
+    }
+    shard.entries = std::move(kept);
+
+    sstats.entries = shard.entries.size();
+    sstats.wall_seconds = shard_timer.ElapsedSeconds();
+    total_kept += shard.entries.size();
+
+    // Merge this shard into the totals — in shard order, on the driver
+    // thread, never under a mutex in completion order — so the merged
+    // counts are deterministic at any thread count.
+    stats.exact += sstats.exact;
+    stats.monte_carlo += sstats.monte_carlo;
+    stats.cnf_proxy += sstats.cnf_proxy;
+    stats.skipped += sstats.skipped;
+    for (const auto& [site, n] : sstats.budget_trips) {
+      stats.budget_trips[site] += n;
+    }
+    if (config.metrics != nullptr) {
+      // Per-shard rung counters, opt-in like every corpus.* metric.
+      const std::string prefix = StrFormat("corpus.shard%03zu.", s);
+      CounterFor(config.metrics, prefix + "entries").Inc(sstats.entries);
+      CounterFor(config.metrics, prefix + "rung_exact").Inc(sstats.exact);
+      CounterFor(config.metrics, prefix + "rung_monte_carlo")
+          .Inc(sstats.monte_carlo);
+      CounterFor(config.metrics, prefix + "rung_cnf_proxy")
+          .Inc(sstats.cnf_proxy);
+      CounterFor(config.metrics, prefix + "rung_skipped")
+          .Inc(sstats.skipped);
+    }
+    stats.per_shard.push_back(sstats);
+    sink(std::move(shard));
   }
+
   ScopedSpan finalize_span(config.metrics, "corpus.finalize");
-
-  // Fold the per-job outcomes into BuildStats serially (deterministic
-  // counts), then drop the contributions that got no ground truth.
-  for (const LadderOutcome& outcome : outcomes) {
-    switch (outcome.rung) {
-      case LadderOutcome::kExact:
-        ++stats.exact;
-        break;
-      case LadderOutcome::kMonteCarlo:
-        ++stats.monte_carlo;
-        break;
-      case LadderOutcome::kCnfProxy:
-        ++stats.cnf_proxy;
-        break;
-      case LadderOutcome::kSkip:
-        ++stats.skipped;
-        break;
-      case LadderOutcome::kNotRun:
-        // Build cancelled (or deadline hit) before this tuple ran.
-        ++stats.skipped;
-        ++stats.budget_trips[kSiteCorpusBuildDeadline];
-        break;
-    }
-    for (const std::string& site : outcome.trip_sites) {
-      ++stats.budget_trips[site];
-    }
-  }
-  for (auto& e : corpus.entries) {
-    e.contributions.erase(
-        std::remove_if(e.contributions.begin(), e.contributions.end(),
-                       [](const TupleContribution& c) {
-                         return c.shapley.empty();
-                       }),
-        e.contributions.end());
-  }
-
-  // Drop entries that ended with no usable contributions.
-  std::vector<CorpusEntry> kept;
-  kept.reserve(corpus.entries.size());
-  for (auto& e : corpus.entries) {
-    if (!e.contributions.empty()) kept.push_back(std::move(e));
-  }
-  corpus.entries = std::move(kept);
-
-  // Query-level 70/10/20 split.
-  std::vector<size_t> order(corpus.entries.size());
+  // Query-level 70/10/20 split over the merged entry order, drawn from the
+  // same sequential RNG stream — the step after the last shard's sampling,
+  // exactly as in the K=1 build.
+  std::vector<size_t> order(total_kept);
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   rng.Shuffle(order);
-  const size_t n_train =
-      static_cast<size_t>(config.train_frac * static_cast<double>(order.size()));
-  const size_t n_dev =
-      static_cast<size_t>(config.dev_frac * static_cast<double>(order.size()));
+  const size_t n_train = static_cast<size_t>(
+      config.train_frac * static_cast<double>(order.size()));
+  const size_t n_dev = static_cast<size_t>(
+      config.dev_frac * static_cast<double>(order.size()));
   for (size_t i = 0; i < order.size(); ++i) {
     if (i < n_train) {
-      corpus.train_idx.push_back(order[i]);
+      train_idx.push_back(order[i]);
     } else if (i < n_train + n_dev) {
-      corpus.dev_idx.push_back(order[i]);
+      dev_idx.push_back(order[i]);
     } else {
-      corpus.test_idx.push_back(order[i]);
+      test_idx.push_back(order[i]);
     }
   }
+
   stats.wall_seconds = build_timer.ElapsedSeconds();
-  // Mirror the folded BuildStats into the registry (rung counts are
-  // deterministic; see the serial fold above).
+  // Mirror the merged BuildStats into the registry (rung counts are
+  // deterministic; see the shard-order merge above).
   metrics.rung_exact.Inc(stats.exact);
   metrics.rung_monte_carlo.Inc(stats.monte_carlo);
   metrics.rung_cnf_proxy.Inc(stats.cnf_proxy);
@@ -302,7 +394,68 @@ Corpus BuildCorpus(const Database& db, const SchemaGraph& graph,
     metrics.budget_trips.Inc(n);
   }
   metrics.wall_seconds.Set(stats.wall_seconds);
+  return stats;
+}
+
+}  // namespace
+
+Corpus BuildCorpus(const Database& db, const SchemaGraph& graph,
+                   const CorpusConfig& config, ThreadPool& pool) {
+  const CorpusMetricSet metrics(config.metrics);
+  Corpus corpus;
+  corpus.db = &db;
+  corpus.stats = RunShardedBuild(
+      db, graph, config, pool, metrics,
+      [&corpus](ShardResult&& shard) {
+        for (CorpusEntry& e : shard.entries) {
+          corpus.entries.push_back(std::move(e));
+        }
+      },
+      corpus.train_idx, corpus.dev_idx, corpus.test_idx);
   return corpus;
+}
+
+Result<BuildStats> BuildCorpusToShards(const Database& db,
+                                       const SchemaGraph& graph,
+                                       const CorpusConfig& config,
+                                       ThreadPool& pool,
+                                       const std::string& path) {
+  const CorpusMetricSet metrics(config.metrics);
+  const uint64_t fingerprint = FactTableFingerprint(db);
+  Status write_status = Status::Ok();
+  std::vector<uint64_t> shard_entries;
+  uint64_t base_entry = 0;
+  std::vector<size_t> train_idx, dev_idx, test_idx;
+  BuildStats stats = RunShardedBuild(
+      db, graph, config, pool, metrics,
+      [&](ShardResult&& shard) {
+        if (!write_status.ok()) return;  // first write error wins
+        ShardWriter writer(ShardFileName(path, shard.shard_index),
+                           fingerprint, shard.shard_index, base_entry);
+        for (const CorpusEntry& e : shard.entries) {
+          write_status = writer.Append(e);
+          if (!write_status.ok()) return;
+        }
+        write_status = writer.Finish(&shard.stats);
+        if (!write_status.ok()) return;
+        base_entry += shard.entries.size();
+        shard_entries.push_back(shard.entries.size());
+      },
+      train_idx, dev_idx, test_idx);
+  if (!write_status.ok()) return write_status;
+
+  CorpusManifest manifest;
+  manifest.db_name = db.name();
+  manifest.db_facts = db.num_facts();
+  manifest.db_fingerprint = fingerprint;
+  manifest.shard_entries = std::move(shard_entries);
+  manifest.train_idx = std::move(train_idx);
+  manifest.dev_idx = std::move(dev_idx);
+  manifest.test_idx = std::move(test_idx);
+  manifest.stats = stats;
+  Status s = WriteManifest(manifest, path);
+  if (!s.ok()) return s;
+  return stats;
 }
 
 SimilarityMatrices ComputeSimilarityMatrices(const Corpus& corpus,

@@ -32,6 +32,26 @@ struct CorpusEntry {
 inline constexpr char kSiteCorpusPrefilter[] = "corpus.prefilter";
 inline constexpr char kSiteCorpusBuildDeadline[] = "corpus.build_deadline";
 
+// What one shard's worker did during a sharded build: its slice of the
+// query log, the rung each of its sampled tuples landed on, and the budget
+// trips it recorded. Shard stats merge associatively in shard order into
+// the whole-build BuildStats, so the merged totals are identical for any
+// shard count.
+struct ShardBuildStats {
+  uint32_t shard_index = 0;
+  size_t entries = 0;      // corpus entries this shard contributed
+  size_t exact = 0;
+  size_t monte_carlo = 0;
+  size_t cnf_proxy = 0;
+  size_t skipped = 0;
+  double wall_seconds = 0.0;  // this shard's ladder wall time
+  std::map<std::string, size_t> budget_trips;
+
+  size_t attempted() const {
+    return exact + monte_carlo + cnf_proxy + skipped;
+  }
+};
+
 // What the graceful-degradation ladder did during one BuildCorpus run. Each
 // sampled output tuple lands on exactly one rung:
 //   exact -> monte_carlo -> cnf_proxy -> skipped.
@@ -48,8 +68,13 @@ struct BuildStats {
   size_t skipped = 0;
   double wall_seconds = 0.0;  // whole-build wall time
   // Budget-trip occurrences keyed by check site (ExecutionBudget trip sites
-  // plus the synthetic corpus.* sites above).
+  // plus the synthetic corpus.* sites above). Merged from the per-shard
+  // maps in shard order — never under a mutex in completion order — so the
+  // totals are deterministic at any thread count.
   std::map<std::string, size_t> budget_trips;
+  // Per-shard breakdown, one slot per shard in shard order. Size equals the
+  // build's num_shards (a single slot for the historical K=1 build).
+  std::vector<ShardBuildStats> per_shard;
 
   size_t attempted() const {
     return exact + monte_carlo + cnf_proxy + skipped;
@@ -106,6 +131,11 @@ struct CorpusConfig {
   // ground-truth wave is cancelled cooperatively and every unprocessed
   // tuple is recorded as skipped (site corpus.build_deadline).
   double build_deadline_seconds = 0.0;
+  // Number of build shards. The query log is partitioned contiguously into
+  // this many slices, each evaluated and laddered by an independent worker;
+  // shards merge in stable shard order, so any value reproduces the K=1
+  // (historical) corpus bit-for-bit when no wall-clock deadline fires.
+  size_t num_shards = 1;
   // Deterministic test hook forcing budget trips at exact sites; not owned.
   FaultInjector* fault_injector = nullptr;
   // Observability opt-in: when set, BuildCorpus records corpus.* counters
@@ -154,6 +184,10 @@ struct CorpusConfig {
     build_deadline_seconds = s;
     return *this;
   }
+  CorpusConfig& WithNumShards(size_t k) {
+    num_shards = k == 0 ? 1 : k;
+    return *this;
+  }
   CorpusConfig& WithFaultInjector(FaultInjector* f) {
     fault_injector = f;
     return *this;
@@ -172,6 +206,18 @@ struct CorpusConfig {
 // fault injection are exactly reproducible).
 Corpus BuildCorpus(const Database& db, const SchemaGraph& graph,
                    const CorpusConfig& config, ThreadPool& pool);
+
+// Sharded-build variant that streams each shard's entries straight into the
+// packed binary shard files at `path` (manifest plus one
+// `<path>.shardNNN` per shard) instead of materialising a resident Corpus.
+// Builder memory holds one entry at a time per shard; the written corpus
+// loads back (LoadCorpusShards / LoadCorpus auto-detect) identical to what
+// BuildCorpus returns for the same config. Returns the merged BuildStats.
+Result<BuildStats> BuildCorpusToShards(const Database& db,
+                                       const SchemaGraph& graph,
+                                       const CorpusConfig& config,
+                                       ThreadPool& pool,
+                                       const std::string& path);
 
 // Pairwise query-similarity matrices over a corpus (Figure 7, Table 2).
 struct SimilarityMatrices {

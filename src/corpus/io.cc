@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/strings.h"
+#include "corpus/format.h"
 #include "query/parser.h"
 
 namespace lshap {
@@ -125,7 +126,14 @@ Status SaveCorpus(const Corpus& corpus, const std::string& path) {
   if (!out) return Status::Internal("cannot open '" + path + "' for write");
 
   out << "LSHAP_CORPUS 1\n";
-  out << "db " << corpus.db->name() << ' ' << corpus.db->num_facts() << '\n';
+  // The fnv token is the fact-table fingerprint: name + fact count alone
+  // cannot tell two same-shaped databases apart. Loaders tolerate its
+  // absence (older files) but reject a mismatch.
+  out << "db " << corpus.db->name() << ' ' << corpus.db->num_facts() << ' '
+      << StrFormat("fnv:%016llx",
+                   static_cast<unsigned long long>(
+                       FactTableFingerprint(*corpus.db)))
+      << '\n';
   // Build provenance: which degradation-ladder rung produced each tuple's
   // ground truth (see BuildStats). Older readers that predate this line are
   // gone; LoadCorpus tolerates its absence for older files.
@@ -165,6 +173,9 @@ Status SaveCorpus(const Corpus& corpus, const std::string& path) {
 
 Result<Corpus> LoadCorpus(const Database* db, const std::string& path) {
   if (db == nullptr) return Status::InvalidArgument("null database");
+  // Binary corpora are detected by magic, so callers need only one load
+  // entry point regardless of which format produced the file.
+  if (LooksLikeManifest(path)) return LoadCorpusShards(db, path);
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open '" + path + "'");
 
@@ -190,6 +201,25 @@ Result<Corpus> LoadCorpus(const Database* db, const std::string& path) {
                     "'%s' (%zu facts)",
                     name.c_str(), facts, db->name().c_str(),
                     db->num_facts()));
+    }
+    std::string token;
+    if (ls >> token && StartsWith(token, "fnv:")) {
+      uint64_t stored = 0;
+      try {
+        stored = std::stoull(token.substr(4), nullptr, 16);
+      } catch (...) {
+        return bad("malformed fnv token");
+      }
+      const uint64_t actual = FactTableFingerprint(*db);
+      if (stored != actual) {
+        return Status::InvalidArgument(StrFormat(
+            "corpus file '%s' was built over a database with fact-table "
+            "fingerprint %016llx, but the given database fingerprints "
+            "%016llx — same name/size is not enough, the fact tables "
+            "differ",
+            path.c_str(), static_cast<unsigned long long>(stored),
+            static_cast<unsigned long long>(actual)));
+      }
     }
   }
 
@@ -309,6 +339,102 @@ Result<Corpus> LoadCorpus(const Database* db, const std::string& path) {
   if (!s.ok()) return s;
   s = read_index("test", corpus.test_idx);
   if (!s.ok()) return s;
+  return corpus;
+}
+
+Status SaveCorpusShards(const Corpus& corpus, const std::string& path,
+                        size_t num_shards, bool f32_payload) {
+  if (corpus.db == nullptr) {
+    return Status::FailedPrecondition("corpus has no database");
+  }
+  if (num_shards == 0) num_shards = 1;
+  const uint64_t fingerprint = FactTableFingerprint(*corpus.db);
+  const ShapleyPayload payload =
+      f32_payload ? ShapleyPayload::kFloat32 : ShapleyPayload::kFloat64;
+
+  CorpusManifest manifest;
+  manifest.db_name = corpus.db->name();
+  manifest.db_facts = corpus.db->num_facts();
+  manifest.db_fingerprint = fingerprint;
+  manifest.payload = payload;
+  manifest.train_idx = corpus.train_idx;
+  manifest.dev_idx = corpus.dev_idx;
+  manifest.test_idx = corpus.test_idx;
+  manifest.stats = corpus.stats;
+
+  // Re-saves carry the build's per-shard rung provenance into the shard
+  // footers only when this save's partition matches the build's (same
+  // shard count and entry distribution); otherwise the footers hold zeros
+  // and the manifest still has the full BuildStats.
+  const std::vector<ShardBuildStats>& per_shard = corpus.stats.per_shard;
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t lo = corpus.entries.size() * s / num_shards;
+    const size_t hi = corpus.entries.size() * (s + 1) / num_shards;
+    ShardWriter writer(ShardFileName(path, s), fingerprint,
+                       static_cast<uint32_t>(s), lo, payload);
+    for (size_t i = lo; i < hi; ++i) {
+      Status st = writer.Append(corpus.entries[i]);
+      if (!st.ok()) return st;
+    }
+    const ShardBuildStats* stats = nullptr;
+    if (per_shard.size() == num_shards && per_shard[s].entries == hi - lo) {
+      stats = &per_shard[s];
+    }
+    Status st = writer.Finish(stats);
+    if (!st.ok()) return st;
+    manifest.shard_entries.push_back(hi - lo);
+  }
+  return WriteManifest(manifest, path);
+}
+
+Result<Corpus> LoadCorpusShards(const Database* db, const std::string& path) {
+  if (db == nullptr) return Status::InvalidArgument("null database");
+  auto manifest = ReadManifest(path);
+  if (!manifest.ok()) return manifest.status();
+  const CorpusManifest& m = *manifest;
+  if (m.db_name != db->name() || m.db_facts != db->num_facts()) {
+    return Status::FailedPrecondition(
+        StrFormat("corpus was built over database '%s' (%zu facts), got "
+                  "'%s' (%zu facts)",
+                  m.db_name.c_str(), static_cast<size_t>(m.db_facts),
+                  db->name().c_str(), db->num_facts()));
+  }
+  const uint64_t fingerprint = FactTableFingerprint(*db);
+  if (m.db_fingerprint != fingerprint) {
+    return Status::InvalidArgument(StrFormat(
+        "corpus manifest '%s' was built over a database with fact-table "
+        "fingerprint %016llx, but the given database fingerprints %016llx "
+        "— same name/size is not enough, the fact tables differ",
+        path.c_str(), static_cast<unsigned long long>(m.db_fingerprint),
+        static_cast<unsigned long long>(fingerprint)));
+  }
+
+  Corpus corpus;
+  corpus.db = db;
+  corpus.stats = m.stats;
+  corpus.train_idx = m.train_idx;
+  corpus.dev_idx = m.dev_idx;
+  corpus.test_idx = m.test_idx;
+  corpus.entries.reserve(static_cast<size_t>(m.total_entries()));
+  for (size_t s = 0; s < m.num_shards(); ++s) {
+    const std::string shard_path = ShardFileName(path, s);
+    auto reader = ShardReader::Open(shard_path, fingerprint);
+    if (!reader.ok()) return reader.status();
+    if (reader->footer().shard_index != s ||
+        reader->num_records() != m.shard_entries[s]) {
+      return Status::InvalidArgument(StrFormat(
+          "corpus shard '%s' does not match its manifest (shard %u with "
+          "%zu records, manifest expects shard %zu with %zu records)",
+          shard_path.c_str(), reader->footer().shard_index,
+          reader->num_records(), s,
+          static_cast<size_t>(m.shard_entries[s])));
+    }
+    for (size_t i = 0; i < reader->num_records(); ++i) {
+      auto entry = reader->ReadRecord(i, *db);
+      if (!entry.ok()) return entry.status();
+      corpus.entries.push_back(std::move(*entry));
+    }
+  }
   return corpus;
 }
 

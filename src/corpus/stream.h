@@ -1,0 +1,204 @@
+#ifndef LSHAP_CORPUS_STREAM_H_
+#define LSHAP_CORPUS_STREAM_H_
+
+// Shard-at-a-time corpus access (DESIGN.md §10.5).
+//
+// A CorpusStream presents a corpus as K shards of entries plus the global
+// split/stats metadata, without promising that all entries are resident at
+// once. The trainer and evaluator consume streams, so their peak corpus
+// memory is bounded by the largest shard (times the cursor lookahead), not
+// the corpus. Two implementations:
+//
+//   InMemoryCorpusStream  — a resident Corpus viewed as one shard; slices
+//                           alias the corpus (zero copies), so streaming
+//                           consumers degrade to exactly the historical
+//                           resident behaviour.
+//   ShardedCorpusStream   — packed binary shards (format.h) decoded on
+//                           demand, with resident-entry accounting that
+//                           proves the boundedness claim in tests/benches.
+//
+// ShardCursor walks a stream's shards in a caller-chosen order with
+// lookahead prefetch on a ThreadPool: while the consumer processes shard
+// i, shard i+1 decodes on a worker.
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "corpus/corpus.h"
+#include "corpus/format.h"
+
+namespace lshap {
+
+// One decoded shard, packaged as a Corpus chunk so FactScorer::Score and
+// everything else written against `const Corpus&` consumes slices
+// unchanged. `corpus->entries[i]` is the shard entry with global index
+// `base_entry + i` (the index space of the train/dev/test splits).
+//
+// InMemoryCorpusStream's single slice aliases the *whole* resident corpus
+// (base_entry 0, split vectors included), so corpus-global consumers —
+// e.g. the NearestQueries baselines, which scan train entries — behave
+// exactly as before. ShardedCorpusStream slices hold only the shard's
+// entries with empty splits; consumers that need corpus-global state must
+// use a resident corpus.
+struct CorpusSlice {
+  size_t shard_index = 0;
+  size_t base_entry = 0;
+  std::shared_ptr<const Corpus> corpus;
+
+  size_t size() const { return corpus ? corpus->entries.size() : 0; }
+};
+
+// Read-only sharded view of a corpus. Implementations must make ReadShard
+// safe to call from multiple threads concurrently (ShardCursor prefetches
+// on pool workers).
+class CorpusStream {
+ public:
+  virtual ~CorpusStream() = default;
+
+  virtual const Database& db() const = 0;
+  virtual size_t num_shards() const = 0;
+  virtual size_t num_entries() const = 0;
+  // Global index of shard s's first entry / its entry count.
+  virtual size_t shard_base(size_t s) const = 0;
+  virtual size_t shard_entries(size_t s) const = 0;
+  virtual const std::vector<size_t>& train_idx() const = 0;
+  virtual const std::vector<size_t>& dev_idx() const = 0;
+  virtual const std::vector<size_t>& test_idx() const = 0;
+  virtual const BuildStats& stats() const = 0;
+
+  virtual Result<CorpusSlice> ReadShard(size_t s) const = 0;
+
+  // Shard index holding global entry `i` (shards partition the entry range
+  // contiguously).
+  size_t ShardOf(size_t i) const;
+};
+
+// A resident Corpus as a single-shard stream. The corpus must outlive the
+// stream; slices alias its entries without copying.
+class InMemoryCorpusStream : public CorpusStream {
+ public:
+  explicit InMemoryCorpusStream(const Corpus& corpus);
+
+  const Database& db() const override { return *corpus_->db; }
+  size_t num_shards() const override { return 1; }
+  size_t num_entries() const override { return corpus_->entries.size(); }
+  size_t shard_base(size_t) const override { return 0; }
+  size_t shard_entries(size_t) const override {
+    return corpus_->entries.size();
+  }
+  const std::vector<size_t>& train_idx() const override {
+    return corpus_->train_idx;
+  }
+  const std::vector<size_t>& dev_idx() const override {
+    return corpus_->dev_idx;
+  }
+  const std::vector<size_t>& test_idx() const override {
+    return corpus_->test_idx;
+  }
+  const BuildStats& stats() const override { return corpus_->stats; }
+
+  Result<CorpusSlice> ReadShard(size_t s) const override;
+
+ private:
+  const Corpus* corpus_;
+};
+
+// Packed binary shards decoded on demand. Open validates the manifest
+// against the database (name/fact count, then fact-table fingerprint);
+// each ReadShard re-validates its shard file's checksum and fingerprint.
+class ShardedCorpusStream : public CorpusStream {
+ public:
+  static Result<ShardedCorpusStream> Open(const Database* db,
+                                          const std::string& path);
+
+  const Database& db() const override { return *db_; }
+  size_t num_shards() const override { return manifest_.num_shards(); }
+  size_t num_entries() const override {
+    return static_cast<size_t>(manifest_.total_entries());
+  }
+  size_t shard_base(size_t s) const override { return bases_[s]; }
+  size_t shard_entries(size_t s) const override {
+    return static_cast<size_t>(manifest_.shard_entries[s]);
+  }
+  const std::vector<size_t>& train_idx() const override {
+    return manifest_.train_idx;
+  }
+  const std::vector<size_t>& dev_idx() const override {
+    return manifest_.dev_idx;
+  }
+  const std::vector<size_t>& test_idx() const override {
+    return manifest_.test_idx;
+  }
+  const BuildStats& stats() const override { return manifest_.stats; }
+
+  Result<CorpusSlice> ReadShard(size_t s) const override;
+
+  const CorpusManifest& manifest() const { return manifest_; }
+
+  // Resident-entry accounting: decoded entries currently alive across all
+  // outstanding slices, and the high-water mark. This is the measured
+  // backing for "trainer memory is bounded by shard size, not corpus
+  // size" — a streaming consumer's peak stays ~2 shards (current +
+  // prefetch) however many shards the corpus has.
+  size_t resident_entries() const;
+  size_t peak_resident_entries() const;
+
+ private:
+  struct ResidentCounter {
+    std::atomic<size_t> resident{0};
+    std::atomic<size_t> peak{0};
+  };
+
+  ShardedCorpusStream() = default;
+
+  const Database* db_ = nullptr;
+  std::string path_;
+  uint64_t fingerprint_ = 0;
+  CorpusManifest manifest_;
+  std::vector<size_t> bases_;
+  std::shared_ptr<ResidentCounter> counter_;
+};
+
+// Walks a stream's shards with lookahead prefetch. While the consumer
+// holds slice i, slice i+1 decodes on `pool` (synchronously in Next when
+// pool is null). At most two decoded shards are alive at once — the one
+// just returned and the prefetch — as long as the consumer drops each
+// slice before the next Next() call.
+class ShardCursor {
+ public:
+  // `visit_order` selects which shards to visit and in what order; empty
+  // means all shards in shard order. Skipping shards a pass does not need
+  // (e.g. dev-only evaluation) is just a shorter order. The stream must
+  // outlive the cursor.
+  ShardCursor(const CorpusStream& stream, ThreadPool* pool = nullptr,
+              std::vector<size_t> visit_order = {});
+  ~ShardCursor();
+
+  ShardCursor(const ShardCursor&) = delete;
+  ShardCursor& operator=(const ShardCursor&) = delete;
+
+  bool Done() const { return next_ >= order_.size() && inflight_.empty(); }
+
+  // Returns the next slice in visit order; kFailedPrecondition when called
+  // past Done().
+  Result<CorpusSlice> Next();
+
+ private:
+  void PrefetchOne();
+
+  const CorpusStream& stream_;
+  ThreadPool* pool_;
+  std::vector<size_t> order_;
+  size_t next_ = 0;  // next order_ position to schedule
+  std::deque<std::future<Result<CorpusSlice>>> inflight_;
+};
+
+}  // namespace lshap
+
+#endif  // LSHAP_CORPUS_STREAM_H_

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <utility>
 
+#include "common/check.h"
+#include "common/strings.h"
 #include "metrics/ranking_metrics.h"
 
 namespace lshap {
@@ -28,26 +31,32 @@ double PartialNdcg(const std::vector<FactId>& predicted,
   return NdcgAtK(filtered_pred, filtered_gold, 10);
 }
 
-}  // namespace
-
-EvalSummary EvaluateScorer(const Corpus& corpus,
-                           const std::vector<size_t>& split,
-                           FactScorer& scorer,
-                           const std::unordered_set<FactId>& train_seen,
-                           ThreadPool& pool) {
+// Scores every contribution of one decoded slice in parallel and writes
+// the results into `per_pos` (indexed by split position, then contribution
+// index). `members` lists the (split position, global entry) pairs of this
+// slice's shard, in split order.
+void EvaluateSlice(const CorpusSlice& slice,
+                   const std::vector<std::pair<size_t, size_t>>& members,
+                   FactScorer& scorer,
+                   const std::unordered_set<FactId>& train_seen,
+                   ThreadPool& pool,
+                   std::vector<std::vector<EvalPoint>>& per_pos) {
+  const Corpus& chunk = *slice.corpus;
   struct Job {
-    size_t entry_idx;
-    size_t contrib_idx;
+    size_t pos;       // position in the split vector
+    size_t local_e;   // entry index within the slice chunk
+    size_t global_e;  // corpus-global entry index
+    size_t c;         // contribution index
   };
   std::vector<Job> jobs;
-  for (size_t e : split) {
-    for (size_t c = 0; c < corpus.entries[e].contributions.size(); ++c) {
-      jobs.push_back({e, c});
+  for (const auto& [pos, e] : members) {
+    const size_t local = e - slice.base_entry;
+    const size_t num_contribs = chunk.entries[local].contributions.size();
+    per_pos[pos].resize(num_contribs);
+    for (size_t c = 0; c < num_contribs; ++c) {
+      jobs.push_back({pos, local, e, c});
     }
   }
-
-  EvalSummary summary;
-  summary.points.resize(jobs.size());
 
   // Per-worker scorer clones; jobs are claimed off a shared counter.
   const size_t num_workers = std::max<size_t>(1, pool.num_threads());
@@ -62,17 +71,16 @@ EvalSummary EvaluateScorer(const Corpus& corpus,
       const size_t j = next.fetch_add(1);
       if (j >= jobs.size()) return;
       const Job& job = jobs[j];
-      const CorpusEntry& entry = corpus.entries[job.entry_idx];
-      const TupleContribution& contrib = entry.contributions[job.contrib_idx];
+      const CorpusEntry& entry = chunk.entries[job.local_e];
+      const TupleContribution& contrib = entry.contributions[job.c];
       const ShapleyValues& gold = contrib.shapley;
 
-      const ShapleyValues predicted =
-          local.Score(corpus, job.entry_idx, job.contrib_idx);
+      const ShapleyValues predicted = local.Score(chunk, job.local_e, job.c);
       const std::vector<FactId> ranking = RankByScore(predicted);
 
-      EvalPoint& pt = summary.points[j];
-      pt.entry_idx = job.entry_idx;
-      pt.contrib_idx = job.contrib_idx;
+      EvalPoint& pt = per_pos[job.pos][job.c];
+      pt.entry_idx = job.global_e;
+      pt.contrib_idx = job.c;
       pt.ndcg10 = NdcgAtK(ranking, gold, 10);
       pt.p1 = PrecisionAtK(ranking, gold, 1);
       pt.p3 = PrecisionAtK(ranking, gold, 3);
@@ -99,6 +107,51 @@ EvalSummary EvaluateScorer(const Corpus& corpus,
     pool.Schedule([&work, w] { work(w); });
   }
   pool.Wait();
+}
+
+}  // namespace
+
+Result<EvalSummary> EvaluateScorerStream(
+    const CorpusStream& stream, const std::vector<size_t>& split,
+    FactScorer& scorer, const std::unordered_set<FactId>& train_seen,
+    ThreadPool& pool) {
+  // Group split positions by shard (split order preserved within a shard),
+  // so each shard is decoded exactly once per pass.
+  std::vector<std::vector<std::pair<size_t, size_t>>> by_shard(
+      stream.num_shards());
+  for (size_t pos = 0; pos < split.size(); ++pos) {
+    const size_t e = split[pos];
+    if (e >= stream.num_entries()) {
+      return Status::InvalidArgument(
+          StrFormat("split entry %zu out of range (corpus has %zu entries)",
+                    e, stream.num_entries()));
+    }
+    by_shard[stream.ShardOf(e)].emplace_back(pos, e);
+  }
+  std::vector<size_t> visit;
+  for (size_t s = 0; s < by_shard.size(); ++s) {
+    if (!by_shard[s].empty()) visit.push_back(s);
+  }
+
+  // Results keyed by split position so that flattening below reproduces the
+  // resident evaluator's (split position, contribution) point order exactly,
+  // regardless of which shard each entry lives in.
+  std::vector<std::vector<EvalPoint>> per_pos(split.size());
+
+  if (!visit.empty()) {
+    ShardCursor cursor(stream, &pool, visit);
+    while (!cursor.Done()) {
+      auto slice = cursor.Next();
+      if (!slice.ok()) return slice.status();
+      EvaluateSlice(*slice, by_shard[slice->shard_index], scorer, train_seen,
+                    pool, per_pos);
+    }
+  }
+
+  EvalSummary summary;
+  for (auto& points : per_pos) {
+    for (EvalPoint& pt : points) summary.points.push_back(pt);
+  }
 
   std::vector<double> ndcg, p1, p3, p5;
   ndcg.reserve(summary.points.size());
@@ -113,6 +166,20 @@ EvalSummary EvaluateScorer(const Corpus& corpus,
   summary.p3 = Mean(p3);
   summary.p5 = Mean(p5);
   return summary;
+}
+
+EvalSummary EvaluateScorer(const Corpus& corpus,
+                           const std::vector<size_t>& split,
+                           FactScorer& scorer,
+                           const std::unordered_set<FactId>& train_seen,
+                           ThreadPool& pool) {
+  // The in-memory stream has one shard aliasing the whole corpus, so the
+  // streaming evaluator enumerates and scores exactly the jobs this
+  // function always has.
+  InMemoryCorpusStream stream(corpus);
+  auto summary = EvaluateScorerStream(stream, split, scorer, train_seen, pool);
+  LSHAP_CHECK(summary.ok());
+  return std::move(*summary);
 }
 
 }  // namespace lshap

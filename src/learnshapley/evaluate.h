@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "corpus/stream.h"
 #include "learnshapley/scorer.h"
 
 namespace lshap {
@@ -44,6 +45,22 @@ EvalSummary EvaluateScorer(const Corpus& corpus,
                            FactScorer& scorer,
                            const std::unordered_set<FactId>& train_seen,
                            ThreadPool& pool);
+
+// Streaming variant: walks only the shards the split touches, one at a
+// time with lookahead prefetch, so peak corpus memory is bounded by shard
+// size. `split` holds global entry indices; points come back in the same
+// (split position, contribution) order as EvaluateScorer, and for a
+// single-shard stream the result is identical to the resident evaluator
+// (EvaluateScorer is this function over an InMemoryCorpusStream).
+//
+// The scorer sees each slice's chunk Corpus. With an InMemoryCorpusStream
+// that chunk is the full corpus; with a multi-shard stream, scorers that
+// read corpus-global state (the NearestQueries baselines) are not
+// supported — use a ranker that scores from (db, entry) alone.
+Result<EvalSummary> EvaluateScorerStream(
+    const CorpusStream& stream, const std::vector<size_t>& split,
+    FactScorer& scorer, const std::unordered_set<FactId>& train_seen,
+    ThreadPool& pool);
 
 }  // namespace lshap
 

@@ -4,7 +4,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <utility>
 
+#include "common/strings.h"
 #include "common/timer.h"
 #include "learnshapley/evaluate.h"
 #include "learnshapley/serialization.h"
@@ -186,11 +188,133 @@ void TimedStep(Opt& optimizer, const TrainMetricSet& metrics) {
       std::chrono::duration<double>(t1 - t0).count());
 }
 
-}  // namespace
+std::string RankerName(const TrainConfig& config) {
+  std::string name = "LearnShapley-";
+  switch (config.model_size) {
+    case TrainConfig::ModelSize::kBase:
+      name += "base";
+      break;
+    case TrainConfig::ModelSize::kLarge:
+      name += "large";
+      break;
+    case TrainConfig::ModelSize::kSmallAblation:
+      name += "small";
+      break;
+  }
+  if (!config.do_pretrain) name += " (no pre-train)";
+  return name;
+}
 
-TrainResult TrainLearnShapley(const Corpus& corpus,
-                              const SimilarityMatrices& sims,
-                              const TrainConfig& config, ThreadPool& pool) {
+// Pre-training on the similarity objectives. Operates only on cached query
+// token streams plus the similarity matrices, so the resident and streaming
+// trainers share it verbatim (the matrices are indexed by global entry
+// index either way). Restores the best-dev-MSE checkpoint into `model` and
+// returns that MSE.
+double PretrainOnSims(const std::vector<size_t>& train,
+                      const std::vector<size_t>& dev_idx,
+                      const std::vector<std::vector<std::string>>& query_tokens,
+                      const SimilarityMatrices& sims, const TrainConfig& config,
+                      const TrainMetricSet& metrics, const Vocab& vocab,
+                      LearnShapleyModel& model, DataParallelRunner& runner,
+                      ThreadPool& pool, Rng& rng, size_t& total_examples) {
+  ScopedSpan pretrain_span(config.metrics, "train.pretrain");
+  // All train-train pairs (i < j) as candidates.
+  std::vector<std::pair<size_t, size_t>> train_pairs;
+  for (size_t a = 0; a < train.size(); ++a) {
+    for (size_t b = a + 1; b < train.size(); ++b) {
+      train_pairs.emplace_back(train[a], train[b]);
+    }
+  }
+  // Dev pairs (dev × train) for checkpoint selection, capped.
+  std::vector<PairSample> dev_pairs;
+  {
+    std::vector<std::pair<size_t, size_t>> cands;
+    for (size_t d : dev_idx) {
+      for (size_t t : train) cands.emplace_back(d, t);
+    }
+    rng.Shuffle(cands);
+    const size_t take = std::min<size_t>(cands.size(), 256);
+    for (size_t i = 0; i < take; ++i) {
+      const auto [a, b] = cands[i];
+      PairSample ps;
+      ps.input = EncodeSegments(vocab, {query_tokens[a], query_tokens[b]},
+                                config.max_len);
+      ps.sim_rank = sims.rank[a][b];
+      ps.sim_witness = sims.witness[a][b];
+      ps.sim_syntax = sims.syntax[a][b];
+      dev_pairs.push_back(std::move(ps));
+    }
+  }
+
+  Adam optimizer(model.Params(), [&] {
+    AdamConfig a;
+    a.lr = config.pretrain_lr;
+    return a;
+  }());
+
+  double best_mse = 1e30;
+  std::vector<Tensor> best_weights = model.SnapshotWeights();
+  for (size_t epoch = 0; epoch < config.pretrain_epochs; ++epoch) {
+    rng.Shuffle(train_pairs);
+    const size_t take =
+        std::min(train_pairs.size(), config.pretrain_pairs_per_epoch);
+    std::vector<PairSample> samples;
+    samples.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      const auto [a, b] = train_pairs[i];
+      PairSample ps;
+      ps.input = EncodeSegments(vocab, {query_tokens[a], query_tokens[b]},
+                                config.max_len);
+      ps.sim_rank = sims.rank[a][b];
+      ps.sim_witness = sims.witness[a][b];
+      ps.sim_syntax = sims.syntax[a][b];
+      samples.push_back(std::move(ps));
+    }
+    float epoch_loss = 0.0f;
+    for (size_t begin = 0; begin < samples.size();
+         begin += config.batch_size) {
+      const size_t end = std::min(samples.size(), begin + config.batch_size);
+      epoch_loss += runner.RunBatch(begin, end, [&](LearnShapleyModel& m,
+                                                    size_t i) {
+        return m.PretrainStep(samples[i].input, samples[i].sim_rank,
+                              samples[i].sim_witness, samples[i].sim_syntax,
+                              config.objectives);
+      });
+      TimedStep(optimizer, metrics);
+    }
+    metrics.pretrain_examples.Inc(take);
+    total_examples += take;
+    metrics.pretrain_epoch_loss.Set(
+        static_cast<double>(epoch_loss) /
+        static_cast<double>(std::max<size_t>(1, take)));
+    const double dev_mse = PairMse(dev_pairs, config.objectives, model, pool);
+    metrics.pretrain_dev_mse.Set(dev_mse);
+    if (config.verbose) {
+      std::fprintf(stderr, "[pretrain] epoch %zu loss %.4f dev-mse %.5f\n",
+                   epoch,
+                   static_cast<double>(epoch_loss) /
+                       static_cast<double>(std::max<size_t>(1, take)),
+                   dev_mse);
+    }
+    if (dev_mse < best_mse) {
+      best_mse = dev_mse;
+      best_weights = model.SnapshotWeights();
+    }
+    optimizer.set_lr(optimizer.lr() * config.lr_decay);
+  }
+  model.RestoreWeights(best_weights);
+  return best_mse;
+}
+
+// The resident training pipeline over an in-memory corpus. `sims` may be
+// null, which skips pre-training (the streaming single-shard dispatch uses
+// this when no matrices are available). With non-null sims this is the
+// historical TrainLearnShapley bit for bit.
+TrainResult TrainResident(const Corpus& corpus,
+                          const std::vector<size_t>& train_idx,
+                          const std::vector<size_t>& dev_idx,
+                          const SimilarityMatrices* sims,
+                          const TrainConfig& config, ThreadPool& pool) {
   WallTimer timer;
   ScopedSpan train_span(config.metrics, "train");
   const TrainMetricSet metrics(config.metrics);
@@ -198,7 +322,7 @@ TrainResult TrainLearnShapley(const Corpus& corpus,
   Rng rng(config.seed);
 
   const std::vector<size_t>& train =
-      config.train_subset.empty() ? corpus.train_idx : config.train_subset;
+      config.train_subset.empty() ? train_idx : config.train_subset;
 
   // ---- Vocabulary and cached token streams (train split only). ----
   auto vocab = std::make_shared<Vocab>();
@@ -227,96 +351,11 @@ TrainResult TrainLearnShapley(const Corpus& corpus,
   TrainResult result;
 
   // ---- Pre-training on similarity objectives. ----
-  if (config.do_pretrain && config.objectives.AnyEnabled()) {
-    ScopedSpan pretrain_span(config.metrics, "train.pretrain");
-    // All train-train pairs (i < j) as candidates.
-    std::vector<std::pair<size_t, size_t>> train_pairs;
-    for (size_t a = 0; a < train.size(); ++a) {
-      for (size_t b = a + 1; b < train.size(); ++b) {
-        train_pairs.emplace_back(train[a], train[b]);
-      }
-    }
-    // Dev pairs (dev × train) for checkpoint selection, capped.
-    std::vector<PairSample> dev_pairs;
-    {
-      std::vector<std::pair<size_t, size_t>> cands;
-      for (size_t d : corpus.dev_idx) {
-        for (size_t t : train) cands.emplace_back(d, t);
-      }
-      rng.Shuffle(cands);
-      const size_t take = std::min<size_t>(cands.size(), 256);
-      for (size_t i = 0; i < take; ++i) {
-        const auto [a, b] = cands[i];
-        PairSample ps;
-        ps.input = EncodeSegments(
-            *vocab, {query_tokens[a], query_tokens[b]}, config.max_len);
-        ps.sim_rank = sims.rank[a][b];
-        ps.sim_witness = sims.witness[a][b];
-        ps.sim_syntax = sims.syntax[a][b];
-        dev_pairs.push_back(std::move(ps));
-      }
-    }
-
-    Adam optimizer(model.Params(), [&] {
-      AdamConfig a;
-      a.lr = config.pretrain_lr;
-      return a;
-    }());
-
-    double best_mse = 1e30;
-    std::vector<Tensor> best_weights = model.SnapshotWeights();
-    for (size_t epoch = 0; epoch < config.pretrain_epochs; ++epoch) {
-      rng.Shuffle(train_pairs);
-      const size_t take =
-          std::min(train_pairs.size(), config.pretrain_pairs_per_epoch);
-      std::vector<PairSample> samples;
-      samples.reserve(take);
-      for (size_t i = 0; i < take; ++i) {
-        const auto [a, b] = train_pairs[i];
-        PairSample ps;
-        ps.input = EncodeSegments(
-            *vocab, {query_tokens[a], query_tokens[b]}, config.max_len);
-        ps.sim_rank = sims.rank[a][b];
-        ps.sim_witness = sims.witness[a][b];
-        ps.sim_syntax = sims.syntax[a][b];
-        samples.push_back(std::move(ps));
-      }
-      float epoch_loss = 0.0f;
-      for (size_t begin = 0; begin < samples.size();
-           begin += config.batch_size) {
-        const size_t end =
-            std::min(samples.size(), begin + config.batch_size);
-        epoch_loss += runner.RunBatch(begin, end, [&](LearnShapleyModel& m,
-                                                      size_t i) {
-          return m.PretrainStep(samples[i].input, samples[i].sim_rank,
-                                samples[i].sim_witness, samples[i].sim_syntax,
-                                config.objectives);
-        });
-        TimedStep(optimizer, metrics);
-      }
-      metrics.pretrain_examples.Inc(take);
-      total_examples += take;
-      metrics.pretrain_epoch_loss.Set(
-          static_cast<double>(epoch_loss) /
-          static_cast<double>(std::max<size_t>(1, take)));
-      const double dev_mse =
-          PairMse(dev_pairs, config.objectives, model, pool);
-      metrics.pretrain_dev_mse.Set(dev_mse);
-      if (config.verbose) {
-        std::fprintf(stderr,
-                     "[pretrain] epoch %zu loss %.4f dev-mse %.5f\n", epoch,
-                     static_cast<double>(epoch_loss) /
-                         static_cast<double>(std::max<size_t>(1, take)),
-                     dev_mse);
-      }
-      if (dev_mse < best_mse) {
-        best_mse = dev_mse;
-        best_weights = model.SnapshotWeights();
-      }
-      optimizer.set_lr(optimizer.lr() * config.lr_decay);
-    }
-    model.RestoreWeights(best_weights);
-    result.pretrain_dev_mse = best_mse;
+  if (config.do_pretrain && config.objectives.AnyEnabled() &&
+      sims != nullptr) {
+    result.pretrain_dev_mse =
+        PretrainOnSims(train, dev_idx, query_tokens, *sims, config, metrics,
+                       *vocab, model, runner, pool, rng, total_examples);
   }
 
   // ---- Fine-tuning on Shapley regression. ----
@@ -395,8 +434,8 @@ TrainResult TrainLearnShapley(const Corpus& corpus,
     // Dev NDCG@10 for checkpoint selection.
     LearnShapleyRanker dev_ranker(model, vocab, config.max_len,
                                   config.shapley_scale, "dev");
-    const EvalSummary dev = EvaluateScorer(corpus, corpus.dev_idx, dev_ranker,
-                                           {}, pool);
+    const EvalSummary dev =
+        EvaluateScorer(corpus, dev_idx, dev_ranker, {}, pool);
     if (config.verbose) {
       std::fprintf(stderr, "[finetune] epoch %zu loss %.2f dev-ndcg %.4f\n",
                    epoch,
@@ -414,27 +453,269 @@ TrainResult TrainLearnShapley(const Corpus& corpus,
   model.RestoreWeights(best_weights);
   result.best_dev_ndcg10 = best_ndcg;
 
-  std::string name = "LearnShapley-";
-  switch (config.model_size) {
-    case TrainConfig::ModelSize::kBase:
-      name += "base";
-      break;
-    case TrainConfig::ModelSize::kLarge:
-      name += "large";
-      break;
-    case TrainConfig::ModelSize::kSmallAblation:
-      name += "small";
-      break;
-  }
-  if (!config.do_pretrain) name += " (no pre-train)";
   result.ranker = std::make_unique<LearnShapleyRanker>(
-      std::move(model), vocab, config.max_len, config.shapley_scale, name);
+      std::move(model), vocab, config.max_len, config.shapley_scale,
+      RankerName(config));
   result.train_seconds = timer.ElapsedSeconds();
   if (result.train_seconds > 0.0) {
     metrics.examples_per_sec.Set(static_cast<double>(total_examples) /
                                  result.train_seconds);
   }
   return result;
+}
+
+// Streaming pipeline for multi-shard streams: one decode pass over all
+// shards for the vocabulary and query token cache, then per-epoch
+// shard-at-a-time fine-tuning with a rotating start shard. Sample
+// construction and shuffles use per-(entry, contribution) and per-(epoch,
+// shard) derived RNG streams, so the result is a deterministic function of
+// (config, corpus, shard layout) — independent of thread count and of how
+// fast shards decode.
+Result<TrainResult> TrainStreaming(const CorpusStream& stream,
+                                   const SimilarityMatrices* sims,
+                                   const TrainConfig& config,
+                                   ThreadPool& pool) {
+  WallTimer timer;
+  ScopedSpan train_span(config.metrics, "train");
+  const TrainMetricSet metrics(config.metrics);
+  size_t total_examples = 0;
+  Rng rng(config.seed);
+  const Database& db = stream.db();
+
+  const std::vector<size_t>& train =
+      config.train_subset.empty() ? stream.train_idx() : config.train_subset;
+  std::vector<char> in_train(stream.num_entries(), 0);
+  for (size_t e : train) {
+    if (e >= stream.num_entries()) {
+      return Status::InvalidArgument(
+          StrFormat("train entry %zu out of range (corpus has %zu entries)",
+                    e, stream.num_entries()));
+    }
+    in_train[e] = 1;
+  }
+
+  // ---- Pass 1: vocabulary + cached query token streams. One decode of
+  // every shard; only the (small) token vectors stay resident. Vocabulary
+  // insertion order is shard order here, not train-split order, so token
+  // ids differ from the resident trainer's — a deliberate property of the
+  // streaming mode, deterministic for a fixed shard layout. ----
+  auto vocab = std::make_shared<Vocab>();
+  std::vector<std::vector<std::string>> query_tokens(stream.num_entries());
+  {
+    ScopedSpan vocab_span(config.metrics, "train.vocab_pass");
+    ShardCursor cursor(stream, &pool);
+    while (!cursor.Done()) {
+      auto slice = cursor.Next();
+      if (!slice.ok()) return slice.status();
+      const Corpus& chunk = *slice->corpus;
+      for (size_t i = 0; i < chunk.entries.size(); ++i) {
+        const size_t e = slice->base_entry + i;
+        query_tokens[e] = QueryTokens(chunk.entries[i].query);
+        if (!in_train[e]) continue;
+        vocab->AddTokens(query_tokens[e]);
+        for (const auto& c : chunk.entries[i].contributions) {
+          vocab->AddTokens(TupleTokens(c.tuple));
+          for (const auto& [f, v] : c.shapley) {
+            vocab->AddTokens(FactTokens(db, f));
+          }
+        }
+      }
+    }
+  }
+  vocab->AddTokens({"ovl0", "ovl1", "ovl2"});
+
+  // ---- Model. ----
+  const EncoderConfig encoder_cfg = MakeEncoderConfig(
+      config.model_size, vocab->size(), config.max_len, config.seed);
+  LearnShapleyModel model(encoder_cfg, config.seed);
+  DataParallelRunner runner(&model, &pool);
+
+  TrainResult result;
+
+  // ---- Pre-training (needs caller-supplied similarity matrices, which
+  // are corpus-global; pass null to skip). ----
+  if (config.do_pretrain && config.objectives.AnyEnabled() &&
+      sims != nullptr) {
+    result.pretrain_dev_mse = PretrainOnSims(
+        train, stream.dev_idx(), query_tokens, *sims, config, metrics, *vocab,
+        model, runner, pool, rng, total_examples);
+  }
+
+  // ---- Fine-tuning, shard at a time. ----
+  ScopedSpan finetune_span(config.metrics, "train.finetune");
+  Adam optimizer(model.Params(), [&] {
+    AdamConfig a;
+    a.lr = config.finetune_lr;
+    return a;
+  }());
+
+  double best_ndcg = -1.0;
+  std::vector<Tensor> best_weights = model.SnapshotWeights();
+
+  std::vector<size_t> train_shards;
+  {
+    std::vector<char> has(stream.num_shards(), 0);
+    for (size_t e : train) has[stream.ShardOf(e)] = 1;
+    for (size_t s = 0; s < has.size(); ++s) {
+      if (has[s]) train_shards.push_back(s);
+    }
+  }
+
+  for (size_t epoch = 0; epoch < config.finetune_epochs; ++epoch) {
+    float epoch_loss = 0.0f;
+    size_t epoch_examples = 0;
+    if (!train_shards.empty()) {
+      // Rotate the starting shard so no shard always trains against the
+      // freshest (end-of-epoch) weights.
+      std::vector<size_t> order = train_shards;
+      std::rotate(order.begin(), order.begin() + (epoch % order.size()),
+                  order.end());
+      const size_t quota =
+          (config.finetune_samples_per_epoch + order.size() - 1) /
+          order.size();
+      size_t remaining = config.finetune_samples_per_epoch;
+
+      ShardCursor cursor(stream, &pool, order);
+      while (!cursor.Done()) {
+        auto slice_r = cursor.Next();
+        if (!slice_r.ok()) return slice_r.status();
+        const CorpusSlice slice = std::move(*slice_r);
+        const Corpus& chunk = *slice.corpus;
+
+        // Materialize only this shard's train samples.
+        std::vector<FinetuneSample> samples;
+        for (size_t i = 0; i < chunk.entries.size(); ++i) {
+          const size_t e = slice.base_entry + i;
+          if (!in_train[e]) continue;
+          const CorpusEntry& entry = chunk.entries[i];
+          for (size_t ci = 0; ci < entry.contributions.size(); ++ci) {
+            const auto& c = entry.contributions[ci];
+            const std::vector<std::string> t_tokens = TupleTokens(c.tuple);
+            double norm = 1.0;
+            if (config.normalize_targets_per_tuple) {
+              double max_v = 0.0;
+              for (const auto& [f, v] : c.shapley) {
+                max_v = std::max(max_v, v);
+              }
+              if (max_v > 0.0) norm = 1.0 / max_v;
+            }
+            for (const auto& [f, v] : c.shapley) {
+              FinetuneSample fs;
+              fs.input = EncodeSegments(
+                  *vocab,
+                  {query_tokens[e], t_tokens,
+                   FactTokensWithContext(db, f, t_tokens)},
+                  config.max_len);
+              fs.target = static_cast<float>(v * norm) * config.shapley_scale;
+              samples.push_back(std::move(fs));
+            }
+            if (config.negative_samples_per_contribution > 0) {
+              // Derived per-contribution stream, so the negative set does
+              // not depend on shard visit order or epoch.
+              Rng neg_rng(config.seed ^
+                          (0xda942042e4dd58b5ULL * (e + 1)) ^
+                          (0x9e3779b97f4a7c15ULL * (ci + 1)));
+              for (size_t neg = 0;
+                   neg < config.negative_samples_per_contribution; ++neg) {
+                const FactId f = static_cast<FactId>(
+                    neg_rng.NextBounded(db.num_facts()));
+                if (c.shapley.count(f) > 0) continue;
+                FinetuneSample fs;
+                fs.input = EncodeSegments(
+                    *vocab,
+                    {query_tokens[e], t_tokens,
+                     FactTokensWithContext(db, f, t_tokens)},
+                    config.max_len);
+                fs.target = 0.0f;
+                samples.push_back(std::move(fs));
+              }
+            }
+          }
+        }
+
+        // Per-(epoch, shard) derived shuffle: sample order is a function of
+        // position in the corpus, not of scheduling.
+        Rng order_rng(config.seed ^
+                      (0x2545f4914f6cdd1dULL * (epoch + 1)) ^
+                      (0x9e3779b97f4a7c15ULL * (slice.shard_index + 1)));
+        order_rng.Shuffle(samples);
+        const size_t take = std::min({samples.size(), quota, remaining});
+        for (size_t begin = 0; begin < take; begin += config.batch_size) {
+          const size_t end = std::min(take, begin + config.batch_size);
+          epoch_loss += runner.RunBatch(
+              begin, end, [&](LearnShapleyModel& m, size_t i) {
+                return m.FinetuneStep(samples[i].input, samples[i].target);
+              });
+          TimedStep(optimizer, metrics);
+        }
+        remaining -= take;
+        epoch_examples += take;
+      }
+    }
+
+    metrics.finetune_examples.Inc(epoch_examples);
+    total_examples += epoch_examples;
+    metrics.finetune_epoch_loss.Set(
+        static_cast<double>(epoch_loss) /
+        static_cast<double>(std::max<size_t>(1, epoch_examples)));
+    // Dev NDCG@10 for checkpoint selection, streamed over the dev shards.
+    LearnShapleyRanker dev_ranker(model, vocab, config.max_len,
+                                  config.shapley_scale, "dev");
+    auto dev = EvaluateScorerStream(stream, stream.dev_idx(), dev_ranker, {},
+                                    pool);
+    if (!dev.ok()) return dev.status();
+    if (config.verbose) {
+      std::fprintf(stderr, "[finetune] epoch %zu loss %.2f dev-ndcg %.4f\n",
+                   epoch,
+                   static_cast<double>(epoch_loss) /
+                       static_cast<double>(std::max<size_t>(1, epoch_examples)),
+                   dev->ndcg10);
+    }
+    metrics.finetune_dev_ndcg10.Set(dev->ndcg10);
+    if (dev->ndcg10 > best_ndcg) {
+      best_ndcg = dev->ndcg10;
+      best_weights = model.SnapshotWeights();
+    }
+    optimizer.set_lr(optimizer.lr() * config.lr_decay);
+  }
+  model.RestoreWeights(best_weights);
+  result.best_dev_ndcg10 = best_ndcg;
+
+  result.ranker = std::make_unique<LearnShapleyRanker>(
+      std::move(model), vocab, config.max_len, config.shapley_scale,
+      RankerName(config));
+  result.train_seconds = timer.ElapsedSeconds();
+  if (result.train_seconds > 0.0) {
+    metrics.examples_per_sec.Set(static_cast<double>(total_examples) /
+                                 result.train_seconds);
+  }
+  return result;
+}
+
+}  // namespace
+
+TrainResult TrainLearnShapley(const Corpus& corpus,
+                              const SimilarityMatrices& sims,
+                              const TrainConfig& config, ThreadPool& pool) {
+  return TrainResident(corpus, corpus.train_idx, corpus.dev_idx, &sims,
+                       config, pool);
+}
+
+Result<TrainResult> TrainLearnShapleyStream(const CorpusStream& stream,
+                                            const SimilarityMatrices* sims,
+                                            const TrainConfig& config,
+                                            ThreadPool& pool) {
+  if (stream.num_shards() == 1) {
+    // Single shard: the slice is the whole corpus (aliased for an
+    // in-memory stream, decoded once for a one-shard binary corpus), so
+    // the resident pipeline applies unchanged — and matches
+    // TrainLearnShapley exactly when sims is provided.
+    auto slice = stream.ReadShard(0);
+    if (!slice.ok()) return slice.status();
+    return TrainResident(*slice->corpus, stream.train_idx(),
+                         stream.dev_idx(), sims, config, pool);
+  }
+  return TrainStreaming(stream, sims, config, pool);
 }
 
 }  // namespace lshap

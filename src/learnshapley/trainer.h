@@ -7,6 +7,7 @@
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "corpus/corpus.h"
+#include "corpus/stream.h"
 #include "learnshapley/ranker.h"
 
 namespace lshap {
@@ -126,6 +127,25 @@ struct TrainResult {
 TrainResult TrainLearnShapley(const Corpus& corpus,
                               const SimilarityMatrices& sims,
                               const TrainConfig& config, ThreadPool& pool);
+
+// Streaming variant over a CorpusStream, so peak corpus memory is bounded
+// by shard size rather than corpus size.
+//
+//  - A single-shard stream dispatches to the resident pipeline and (given
+//    non-null `sims`) produces exactly the TrainLearnShapley result.
+//  - A multi-shard stream runs one decode pass for the vocabulary, then
+//    fine-tunes shard at a time per epoch (rotating start shard, per-shard
+//    sample shuffles from derived RNG streams, dev evaluation streamed).
+//    The result is deterministic for a fixed (config, corpus, shard
+//    layout) but intentionally differs from the resident sample order.
+//
+// `sims` may be null to skip pre-training — the similarity matrices are
+// corpus-global (N×N over all entries) and so only exist when the corpus
+// was resident at some point.
+Result<TrainResult> TrainLearnShapleyStream(const CorpusStream& stream,
+                                            const SimilarityMatrices* sims,
+                                            const TrainConfig& config,
+                                            ThreadPool& pool);
 
 }  // namespace lshap
 

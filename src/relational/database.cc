@@ -114,4 +114,62 @@ std::string Database::FactToString(FactId id) const {
   return FactTableName(id) + "(" + Join(parts, ", ") + ")";
 }
 
+namespace {
+
+inline constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+uint64_t FnvBytes(uint64_t h, const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t FnvWord(uint64_t h, uint64_t w) { return FnvBytes(h, &w, sizeof(w)); }
+
+uint64_t FnvString(uint64_t h, std::string_view s) {
+  h = FnvWord(h, s.size());
+  return FnvBytes(h, s.data(), s.size());
+}
+
+}  // namespace
+
+uint64_t FactTableFingerprint(const Database& db) {
+  uint64_t h = kFnvOffset;
+  h = FnvString(h, db.name());
+  h = FnvWord(h, db.num_tables());
+  for (size_t t = 0; t < db.num_tables(); ++t) {
+    const Table& table = db.table(t);
+    h = FnvString(h, table.schema().table_name());
+    h = FnvWord(h, table.num_rows());
+    h = FnvWord(h, table.num_columns());
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const ColumnData& col = table.column(c);
+      h = FnvWord(h, static_cast<uint64_t>(col.type()));
+      switch (col.type()) {
+        case ColumnType::kInt:
+          h = FnvBytes(h, col.ints().data(),
+                       col.ints().size() * sizeof(int64_t));
+          break;
+        case ColumnType::kDouble:
+          h = FnvBytes(h, col.doubles().data(),
+                       col.doubles().size() * sizeof(double));
+          break;
+        case ColumnType::kString:
+          // Hash string contents, not interned ids: two independently built
+          // but identical databases must fingerprint equal even if their
+          // pools interned in a different order.
+          for (StringId id : col.string_ids()) {
+            h = FnvString(h, db.string_pool().Get(id));
+          }
+          break;
+      }
+    }
+  }
+  return h;
+}
+
 }  // namespace lshap

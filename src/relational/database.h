@@ -77,6 +77,13 @@ class Database {
   std::vector<FactLocation> fact_locations_;
 };
 
+// FNV-1a fingerprint of the database's fact table: table names, schemas and
+// every cell (string cells hash by content, not by interned id, so two
+// independently built but identical databases fingerprint equal). Corpus
+// files record it so a loader can prove the corpus was built over exactly
+// this database, not merely one with the same name and fact count.
+uint64_t FactTableFingerprint(const Database& db);
+
 }  // namespace lshap
 
 #endif  // LSHAP_RELATIONAL_DATABASE_H_

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <map>
 #include <set>
+#include <string>
 
 #include "corpus/corpus.h"
 #include "corpus/io.h"
@@ -229,6 +231,118 @@ TEST_F(CorpusBudgetTest, BuildStatsRoundTripThroughCorpusIo) {
   EXPECT_EQ(loaded->stats.skipped, c.stats.skipped);
   EXPECT_NEAR(loaded->stats.wall_seconds, c.stats.wall_seconds, 1e-5);
   EXPECT_EQ(loaded->stats.budget_trips, c.stats.budget_trips);
+}
+
+// --- Sharded builds (num_shards > 1). ---
+
+void ExpectSameCorpusContent(const Corpus& a, const Corpus& b) {
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (size_t e = 0; e < a.entries.size(); ++e) {
+    EXPECT_EQ(a.entries[e].query.id, b.entries[e].query.id);
+    EXPECT_EQ(a.entries[e].query.ToSql(), b.entries[e].query.ToSql());
+    ASSERT_EQ(a.entries[e].all_outputs, b.entries[e].all_outputs);
+    ASSERT_EQ(a.entries[e].contributions.size(),
+              b.entries[e].contributions.size());
+    for (size_t i = 0; i < a.entries[e].contributions.size(); ++i) {
+      const auto& ca = a.entries[e].contributions[i];
+      const auto& cb = b.entries[e].contributions[i];
+      EXPECT_EQ(ca.tuple, cb.tuple);
+      ASSERT_EQ(ca.shapley.size(), cb.shapley.size());
+      for (const auto& [f, v] : ca.shapley) {
+        ASSERT_TRUE(cb.shapley.count(f));
+        EXPECT_DOUBLE_EQ(cb.shapley.at(f), v);
+      }
+    }
+  }
+  EXPECT_EQ(a.train_idx, b.train_idx);
+  EXPECT_EQ(a.dev_idx, b.dev_idx);
+  EXPECT_EQ(a.test_idx, b.test_idx);
+}
+
+void ExpectPerShardStatsMergeToTotals(const BuildStats& s,
+                                      size_t num_shards) {
+  ASSERT_EQ(s.per_shard.size(), num_shards);
+  size_t exact = 0, mc = 0, cnf = 0, skipped = 0;
+  std::map<std::string, size_t> trips;
+  for (const ShardBuildStats& ss : s.per_shard) {
+    exact += ss.exact;
+    mc += ss.monte_carlo;
+    cnf += ss.cnf_proxy;
+    skipped += ss.skipped;
+    for (const auto& [site, n] : ss.budget_trips) trips[site] += n;
+  }
+  EXPECT_EQ(exact, s.exact);
+  EXPECT_EQ(mc, s.monte_carlo);
+  EXPECT_EQ(cnf, s.cnf_proxy);
+  EXPECT_EQ(skipped, s.skipped);
+  EXPECT_EQ(trips, s.budget_trips);
+}
+
+// The determinism contract of DESIGN.md §10.4: the merged corpus is a pure
+// function of the config — identical for every shard count.
+TEST_F(CorpusBudgetTest, ShardedBuildIsShardCountInvariant) {
+  const Corpus k1 = Build(SmallConfig());
+  for (size_t k : {2u, 8u}) {
+    CorpusConfig cfg = SmallConfig();
+    cfg.num_shards = k;
+    const Corpus ck = Build(cfg);
+    ExpectSameCorpusContent(k1, ck);
+    EXPECT_EQ(ck.stats.exact, k1.stats.exact);
+    EXPECT_EQ(ck.stats.monte_carlo, k1.stats.monte_carlo);
+    EXPECT_EQ(ck.stats.cnf_proxy, k1.stats.cnf_proxy);
+    EXPECT_EQ(ck.stats.skipped, k1.stats.skipped);
+    EXPECT_EQ(ck.stats.budget_trips, k1.stats.budget_trips);
+    ExpectPerShardStatsMergeToTotals(ck.stats, k);
+    ExpectLadderAccounting(ck);
+    ExpectValidSplit(ck);
+  }
+}
+
+TEST_F(CorpusBudgetTest, ShardedBuildIsThreadCountInvariant) {
+  CorpusConfig cfg = SmallConfig();
+  cfg.num_shards = 8;
+  ThreadPool serial(1);
+  const Corpus a = BuildCorpus(*data_.db, data_.graph, cfg, serial);
+  const Corpus b = Build(cfg);
+  ExpectSameCorpusContent(a, b);
+  EXPECT_EQ(a.stats.budget_trips, b.stats.budget_trips);
+}
+
+// Degradation rungs engage per job, so they too must be independent of the
+// shard count (the MC sampler is seeded by global job index).
+TEST_F(CorpusBudgetTest, ShardedBuildMatchesUnderDegradation) {
+  CorpusConfig cfg = SmallConfig();
+  cfg.max_circuit_nodes = 1;  // every exact compile trips to Monte-Carlo
+  const Corpus k1 = Build(cfg);
+  CorpusConfig cfg4 = cfg;
+  cfg4.num_shards = 4;
+  const Corpus k4 = Build(cfg4);
+  EXPECT_GT(k4.stats.monte_carlo, 0u);
+  ExpectSameCorpusContent(k1, k4);
+  EXPECT_EQ(k4.stats.budget_trips, k1.stats.budget_trips);
+  ExpectPerShardStatsMergeToTotals(k4.stats, 4);
+}
+
+TEST_F(CorpusBudgetTest, BuildToShardsMatchesInMemoryBuild) {
+  const std::string path =
+      ::testing::TempDir() + "/corpus_budget_shards.lshapc";
+  CorpusConfig cfg = SmallConfig();
+  cfg.num_shards = 2;
+  auto stats = BuildCorpusToShards(*data_.db, data_.graph, cfg, pool_, path);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  auto loaded = LoadCorpusShards(data_.db.get(), path);
+  for (size_t s = 0; s < 2; ++s) {
+    std::remove((path + (s == 0 ? ".shard000" : ".shard001")).c_str());
+  }
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const Corpus mem = Build(SmallConfig());
+  ExpectSameCorpusContent(mem, *loaded);
+  EXPECT_EQ(loaded->stats.exact, mem.stats.exact);
+  EXPECT_EQ(loaded->stats.budget_trips, mem.stats.budget_trips);
+  ExpectPerShardStatsMergeToTotals(loaded->stats, 2);
 }
 
 }  // namespace

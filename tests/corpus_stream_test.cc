@@ -1,0 +1,283 @@
+// Tests for the shard-at-a-time corpus streaming layer (corpus/stream.h)
+// and its consumers: slice aliasing, cursor visit order and prefetch,
+// resident-entry accounting, the streaming evaluator's exact agreement
+// with the resident one, and the streaming trainer dispatch. The
+// concurrency tests here run under TSan in tools/check.sh thread mode.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "corpus/corpus.h"
+#include "corpus/io.h"
+#include "corpus/stream.h"
+#include "datasets/imdb.h"
+#include "learnshapley/evaluate.h"
+#include "learnshapley/trainer.h"
+
+namespace lshap {
+namespace {
+
+// A deterministic scorer that reads only the slice it is handed (db +
+// entry), never corpus-global state — the contract streaming consumers
+// require. Scores facts by a fixed hash so rankings are nontrivial.
+class HashScorer : public FactScorer {
+ public:
+  ShapleyValues Score(const Corpus& corpus, size_t entry_idx,
+                      size_t contrib_idx) override {
+    const TupleContribution& c =
+        corpus.entries[entry_idx].contributions[contrib_idx];
+    ShapleyValues out;
+    for (const auto& [f, v] : c.shapley) {
+      out[f] = static_cast<double>((f * 2654435761u) % 1000u);
+    }
+    return out;
+  }
+  std::unique_ptr<FactScorer> Clone() const override {
+    return std::make_unique<HashScorer>();
+  }
+  std::string name() const override { return "hash"; }
+};
+
+class CorpusStreamTest : public ::testing::Test {
+ protected:
+  CorpusStreamTest() : data_(MakeImdbDatabase({})), pool_(4) {
+    CorpusConfig cfg;
+    cfg.seed = 8;
+    cfg.num_base_queries = 10;
+    cfg.max_outputs_per_query = 6;
+    cfg.query_gen.max_tables = 3;
+    corpus_ = BuildCorpus(*data_.db, data_.graph, cfg, pool_);
+    path_ = ::testing::TempDir() + "/corpus_stream_test.lshapc";
+  }
+  ~CorpusStreamTest() override {
+    for (size_t s = 0; s < 8; ++s) {
+      std::remove(ShardFileName(path_, s).c_str());
+    }
+    std::remove(path_.c_str());
+  }
+
+  ShardedCorpusStream OpenSharded(size_t num_shards) {
+    EXPECT_TRUE(SaveCorpusShards(corpus_, path_, num_shards).ok());
+    auto stream = ShardedCorpusStream::Open(data_.db.get(), path_);
+    EXPECT_TRUE(stream.ok()) << stream.status().ToString();
+    return std::move(*stream);
+  }
+
+  GeneratedDb data_;
+  ThreadPool pool_;
+  Corpus corpus_;
+  std::string path_;
+};
+
+TEST_F(CorpusStreamTest, InMemorySliceAliasesTheCorpus) {
+  InMemoryCorpusStream stream(corpus_);
+  EXPECT_EQ(stream.num_shards(), 1u);
+  EXPECT_EQ(stream.num_entries(), corpus_.entries.size());
+  EXPECT_EQ(stream.train_idx(), corpus_.train_idx);
+  auto slice = stream.ReadShard(0);
+  ASSERT_TRUE(slice.ok());
+  // Zero-copy: the slice *is* the corpus, splits and all.
+  EXPECT_EQ(slice->corpus.get(), &corpus_);
+  EXPECT_EQ(slice->base_entry, 0u);
+  EXPECT_EQ(slice->size(), corpus_.entries.size());
+  EXPECT_FALSE(stream.ReadShard(1).ok());
+}
+
+TEST_F(CorpusStreamTest, ShardedSlicesConcatenateToTheCorpus) {
+  ShardedCorpusStream stream = OpenSharded(4);
+  EXPECT_EQ(stream.num_shards(), 4u);
+  EXPECT_EQ(stream.num_entries(), corpus_.entries.size());
+  EXPECT_EQ(stream.train_idx(), corpus_.train_idx);
+  EXPECT_EQ(stream.dev_idx(), corpus_.dev_idx);
+  EXPECT_EQ(stream.test_idx(), corpus_.test_idx);
+
+  size_t global = 0;
+  for (size_t s = 0; s < stream.num_shards(); ++s) {
+    auto slice = stream.ReadShard(s);
+    ASSERT_TRUE(slice.ok()) << slice.status().ToString();
+    EXPECT_EQ(slice->base_entry, global);
+    EXPECT_EQ(slice->base_entry, stream.shard_base(s));
+    for (size_t i = 0; i < slice->size(); ++i, ++global) {
+      EXPECT_EQ(slice->corpus->entries[i].query.id,
+                corpus_.entries[global].query.id);
+      EXPECT_EQ(slice->corpus->entries[i].contributions.size(),
+                corpus_.entries[global].contributions.size());
+    }
+    EXPECT_EQ(stream.ShardOf(slice->base_entry), s);
+  }
+  EXPECT_EQ(global, corpus_.entries.size());
+}
+
+TEST_F(CorpusStreamTest, CursorHonorsVisitOrderWithPrefetch) {
+  ShardedCorpusStream stream = OpenSharded(4);
+  std::vector<size_t> order = {2, 0, 3};
+  ShardCursor cursor(stream, &pool_, order);
+  std::vector<size_t> seen;
+  while (!cursor.Done()) {
+    auto slice = cursor.Next();
+    ASSERT_TRUE(slice.ok()) << slice.status().ToString();
+    seen.push_back(slice->shard_index);
+  }
+  EXPECT_EQ(seen, order);
+  EXPECT_FALSE(cursor.Next().ok());  // exhausted
+}
+
+TEST_F(CorpusStreamTest, CursorWorksWithoutPool) {
+  ShardedCorpusStream stream = OpenSharded(3);
+  ShardCursor cursor(stream);  // synchronous decode inside Next
+  size_t entries = 0;
+  std::vector<size_t> seen;
+  while (!cursor.Done()) {
+    auto slice = cursor.Next();
+    ASSERT_TRUE(slice.ok());
+    seen.push_back(slice->shard_index);
+    entries += slice->size();
+  }
+  EXPECT_EQ(seen, (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(entries, corpus_.entries.size());
+}
+
+TEST_F(CorpusStreamTest, PeakResidencyIsBoundedByShardsNotCorpus) {
+  ShardedCorpusStream stream = OpenSharded(4);
+  size_t max_shard = 0;
+  for (size_t s = 0; s < stream.num_shards(); ++s) {
+    max_shard = std::max(max_shard, stream.shard_entries(s));
+  }
+  {
+    ShardCursor cursor(stream, &pool_);
+    while (!cursor.Done()) {
+      auto slice = cursor.Next();
+      ASSERT_TRUE(slice.ok());
+      // The slice drops at the end of each iteration, so at most the
+      // current slice plus the in-flight prefetch are resident.
+    }
+  }
+  EXPECT_EQ(stream.resident_entries(), 0u);
+  EXPECT_GT(stream.peak_resident_entries(), 0u);
+  EXPECT_LE(stream.peak_resident_entries(), 2 * max_shard);
+  EXPECT_LT(stream.peak_resident_entries(), corpus_.entries.size());
+}
+
+// ReadShard must be thread-safe (the cursor prefetches on pool workers).
+// This test exists chiefly for TSan coverage in tools/check.sh.
+TEST_F(CorpusStreamTest, ConcurrentReadShardIsSafe) {
+  ShardedCorpusStream stream = OpenSharded(4);
+  std::vector<std::thread> threads;
+  std::atomic<size_t> total{0};
+  for (size_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&stream, &total, t] {
+      for (size_t s = 0; s < 4; ++s) {
+        auto slice = stream.ReadShard((s + t) % 4);
+        ASSERT_TRUE(slice.ok());
+        total.fetch_add(slice->size());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(total.load(), 4 * corpus_.entries.size());
+  EXPECT_EQ(stream.resident_entries(), 0u);
+}
+
+TEST_F(CorpusStreamTest, StreamingEvaluatorMatchesResidentExactly) {
+  ShardedCorpusStream stream = OpenSharded(3);
+  HashScorer scorer;
+  const EvalSummary resident =
+      EvaluateScorer(corpus_, corpus_.test_idx, scorer, {}, pool_);
+  auto streamed =
+      EvaluateScorerStream(stream, stream.test_idx(), scorer, {}, pool_);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+
+  EXPECT_DOUBLE_EQ(streamed->ndcg10, resident.ndcg10);
+  EXPECT_DOUBLE_EQ(streamed->p1, resident.p1);
+  EXPECT_DOUBLE_EQ(streamed->p3, resident.p3);
+  EXPECT_DOUBLE_EQ(streamed->p5, resident.p5);
+  ASSERT_EQ(streamed->points.size(), resident.points.size());
+  for (size_t i = 0; i < resident.points.size(); ++i) {
+    EXPECT_EQ(streamed->points[i].entry_idx, resident.points[i].entry_idx);
+    EXPECT_EQ(streamed->points[i].contrib_idx,
+              resident.points[i].contrib_idx);
+    EXPECT_DOUBLE_EQ(streamed->points[i].ndcg10, resident.points[i].ndcg10);
+    EXPECT_DOUBLE_EQ(streamed->points[i].p1, resident.points[i].p1);
+    EXPECT_EQ(streamed->points[i].lineage_size,
+              resident.points[i].lineage_size);
+  }
+}
+
+TEST_F(CorpusStreamTest, StreamingEvaluatorRejectsBadSplit) {
+  ShardedCorpusStream stream = OpenSharded(2);
+  HashScorer scorer;
+  std::vector<size_t> bad = {corpus_.entries.size() + 5};
+  auto streamed = EvaluateScorerStream(stream, bad, scorer, {}, pool_);
+  ASSERT_FALSE(streamed.ok());
+  EXPECT_EQ(streamed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CorpusStreamTest, StreamTrainerSingleShardMatchesResident) {
+  const SimilarityMatrices sims =
+      ComputeSimilarityMatrices(corpus_, 16, pool_);
+  TrainConfig cfg;
+  cfg.model_size = TrainConfig::ModelSize::kSmallAblation;
+  cfg.pretrain_epochs = 1;
+  cfg.pretrain_pairs_per_epoch = 32;
+  cfg.finetune_epochs = 1;
+  cfg.finetune_samples_per_epoch = 64;
+  cfg.batch_size = 16;
+  cfg.seed = 5;
+
+  // A serial pool makes gradient accumulation order (and so the whole
+  // training run) bit-for-bit reproducible, which the equality below needs.
+  ThreadPool serial(1);
+  TrainResult resident = TrainLearnShapley(corpus_, sims, cfg, serial);
+  InMemoryCorpusStream stream(corpus_);
+  auto streamed = TrainLearnShapleyStream(stream, &sims, cfg, serial);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+
+  // Same seed, same data, same dispatch path: identical training run.
+  EXPECT_DOUBLE_EQ(streamed->pretrain_dev_mse, resident.pretrain_dev_mse);
+  EXPECT_DOUBLE_EQ(streamed->best_dev_ndcg10, resident.best_dev_ndcg10);
+  ASSERT_NE(streamed->ranker, nullptr);
+  const EvalSummary a = EvaluateScorer(corpus_, corpus_.test_idx,
+                                       *resident.ranker, {}, pool_);
+  const EvalSummary b = EvaluateScorer(corpus_, corpus_.test_idx,
+                                       *streamed->ranker, {}, pool_);
+  EXPECT_DOUBLE_EQ(a.ndcg10, b.ndcg10);
+}
+
+TEST_F(CorpusStreamTest, StreamTrainerMultiShardRunsBounded) {
+  ShardedCorpusStream stream = OpenSharded(4);
+  TrainConfig cfg;
+  cfg.model_size = TrainConfig::ModelSize::kSmallAblation;
+  cfg.do_pretrain = false;  // similarity matrices are corpus-global
+  cfg.finetune_epochs = 2;
+  cfg.finetune_samples_per_epoch = 64;
+  cfg.batch_size = 16;
+  cfg.seed = 5;
+
+  ThreadPool serial(1);
+  auto result = TrainLearnShapleyStream(stream, nullptr, cfg, serial);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_NE(result->ranker, nullptr);
+  EXPECT_GE(result->best_dev_ndcg10, 0.0);
+
+  // The acceptance criterion: training never held the whole corpus.
+  size_t max_shard = 0;
+  for (size_t s = 0; s < stream.num_shards(); ++s) {
+    max_shard = std::max(max_shard, stream.shard_entries(s));
+  }
+  EXPECT_GT(stream.peak_resident_entries(), 0u);
+  EXPECT_LE(stream.peak_resident_entries(), 2 * max_shard);
+  EXPECT_LT(stream.peak_resident_entries(), corpus_.entries.size());
+
+  // Determinism: a second run over a fresh stream is identical.
+  auto stream2 = ShardedCorpusStream::Open(data_.db.get(), path_);
+  ASSERT_TRUE(stream2.ok());
+  auto again = TrainLearnShapleyStream(*stream2, nullptr, cfg, serial);
+  ASSERT_TRUE(again.ok());
+  EXPECT_DOUBLE_EQ(again->best_dev_ndcg10, result->best_dev_ndcg10);
+}
+
+}  // namespace
+}  // namespace lshap

@@ -6,8 +6,10 @@
 #   thread — TSan build tree (build-tsan), running the concurrency-heavy
 #       tests: the morsel-parallel evaluator differential tests
 #       (eval_property_test), the budget/cancellation machinery
-#       (budget_test), the ThreadPool stress test (common_test), and the
-#       sharded metrics registry (metrics_test).
+#       (budget_test), the ThreadPool stress test (common_test), the
+#       sharded metrics registry (metrics_test), and the corpus shard
+#       streaming layer — concurrent ReadShard + cursor prefetch
+#       (corpus_stream_test).
 #
 # Any sanitizer report aborts the offending test
 # (-fno-sanitize-recover=all), so a green run means clean.
@@ -27,7 +29,7 @@ case "$MODE" in
     CMAKE_MODE=thread
     # ^metrics_test$ is anchored: a bare 'metrics_test' would also match
     # ranking_metrics_test, which is single-threaded and slow under TSan.
-    TEST_ARGS=(-R 'eval_property_test|budget_test|common_test|^metrics_test$')
+    TEST_ARGS=(-R 'eval_property_test|budget_test|common_test|^metrics_test$|corpus_stream_test')
     ;;
   *)
     echo "unknown LSHAP_SANITIZE mode '$MODE' (want address|ON|thread)" >&2
