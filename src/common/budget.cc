@@ -1,5 +1,7 @@
 #include "common/budget.h"
 
+#include <limits>
+
 #include "common/strings.h"
 
 namespace lshap {
@@ -89,6 +91,11 @@ ExecutionBudget::ExecutionBudget(const Limits& limits, CancelToken* cancel,
                                    std::chrono::duration<double>(
                                        limits.deadline_seconds));
   }
+}
+
+double ExecutionBudget::RemainingSeconds() const {
+  if (!has_deadline_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(deadline_ - Clock::now()).count();
 }
 
 Status ExecutionBudget::Trip(Status status, const char* site) {

@@ -122,6 +122,12 @@ class ExecutionBudget {
     return !has_deadline_ && max_work_units_ == 0 && cancel_ == nullptr &&
            fault_ == nullptr;
   }
+  bool has_deadline() const { return has_deadline_; }
+  // Seconds until the deadline: +infinity without one, negative once it has
+  // passed. Reads the wall clock (unstrided) — for stage-boundary decisions
+  // like "is the model rung still feasible", not for per-row hot loops
+  // (those poll Check, which strides the clock reads).
+  double RemainingSeconds() const;
   bool tripped() const { return !trip_status_.ok(); }
   // Site name of the first trip; empty if none.
   const std::string& trip_site() const { return trip_site_; }

@@ -381,6 +381,25 @@ Histogram HistogramFor(MetricsRegistry* registry, const std::string& name,
              : registry->GetHistogram(name, std::move(upper_bounds));
 }
 
+double HistogramQuantile(const std::vector<double>& upper_bounds,
+                         const std::vector<uint64_t>& counts, double q) {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0 || upper_bounds.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the q-th observation, 1-based; q=0 maps to the first.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(total))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      return i < upper_bounds.size() ? upper_bounds[i] : upper_bounds.back();
+    }
+  }
+  return upper_bounds.back();
+}
+
 std::vector<double> ExponentialBuckets(double start, double factor,
                                        size_t count) {
   LSHAP_CHECK_MSG(start > 0.0 && factor > 1.0 && count > 0,

@@ -271,6 +271,15 @@ Histogram HistogramFor(MetricsRegistry* registry, const std::string& name,
 std::vector<double> ExponentialBuckets(double start, double factor,
                                        size_t count);
 
+// Quantile estimate from merged bucket counts (`counts` has
+// upper_bounds.size()+1 entries; the last is the overflow bucket). Returns
+// the upper bound of the bucket holding the q-th observation — a
+// conservative (upper) estimate, exact enough for p50/p99 reporting with
+// exponential buckets. Returns 0 for an empty histogram; observations in
+// the overflow bucket report the last finite bound.
+double HistogramQuantile(const std::vector<double>& upper_bounds,
+                         const std::vector<uint64_t>& counts, double q);
+
 }  // namespace lshap
 
 #endif  // LSHAP_COMMON_METRICS_H_

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/fileio.h"
 #include "common/strings.h"
 #include "query/parser.h"
 
@@ -384,7 +385,9 @@ ShardWriter::ShardWriter(std::string path, uint64_t db_fingerprint,
   impl_->shard_index = shard_index;
   impl_->base_entry = base_entry;
   impl_->payload = payload;
-  impl_->out.open(impl_->path, std::ios::binary | std::ios::trunc);
+  // Stream into the sibling temp path; Finish renames it over `path`.
+  impl_->out.open(TempWritePath(impl_->path),
+                  std::ios::binary | std::ios::trunc);
   if (!impl_->out) {
     impl_->failed = true;
     return;
@@ -394,10 +397,11 @@ ShardWriter::ShardWriter(std::string path, uint64_t db_fingerprint,
 }
 
 ShardWriter::~ShardWriter() {
-  // Abandoned (never Finished) writers leave no half-written file behind.
+  // Abandoned (never Finished) writers leave no half-written file behind;
+  // the final path was never touched, only the temp needs removing.
   if (!impl_->finished && !impl_->failed) {
     impl_->out.close();
-    std::remove(impl_->path.c_str());
+    std::remove(TempWritePath(impl_->path).c_str());
   }
   delete impl_;
 }
@@ -456,6 +460,12 @@ Status ShardWriter::Finish(const ShardBuildStats* stats) {
     return Status::Internal("write to '" + impl_->path + "' failed");
   }
   impl_->out.close();
+  // Only a complete, sealed shard ever reaches the final name.
+  Status committed = CommitTempFile(impl_->path);
+  if (!committed.ok()) {
+    impl_->failed = true;
+    return committed;
+  }
   impl_->finished = true;
   return Status::Ok();
 }
@@ -481,10 +491,15 @@ Result<std::string> ReadFileBytes(const std::string& path) {
 }  // namespace
 
 Result<ShardReader> ShardReader::Open(const std::string& path,
-                                      uint64_t expected_fingerprint) {
+                                      uint64_t expected_fingerprint,
+                                      FaultInjector* fault) {
   auto bad = [&](const std::string& what) {
     return Status::InvalidArgument("corpus shard '" + path + "': " + what);
   };
+  if (fault != nullptr) {
+    Status injected = fault->OnSite(kSiteShardOpen);
+    if (!injected.ok()) return injected;
+  }
   auto bytes = ReadFileBytes(path);
   if (!bytes.ok()) return bytes.status();
 
@@ -558,11 +573,16 @@ Result<ShardReader> ShardReader::Open(const std::string& path,
         path.c_str(), static_cast<unsigned long long>(f.db_fingerprint),
         static_cast<unsigned long long>(expected_fingerprint)));
   }
+  reader.fault_ = fault;
   return reader;
 }
 
 Result<RawRecord> ShardReader::ReadRawRecord(size_t i,
                                              size_t num_db_facts) const {
+  if (fault_ != nullptr) {
+    Status injected = fault_->OnSite(kSiteShardRecord);
+    if (!injected.ok()) return injected;
+  }
   if (i >= footer_.record_offsets.size()) {
     return Status::InvalidArgument(
         StrFormat("record %zu out of range (shard has %zu)", i,
@@ -583,6 +603,10 @@ Result<RawRecord> ShardReader::ReadRawRecord(size_t i,
 
 Result<CorpusEntry> ShardReader::ReadRecord(size_t i,
                                             const Database& db) const {
+  if (fault_ != nullptr) {
+    Status injected = fault_->OnSite(kSiteShardRecord);
+    if (!injected.ok()) return injected;
+  }
   if (i >= footer_.record_offsets.size()) {
     return Status::InvalidArgument(
         StrFormat("record %zu out of range (shard has %zu)", i,
@@ -663,12 +687,7 @@ Status WriteManifest(const CorpusManifest& manifest,
   for (const ShardBuildStats& s : st.per_shard) PutShardStats(out, s);
   PutFixed64(out, FnvChecksum(out.data(), out.size()));
 
-  std::ofstream f(path, std::ios::binary | std::ios::trunc);
-  if (!f) return Status::Internal("cannot open '" + path + "' for write");
-  f.write(out.data(), static_cast<std::streamsize>(out.size()));
-  f.flush();
-  if (!f) return Status::Internal("write to '" + path + "' failed");
-  return Status::Ok();
+  return WriteFileAtomic(path, out);
 }
 
 Result<CorpusManifest> ReadManifest(const std::string& path) {

@@ -32,10 +32,17 @@
 #include <string_view>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/status.h"
 #include "corpus/corpus.h"
 
 namespace lshap {
+
+// FaultInjector sites in the shard-read path. Armed in tests to prove
+// that injected I/O and decode faults surface as clean Result<T> errors
+// with no partial state (corpus_stream_test.cc).
+inline constexpr char kSiteShardOpen[] = "corpus.shard_open";
+inline constexpr char kSiteShardRecord[] = "corpus.shard_record";
 
 // Format magics, 8 bytes each. The trailing version digits gate evolution:
 // readers reject files whose magic they do not know.
@@ -136,7 +143,9 @@ struct ShardFooter {
 // Streams packed records to `path`, then seals the file with the footer
 // index and checksum. Records are written (and flushed to the OS) as they
 // are appended, so the builder's memory never holds more than the entry
-// being encoded.
+// being encoded. The stream actually targets TempWritePath(path); Finish
+// renames it into place, so a writer killed mid-shard never leaves a
+// partial file under the final name (common/fileio.h).
 class ShardWriter {
  public:
   ShardWriter(std::string path, uint64_t db_fingerprint, uint32_t shard_index,
@@ -171,9 +180,12 @@ class ShardReader {
   // Validates magic, trailer, footer and checksum; `expected_fingerprint`
   // (when non-zero) must match the footer's db fingerprint or the open
   // fails with kInvalidArgument — the provenance check that the corpus was
-  // built over exactly this database.
+  // built over exactly this database. A non-null `fault` is polled at
+  // kSiteShardOpen before the file is read and retained for per-record
+  // polls at kSiteShardRecord.
   static Result<ShardReader> Open(const std::string& path,
-                                  uint64_t expected_fingerprint = 0);
+                                  uint64_t expected_fingerprint = 0,
+                                  FaultInjector* fault = nullptr);
 
   const ShardFooter& footer() const { return footer_; }
   size_t num_records() const { return footer_.record_offsets.size(); }
@@ -188,6 +200,7 @@ class ShardReader {
   std::string buffer_;
   ShardFooter footer_;
   size_t records_end_ = 0;  // == footer offset
+  FaultInjector* fault_ = nullptr;  // not owned; may be null
 };
 
 // --- Manifest. ---

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fileio.h"
 #include "common/strings.h"
 #include "corpus/format.h"
 #include "query/parser.h"
@@ -122,8 +123,11 @@ Status SaveCorpus(const Corpus& corpus, const std::string& path) {
   if (corpus.db == nullptr) {
     return Status::FailedPrecondition("corpus has no database");
   }
-  std::ofstream out(path);
-  if (!out) return Status::Internal("cannot open '" + path + "' for write");
+  // Stream into the sibling temp path and rename into place on success, so
+  // a crash mid-save never leaves a truncated corpus under the final name.
+  const std::string tmp = TempWritePath(path);
+  std::ofstream out(tmp);
+  if (!out) return Status::Internal("cannot open '" + tmp + "' for write");
 
   out << "LSHAP_CORPUS 1\n";
   // The fnv token is the fact-table fingerprint: name + fact count alone
@@ -167,8 +171,13 @@ Status SaveCorpus(const Corpus& corpus, const std::string& path) {
   WriteIndexLine(out, "dev", corpus.dev_idx);
   WriteIndexLine(out, "test", corpus.test_idx);
   out.flush();
-  if (!out) return Status::Internal("write to '" + path + "' failed");
-  return Status::Ok();
+  if (!out) {
+    out.close();
+    std::remove(tmp.c_str());
+    return Status::Internal("write to '" + tmp + "' failed");
+  }
+  out.close();
+  return CommitTempFile(path);
 }
 
 Result<Corpus> LoadCorpus(const Database* db, const std::string& path) {
@@ -388,7 +397,47 @@ Status SaveCorpusShards(const Corpus& corpus, const std::string& path,
 }
 
 Result<Corpus> LoadCorpusShards(const Database* db, const std::string& path) {
+  return LoadCorpusShards(db, path, ShardLoadOptions{}, nullptr);
+}
+
+namespace {
+
+// Loads every record of one shard, fully validated, or fails without
+// touching the output corpus — the unit quarantine mode skips.
+Result<std::vector<CorpusEntry>> LoadOneShard(const Database& db,
+                                              const std::string& shard_path,
+                                              uint64_t fingerprint,
+                                              size_t shard_index,
+                                              uint64_t expected_records,
+                                              FaultInjector* fault) {
+  auto reader = ShardReader::Open(shard_path, fingerprint, fault);
+  if (!reader.ok()) return reader.status();
+  if (reader->footer().shard_index != shard_index ||
+      reader->num_records() != expected_records) {
+    return Status::InvalidArgument(StrFormat(
+        "corpus shard '%s' does not match its manifest (shard %u with "
+        "%zu records, manifest expects shard %zu with %zu records)",
+        shard_path.c_str(), reader->footer().shard_index,
+        reader->num_records(), shard_index,
+        static_cast<size_t>(expected_records)));
+  }
+  std::vector<CorpusEntry> entries;
+  entries.reserve(reader->num_records());
+  for (size_t i = 0; i < reader->num_records(); ++i) {
+    auto entry = reader->ReadRecord(i, db);
+    if (!entry.ok()) return entry.status();
+    entries.push_back(std::move(*entry));
+  }
+  return entries;
+}
+
+}  // namespace
+
+Result<Corpus> LoadCorpusShards(const Database* db, const std::string& path,
+                                const ShardLoadOptions& options,
+                                ShardLoadReport* report) {
   if (db == nullptr) return Status::InvalidArgument("null database");
+  if (report != nullptr) *report = ShardLoadReport{};
   auto manifest = ReadManifest(path);
   if (!manifest.ok()) return manifest.status();
   const CorpusManifest& m = *manifest;
@@ -412,29 +461,57 @@ Result<Corpus> LoadCorpusShards(const Database* db, const std::string& path) {
   Corpus corpus;
   corpus.db = db;
   corpus.stats = m.stats;
-  corpus.train_idx = m.train_idx;
-  corpus.dev_idx = m.dev_idx;
-  corpus.test_idx = m.test_idx;
   corpus.entries.reserve(static_cast<size_t>(m.total_entries()));
+  // Maps manifest-global entry index -> loaded entry index (or npos when
+  // the entry's shard was quarantined), for split-index remapping.
+  constexpr size_t kDropped = static_cast<size_t>(-1);
+  std::vector<size_t> remap(static_cast<size_t>(m.total_entries()), kDropped);
+  size_t global = 0;
+  bool any_skipped = false;
   for (size_t s = 0; s < m.num_shards(); ++s) {
     const std::string shard_path = ShardFileName(path, s);
-    auto reader = ShardReader::Open(shard_path, fingerprint);
-    if (!reader.ok()) return reader.status();
-    if (reader->footer().shard_index != s ||
-        reader->num_records() != m.shard_entries[s]) {
-      return Status::InvalidArgument(StrFormat(
-          "corpus shard '%s' does not match its manifest (shard %u with "
-          "%zu records, manifest expects shard %zu with %zu records)",
-          shard_path.c_str(), reader->footer().shard_index,
-          reader->num_records(), s,
-          static_cast<size_t>(m.shard_entries[s])));
+    auto entries = LoadOneShard(*db, shard_path, fingerprint, s,
+                                m.shard_entries[s], options.fault);
+    if (!entries.ok()) {
+      if (options.strict) return entries.status();
+      any_skipped = true;
+      if (report != nullptr) {
+        report->skipped_shards.push_back(
+            {s, entries.status().code(), entries.status().message()});
+        report->dropped_entries += static_cast<size_t>(m.shard_entries[s]);
+      }
+      global += static_cast<size_t>(m.shard_entries[s]);
+      continue;
     }
-    for (size_t i = 0; i < reader->num_records(); ++i) {
-      auto entry = reader->ReadRecord(i, *db);
-      if (!entry.ok()) return entry.status();
-      corpus.entries.push_back(std::move(*entry));
+    if (report != nullptr) ++report->loaded_shards;
+    for (CorpusEntry& entry : *entries) {
+      remap[global++] = corpus.entries.size();
+      corpus.entries.push_back(std::move(entry));
     }
   }
+
+  size_t dropped_refs = 0;
+  auto remap_split = [&](const std::vector<size_t>& in,
+                         std::vector<size_t>& out) {
+    out.reserve(in.size());
+    for (size_t i : in) {
+      if (remap[i] == kDropped) {
+        ++dropped_refs;
+      } else {
+        out.push_back(remap[i]);
+      }
+    }
+  };
+  if (any_skipped) {
+    remap_split(m.train_idx, corpus.train_idx);
+    remap_split(m.dev_idx, corpus.dev_idx);
+    remap_split(m.test_idx, corpus.test_idx);
+  } else {
+    corpus.train_idx = m.train_idx;
+    corpus.dev_idx = m.dev_idx;
+    corpus.test_idx = m.test_idx;
+  }
+  if (report != nullptr) report->dropped_split_refs = dropped_refs;
   return corpus;
 }
 

@@ -2,7 +2,9 @@
 #define LSHAP_CORPUS_IO_H_
 
 #include <string>
+#include <vector>
 
+#include "common/budget.h"
 #include "common/status.h"
 #include "corpus/corpus.h"
 
@@ -34,10 +36,47 @@ Result<Corpus> LoadCorpus(const Database* db, const std::string& path);
 Status SaveCorpusShards(const Corpus& corpus, const std::string& path,
                         size_t num_shards = 0, bool f32_payload = false);
 
+// Shard-load policy. The default (strict) fails the whole load on the
+// first bad shard. Non-strict is quarantine mode: a shard that is missing,
+// truncated, corrupted, or provenance-mismatched is skipped with per-shard
+// accounting in ShardLoadReport, and the surviving entries (with their
+// split indices remapped) still load — for salvaging a partially damaged
+// corpus directory. Manifest errors and database identity/fingerprint
+// mismatches are fatal in both modes: without a trusted manifest there is
+// nothing sound to quarantine against.
+struct ShardLoadOptions {
+  bool strict = true;
+  // Optional fault injector threaded into ShardReader::Open (polled at
+  // kSiteShardOpen / kSiteShardRecord); tests use it to force read faults.
+  FaultInjector* fault = nullptr;
+};
+
+// Per-shard accounting of a quarantined load.
+struct ShardLoadReport {
+  struct SkippedShard {
+    size_t shard_index = 0;
+    StatusCode code = StatusCode::kInternal;  // why the shard was skipped
+    std::string reason;                      // the full error message
+  };
+  size_t loaded_shards = 0;
+  std::vector<SkippedShard> skipped_shards;
+  // Entries lost with the skipped shards (from the manifest shard table),
+  // and train/dev/test split references that pointed into them.
+  size_t dropped_entries = 0;
+  size_t dropped_split_refs = 0;
+};
+
 // Loads a packed binary corpus written by SaveCorpusShards or
 // BuildCorpusToShards. Validates the manifest and every shard against
 // `db`'s fact-table fingerprint and each shard file's checksum.
 Result<Corpus> LoadCorpusShards(const Database* db, const std::string& path);
+
+// As above with an explicit load policy; `report` (optional) receives the
+// per-shard accounting. In strict mode a successful load reports all
+// shards loaded and nothing skipped.
+Result<Corpus> LoadCorpusShards(const Database* db, const std::string& path,
+                                const ShardLoadOptions& options,
+                                ShardLoadReport* report = nullptr);
 
 }  // namespace lshap
 

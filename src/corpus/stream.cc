@@ -82,8 +82,12 @@ Result<CorpusSlice> ShardedCorpusStream::ReadShard(size_t s) const {
         StrFormat("shard %zu out of range (corpus has %zu)", s,
                   manifest_.num_shards()));
   }
+  if (fault_ != nullptr) {
+    Status injected = fault_->OnSite(kSiteStreamRead);
+    if (!injected.ok()) return injected;
+  }
   const std::string shard_path = ShardFileName(path_, s);
-  auto reader = ShardReader::Open(shard_path, fingerprint_);
+  auto reader = ShardReader::Open(shard_path, fingerprint_, fault_);
   if (!reader.ok()) return reader.status();
   if (reader->footer().shard_index != s ||
       reader->num_records() !=

@@ -28,12 +28,16 @@
 #include <memory>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "corpus/corpus.h"
 #include "corpus/format.h"
 
 namespace lshap {
+
+// FaultInjector site polled at the head of ShardedCorpusStream::ReadShard.
+inline constexpr char kSiteStreamRead[] = "corpus.stream.read";
 
 // One decoded shard, packaged as a Corpus chunk so FactScorer::Score and
 // everything else written against `const Corpus&` consumes slices
@@ -141,6 +145,14 @@ class ShardedCorpusStream : public CorpusStream {
 
   const CorpusManifest& manifest() const { return manifest_; }
 
+  // Attaches a fault injector to every subsequent ReadShard (polled at
+  // kSiteStreamRead before the shard file opens, then threaded through
+  // ShardReader's kSiteShardOpen / kSiteShardRecord sites). Injected
+  // faults surface as a clean non-OK ReadShard with no slice published
+  // and no resident-entry accounting — never partial state. Not owned;
+  // set once before concurrent readers start.
+  void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
+
   // Resident-entry accounting: decoded entries currently alive across all
   // outstanding slices, and the high-water mark. This is the measured
   // backing for "trainer memory is bounded by shard size, not corpus
@@ -163,6 +175,7 @@ class ShardedCorpusStream : public CorpusStream {
   CorpusManifest manifest_;
   std::vector<size_t> bases_;
   std::shared_ptr<ResidentCounter> counter_;
+  FaultInjector* fault_ = nullptr;  // not owned; may be null
 };
 
 // Walks a stream's shards with lookahead prefetch. While the consumer

@@ -1,15 +1,20 @@
 #include "learnshapley/model_io.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "common/fileio.h"
 #include "common/strings.h"
 
 namespace lshap {
 
 Status SaveRanker(LearnShapleyRanker& ranker, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::Internal("cannot open '" + path + "' for write");
+  // Stream into the sibling temp path and rename into place on success, so
+  // a crash mid-save never leaves a truncated model under the final name.
+  const std::string tmp = TempWritePath(path);
+  std::ofstream out(tmp);
+  if (!out) return Status::Internal("cannot open '" + tmp + "' for write");
 
   const EncoderConfig& cfg = ranker.model().encoder_config();
   out << "LSHAP_MODEL 1\n";
@@ -37,8 +42,13 @@ Status SaveRanker(LearnShapleyRanker& ranker, const std::string& path) {
     out << '\n';
   }
   out.flush();
-  if (!out) return Status::Internal("write to '" + path + "' failed");
-  return Status::Ok();
+  if (!out) {
+    out.close();
+    std::remove(tmp.c_str());
+    return Status::Internal("write to '" + tmp + "' failed");
+  }
+  out.close();
+  return CommitTempFile(path);
 }
 
 Result<std::unique_ptr<LearnShapleyRanker>> LoadRanker(

@@ -48,6 +48,39 @@ ShapleyValues LearnShapleyRanker::ScoreLineage(
   return out;
 }
 
+Result<ShapleyValues> LearnShapleyRanker::ScoreLineageBudgeted(
+    const Database& db, const Query& q, const OutputTuple& t,
+    const std::vector<FactId>& lineage, ExecutionBudget& budget) {
+  const auto start = score_seconds_.enabled()
+                         ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point{};
+  const std::vector<std::string> q_tokens = QueryTokens(q);
+  const std::vector<std::string> t_tokens = TupleTokens(t);
+  ShapleyValues out;
+  out.reserve(lineage.size());
+  size_t scored = 0;
+  for (FactId f : lineage) {
+    Status st = budget.Charge(1, kSiteRankScoreFact);
+    if (!st.ok()) {
+      facts_scored_.Inc(scored);
+      return st;
+    }
+    const EncodedPair input = EncodeSegments(
+        *vocab_, {q_tokens, t_tokens, FactTokensWithContext(db, f, t_tokens)},
+        max_len_);
+    out[f] = static_cast<double>(model_.PredictShapley(input)) /
+             static_cast<double>(shapley_scale_);
+    ++scored;
+  }
+  facts_scored_.Inc(scored);
+  if (score_seconds_.enabled()) {
+    score_seconds_.Observe(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count());
+  }
+  return out;
+}
+
 ShapleyValues LearnShapleyRanker::Score(const Corpus& corpus,
                                         size_t entry_idx,
                                         size_t contrib_idx) {

@@ -4,12 +4,16 @@
 #include <memory>
 #include <string>
 
+#include "common/budget.h"
 #include "common/metrics.h"
 #include "learnshapley/model.h"
 #include "learnshapley/scorer.h"
 #include "ml/tokenizer.h"
 
 namespace lshap {
+
+// Budget check site polled once per lineage fact in ScoreLineageBudgeted.
+inline constexpr char kSiteRankScoreFact[] = "rank.score_fact";
 
 // The deployable LearnShapley artifact: a trained model plus its vocabulary.
 // At inference it needs only the query, the output tuple and the lineage —
@@ -25,6 +29,16 @@ class LearnShapleyRanker : public FactScorer {
   ShapleyValues ScoreLineage(const Database& db, const Query& q,
                              const OutputTuple& t,
                              const std::vector<FactId>& lineage);
+
+  // Deadline-aware variant: charges one work unit per lineage fact at
+  // kSiteRankScoreFact, so a serving deadline interrupts a large lineage
+  // between facts instead of after the whole forward-pass loop. Returns the
+  // budget's trip status when interrupted — never a partially scored map.
+  Result<ShapleyValues> ScoreLineageBudgeted(const Database& db,
+                                             const Query& q,
+                                             const OutputTuple& t,
+                                             const std::vector<FactId>& lineage,
+                                             ExecutionBudget& budget);
 
   // FactScorer interface (reads only the lineage keys).
   ShapleyValues Score(const Corpus& corpus, size_t entry_idx,

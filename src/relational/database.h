@@ -32,6 +32,10 @@ class Database {
   // the next call); freezing is a promise of stability, not an enforcement.
   void FreezeStringOrder() { pool_.RebuildOrderIndex(); }
 
+  // True while the order sidecar covers every interned string — what a
+  // serving snapshot asserts before publishing a database as immutable.
+  bool string_order_fresh() const { return pool_.OrderIndexFresh(); }
+
   // Registers a new empty table; fails on duplicate names.
   Status AddTable(Schema schema);
 

@@ -1,0 +1,85 @@
+#ifndef LSHAP_SERVING_CACHE_H_
+#define LSHAP_SERVING_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "query/ast.h"
+#include "relational/tuple.h"
+#include "shapley/shapley.h"
+
+namespace lshap {
+
+// One cached ranking: facts in descending contribution order with their
+// model scores. Small and value-copyable — a cache hit hands the caller an
+// independent copy, never a reference into the cache.
+struct CachedRanking {
+  std::vector<std::pair<FactId, double>> scores;
+};
+
+// Sharded LRU over (snapshot fingerprint, query, tuple) keys — the kCached
+// rung of the serving degradation ladder. Each shard is an independent
+// mutex + intrusive LRU list + index, so concurrent workers rarely contend;
+// the key string is interned once in the list node and the index refers to
+// it by string_view (no second copy of the key per entry).
+//
+// Keys embed the snapshot's database fingerprint, so entries written under
+// one published version can never answer for another — a snapshot swap
+// implicitly invalidates the old version's entries without a flush (they
+// simply age out of the LRU).
+class RankingCache {
+ public:
+  // `capacity` is total entries across shards (rounded up to a multiple of
+  // `num_shards`); capacity 0 disables the cache (Get misses, Put drops).
+  explicit RankingCache(size_t capacity, size_t num_shards = 8);
+
+  RankingCache(const RankingCache&) = delete;
+  RankingCache& operator=(const RankingCache&) = delete;
+
+  // The canonical key. Fingerprint first so entries from different
+  // snapshot versions can never collide into one another's lookups.
+  static std::string Key(uint64_t db_fingerprint, const Query& q,
+                         const OutputTuple& t);
+
+  // Copies the cached ranking into `*out` and refreshes recency.
+  bool Get(const std::string& key, CachedRanking* out);
+
+  // Inserts or refreshes; evicts the shard's least-recent entry past
+  // per-shard capacity.
+  void Put(const std::string& key, CachedRanking value);
+
+  size_t size() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    CachedRanking value;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    // Views into Entry::key — stable because list nodes never move.
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace lshap
+
+#endif  // LSHAP_SERVING_CACHE_H_

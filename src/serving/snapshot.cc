@@ -1,0 +1,33 @@
+#include "serving/snapshot.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace lshap {
+
+uint64_t SnapshotSlot::Publish(
+    std::shared_ptr<const Database> db,
+    std::shared_ptr<const LearnShapleyRanker> ranker) {
+  LSHAP_CHECK(db != nullptr);
+  // The fingerprint walks every fact cell — do it outside the lock.
+  const uint64_t fingerprint = FactTableFingerprint(*db);
+  auto snapshot = std::make_shared<DatabaseSnapshot>();
+  snapshot->db = std::move(db);
+  snapshot->ranker = std::move(ranker);
+  snapshot->db_fingerprint = fingerprint;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot->epoch = epoch_.load(std::memory_order_relaxed) + 1;
+  current_ = std::move(snapshot);
+  // Release-publish after current_ is swapped, so an epoch() reader that
+  // sees the new number and then Acquires gets the new snapshot.
+  epoch_.store(current_->epoch, std::memory_order_release);
+  return current_->epoch;
+}
+
+SnapshotHandle SnapshotSlot::Acquire() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+}  // namespace lshap

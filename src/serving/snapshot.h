@@ -1,0 +1,67 @@
+#ifndef LSHAP_SERVING_SNAPSHOT_H_
+#define LSHAP_SERVING_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "learnshapley/ranker.h"
+#include "relational/database.h"
+
+namespace lshap {
+
+// One immutable serving version: a frozen database, the ranker trained over
+// it, and the database's fact-table fingerprint (the cache-key component
+// that keeps results from one version from ever answering for another).
+//
+// Immutability is a publishing contract, not a compiler guarantee: the
+// ingest path builds a *new* Database (Database is move-only — its
+// StringPool cannot be copied), freezes its string order, and hands it to
+// SnapshotSlot::Publish. Nothing mutates a database after it is wrapped in
+// a snapshot; readers share it through shared_ptr, so an old epoch stays
+// fully valid for in-flight requests after a newer one is published.
+//
+// The ranker held here is a template: LearnShapleyModel's forward pass
+// mutates internal buffers, so service workers score on private per-epoch
+// clones (LearnShapleyRanker is deep-copyable) rather than through this
+// shared const instance.
+struct DatabaseSnapshot {
+  uint64_t epoch = 0;
+  std::shared_ptr<const Database> db;
+  std::shared_ptr<const LearnShapleyRanker> ranker;  // may be null: no model
+  uint64_t db_fingerprint = 0;
+};
+
+using SnapshotHandle = std::shared_ptr<const DatabaseSnapshot>;
+
+// The epoch-based pointer swap at the core of the serving story. Publish
+// installs a new snapshot under a brief mutex and bumps the epoch; Acquire
+// returns a shared handle to whatever version is current. In-flight
+// requests keep the handle they acquired, so a swap never blocks or
+// invalidates readers — the old snapshot dies when its last handle drops.
+//
+// The epoch counter is also readable lock-free, which lets workers detect
+// "a new version landed" (and refresh their ranker clones) without
+// acquiring the slot mutex on every request.
+class SnapshotSlot {
+ public:
+  // Installs `snapshot` (whose `epoch` field is assigned here) and returns
+  // the new epoch. Epochs start at 1; 0 means nothing published yet.
+  uint64_t Publish(std::shared_ptr<const Database> db,
+                   std::shared_ptr<const LearnShapleyRanker> ranker);
+
+  // Current snapshot; null before the first Publish.
+  SnapshotHandle Acquire() const;
+
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+ private:
+  mutable std::mutex mu_;
+  SnapshotHandle current_;
+  std::atomic<uint64_t> epoch_{0};
+};
+
+}  // namespace lshap
+
+#endif  // LSHAP_SERVING_SNAPSHOT_H_

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "common/budget.h"
@@ -267,6 +268,32 @@ TEST(BudgetedShapleyTest, MonteCarloRankingAgreesWithExactOnSmallLineages) {
     EXPECT_GE(RankingAgreement(exact, mc, lineage), 0.9)
         << "trial " << trial << ": " << d.ToString();
   }
+}
+
+TEST(BudgetTest, RemainingSecondsWithoutDeadlineIsInfinite) {
+  ExecutionBudget budget = ExecutionBudget::Unlimited();
+  EXPECT_FALSE(budget.has_deadline());
+  EXPECT_TRUE(std::isinf(budget.RemainingSeconds()));
+  EXPECT_GT(budget.RemainingSeconds(), 0.0);
+}
+
+TEST(BudgetTest, RemainingSecondsTracksTheDeadline) {
+  ExecutionBudget::Limits limits;
+  limits.deadline_seconds = 60.0;
+  ExecutionBudget budget(limits);
+  EXPECT_TRUE(budget.has_deadline());
+  const double remaining = budget.RemainingSeconds();
+  EXPECT_GT(remaining, 0.0);
+  EXPECT_LE(remaining, 60.0);
+
+  // A deadline in the past reads negative — the stage-boundary signal the
+  // serving ladder uses to skip infeasible rungs without tripping first.
+  ExecutionBudget::Limits expired;
+  expired.deadline_seconds = 1e-9;
+  ExecutionBudget late(expired);
+  while (late.RemainingSeconds() > 0.0) {
+  }
+  EXPECT_LT(late.RemainingSeconds(), 0.0);
 }
 
 }  // namespace

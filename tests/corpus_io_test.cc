@@ -5,6 +5,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/fileio.h"
 #include "corpus/corpus.h"
 #include "corpus/format.h"
 #include "corpus/io.h"
@@ -340,6 +341,213 @@ TEST_F(CorpusBinaryIoTest, RejectsCorruptedManifest) {
   auto loaded = LoadCorpusShards(data_.db.get(), bpath_);
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- Atomic persistence (temp + rename). ---
+
+TEST_F(CorpusIoTest, SaveLeavesNoTempFile) {
+  ASSERT_TRUE(SaveCorpus(corpus_, path_).ok());
+  std::ifstream tmp(TempWritePath(path_));
+  EXPECT_FALSE(tmp.good());
+}
+
+TEST_F(CorpusIoTest, StaleTempFromKilledWriterIsOverwritten) {
+  // Simulate a writer killed mid-write: a garbage temp file is left behind
+  // and no final file exists.
+  {
+    std::ofstream out(TempWritePath(path_));
+    out << "half-written garbage from a dead process";
+  }
+  // The partial write never passes as the final artifact...
+  auto before = LoadCorpus(data_.db.get(), path_);
+  ASSERT_FALSE(before.ok());
+  EXPECT_EQ(before.status().code(), StatusCode::kNotFound);
+  // ...and a fresh save simply overwrites the stale temp and commits.
+  ASSERT_TRUE(SaveCorpus(corpus_, path_).ok());
+  auto loaded = LoadCorpus(data_.db.get(), path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->entries.size(), corpus_.entries.size());
+  std::ifstream tmp(TempWritePath(path_));
+  EXPECT_FALSE(tmp.good());
+}
+
+TEST_F(CorpusBinaryIoTest, ShardSaveLeavesNoTempFiles) {
+  ASSERT_TRUE(SaveCorpusShards(corpus_, bpath_, 2).ok());
+  std::ifstream mtmp(TempWritePath(bpath_));
+  EXPECT_FALSE(mtmp.good());
+  for (size_t s = 0; s < 2; ++s) {
+    std::ifstream stmp(TempWritePath(ShardFileName(bpath_, s)));
+    EXPECT_FALSE(stmp.good()) << "stale temp for shard " << s;
+  }
+}
+
+TEST_F(CorpusBinaryIoTest, ShardSaveRecoversFromKilledWriter) {
+  // A prior writer died mid-shard: stale temps for the manifest and a
+  // shard, but no committed files. The new save must overwrite both and
+  // the load must see only the committed artifacts.
+  {
+    std::ofstream out(TempWritePath(bpath_));
+    out << "dead manifest";
+  }
+  {
+    std::ofstream out(TempWritePath(ShardFileName(bpath_, 0)),
+                      std::ios::binary);
+    out << "dead shard bytes";
+  }
+  auto before = LoadCorpusShards(data_.db.get(), bpath_);
+  ASSERT_FALSE(before.ok());  // nothing committed yet
+  ASSERT_TRUE(SaveCorpusShards(corpus_, bpath_, 2).ok());
+  auto loaded = LoadCorpusShards(data_.db.get(), bpath_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameCorpus(corpus_, *loaded);
+  std::ifstream mtmp(TempWritePath(bpath_));
+  EXPECT_FALSE(mtmp.good());
+  std::ifstream stmp(TempWritePath(ShardFileName(bpath_, 0)));
+  EXPECT_FALSE(stmp.good());
+}
+
+// --- Quarantine mode (non-strict shard loads). ---
+
+class CorpusQuarantineTest : public CorpusBinaryIoTest {
+ protected:
+  // Saves 3 shards and returns per-shard entry counts.
+  std::vector<size_t> SaveThreeShards() {
+    EXPECT_TRUE(SaveCorpusShards(corpus_, bpath_, 3).ok());
+    std::vector<size_t> counts;
+    auto manifest = ReadManifest(bpath_);
+    EXPECT_TRUE(manifest.ok());
+    for (size_t s = 0; s < 3; ++s) {
+      auto reader = ShardReader::Open(ShardFileName(bpath_, s),
+                                      manifest->db_fingerprint);
+      EXPECT_TRUE(reader.ok());
+      counts.push_back(reader->num_records());
+    }
+    return counts;
+  }
+
+  static size_t TotalSplitRefs(const Corpus& c) {
+    return c.train_idx.size() + c.dev_idx.size() + c.test_idx.size();
+  }
+
+  void CorruptShardBody(size_t s) {
+    const std::string shard = ShardFileName(bpath_, s);
+    std::fstream f(shard, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(64);
+    char b = 0;
+    f.read(&b, 1);
+    f.seekp(64);
+    b ^= 0x40;
+    f.write(&b, 1);
+  }
+
+  void TruncateShard(size_t s) {
+    const std::string shard = ShardFileName(bpath_, s);
+    std::ifstream in(shard, std::ios::binary);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(shard, std::ios::binary);
+    out << content.substr(0, content.size() / 2);
+  }
+
+  void TamperShardFingerprint(size_t s) {
+    const std::string shard = ShardFileName(bpath_, s);
+    std::ifstream in(shard, std::ios::binary);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    in.close();
+    uint64_t footer_offset = 0;
+    std::memcpy(&footer_offset, content.data() + content.size() - 16, 8);
+    content[footer_offset] ^= 0x01;
+    std::ofstream out(shard, std::ios::binary);
+    out << content;
+  }
+
+  // Loads in quarantine mode and checks the invariants every quarantined
+  // load must satisfy after exactly `bad_shard` was damaged.
+  void ExpectQuarantined(size_t bad_shard, StatusCode want_code,
+                         const std::vector<size_t>& shard_counts) {
+    // Strict (the default) refuses the whole load.
+    auto strict = LoadCorpusShards(data_.db.get(), bpath_, ShardLoadOptions{});
+    ASSERT_FALSE(strict.ok());
+
+    ShardLoadOptions opt;
+    opt.strict = false;
+    ShardLoadReport report;
+    auto loaded = LoadCorpusShards(data_.db.get(), bpath_, opt, &report);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(report.loaded_shards, 2u);
+    ASSERT_EQ(report.skipped_shards.size(), 1u);
+    EXPECT_EQ(report.skipped_shards[0].shard_index, bad_shard);
+    EXPECT_EQ(report.skipped_shards[0].code, want_code);
+    EXPECT_FALSE(report.skipped_shards[0].reason.empty());
+    EXPECT_EQ(report.dropped_entries, shard_counts[bad_shard]);
+    EXPECT_EQ(loaded->entries.size(),
+              corpus_.entries.size() - report.dropped_entries);
+    // Split indices survive remapping: every ref is in range, and refs
+    // into the skipped shard are dropped and accounted, none silently.
+    for (const auto* split :
+         {&loaded->train_idx, &loaded->dev_idx, &loaded->test_idx}) {
+      for (size_t idx : *split) EXPECT_LT(idx, loaded->entries.size());
+    }
+    EXPECT_EQ(TotalSplitRefs(*loaded) + report.dropped_split_refs,
+              TotalSplitRefs(corpus_));
+    EXPECT_GT(report.dropped_split_refs, 0u);
+  }
+};
+
+TEST_F(CorpusQuarantineTest, SkipsCorruptedShardBody) {
+  const auto counts = SaveThreeShards();
+  CorruptShardBody(1);
+  ExpectQuarantined(1, StatusCode::kInvalidArgument, counts);
+}
+
+TEST_F(CorpusQuarantineTest, SkipsTruncatedShard) {
+  const auto counts = SaveThreeShards();
+  TruncateShard(2);
+  ExpectQuarantined(2, StatusCode::kInvalidArgument, counts);
+}
+
+TEST_F(CorpusQuarantineTest, SkipsTamperedShardFingerprint) {
+  const auto counts = SaveThreeShards();
+  TamperShardFingerprint(0);
+  ExpectQuarantined(0, StatusCode::kInvalidArgument, counts);
+}
+
+TEST_F(CorpusQuarantineTest, SkipsMissingShardFile) {
+  const auto counts = SaveThreeShards();
+  std::remove(ShardFileName(bpath_, 1).c_str());
+  ExpectQuarantined(1, StatusCode::kNotFound, counts);
+}
+
+TEST_F(CorpusQuarantineTest, ManifestCorruptionIsFatalEvenNonStrict) {
+  SaveThreeShards();
+  std::ifstream in(bpath_, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  content[content.size() / 2] ^= 0x10;
+  {
+    std::ofstream out(bpath_, std::ios::binary);
+    out << content;
+  }
+  ShardLoadOptions opt;
+  opt.strict = false;
+  auto loaded = LoadCorpusShards(data_.db.get(), bpath_, opt);
+  ASSERT_FALSE(loaded.ok());
+}
+
+TEST_F(CorpusQuarantineTest, StrictSuccessReportsEverythingLoaded) {
+  SaveThreeShards();
+  ShardLoadReport report;
+  auto loaded =
+      LoadCorpusShards(data_.db.get(), bpath_, ShardLoadOptions{}, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(report.loaded_shards, 3u);
+  EXPECT_TRUE(report.skipped_shards.empty());
+  EXPECT_EQ(report.dropped_entries, 0u);
+  EXPECT_EQ(report.dropped_split_refs, 0u);
+  ExpectSameCorpus(corpus_, *loaded);
 }
 
 }  // namespace

@@ -279,5 +279,75 @@ TEST_F(CorpusStreamTest, StreamTrainerMultiShardRunsBounded) {
   EXPECT_DOUBLE_EQ(again->best_dev_ndcg10, result->best_dev_ndcg10);
 }
 
+// --- Fault injection in the shard-read path. ---
+//
+// Every injected fault must surface as a clean non-OK ReadShard: no slice
+// published, no resident-entry accounting, no partial state — the caller
+// can retry or fail over, and the stream is untouched.
+
+TEST_F(CorpusStreamTest, StreamReadFaultSurfacesCleanly) {
+  ShardedCorpusStream stream = OpenSharded(3);
+  FaultInjector fault;
+  fault.FailAt(kSiteStreamRead, 0);
+  stream.set_fault_injector(&fault);
+
+  auto slice = stream.ReadShard(0);
+  ASSERT_FALSE(slice.ok());
+  EXPECT_EQ(slice.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(stream.resident_entries(), 0u);
+
+  // The site is single-shot: the retry succeeds and the slice is whole.
+  auto retry = stream.ReadShard(0);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(retry->size(), stream.shard_entries(0));
+}
+
+TEST_F(CorpusStreamTest, ShardOpenFaultSurfacesCleanly) {
+  ShardedCorpusStream stream = OpenSharded(2);
+  FaultInjector fault;
+  fault.FailAt(kSiteShardOpen, 0, StatusCode::kInternal);
+  stream.set_fault_injector(&fault);
+
+  auto slice = stream.ReadShard(1);
+  ASSERT_FALSE(slice.ok());
+  EXPECT_EQ(slice.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(stream.resident_entries(), 0u);
+
+  auto retry = stream.ReadShard(1);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+}
+
+TEST_F(CorpusStreamTest, ShardRecordFaultMidDecodeLeavesNoPartialState) {
+  ShardedCorpusStream stream = OpenSharded(1);
+  ASSERT_GT(stream.shard_entries(0), 2u);
+  FaultInjector fault;
+  // Fail on the third record read: the first two records were already
+  // decoded when the fault hits, and none of them may leak out.
+  fault.FailAt(kSiteShardRecord, 2);
+  stream.set_fault_injector(&fault);
+
+  auto slice = stream.ReadShard(0);
+  ASSERT_FALSE(slice.ok());
+  EXPECT_EQ(slice.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(stream.resident_entries(), 0u);
+  EXPECT_GE(fault.hits(kSiteShardRecord), 3u);
+
+  auto retry = stream.ReadShard(0);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(retry->size(), corpus_.entries.size());
+}
+
+TEST_F(CorpusStreamTest, UnarmedInjectorCountsHitsWithoutFailing) {
+  ShardedCorpusStream stream = OpenSharded(2);
+  FaultInjector fault;
+  stream.set_fault_injector(&fault);
+  auto slice = stream.ReadShard(0);
+  ASSERT_TRUE(slice.ok()) << slice.status().ToString();
+  EXPECT_EQ(fault.hits(kSiteStreamRead), 1u);
+  EXPECT_EQ(fault.hits(kSiteShardOpen), 1u);
+  // One record poll per decoded entry, at least.
+  EXPECT_GE(fault.hits(kSiteShardRecord), stream.shard_entries(0));
+}
+
 }  // namespace
 }  // namespace lshap

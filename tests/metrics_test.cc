@@ -225,5 +225,27 @@ TEST(MetricsRegistryGlobal, IsASingleton) {
   EXPECT_EQ(&a, &b);
 }
 
+TEST(MetricsHistogram, QuantileFromBucketCounts) {
+  const std::vector<double> bounds = {1.0, 2.0, 4.0, 8.0};
+  // 10 observations <=1, 5 in (1,2], 4 in (2,4], 1 in (4,8], 0 overflow.
+  const std::vector<uint64_t> counts = {10, 5, 4, 1, 0};
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, counts, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, counts, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, counts, 0.6), 2.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, counts, 0.95), 4.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, counts, 1.0), 8.0);
+}
+
+TEST(MetricsHistogram, QuantileEdgeCases) {
+  const std::vector<double> bounds = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, {0, 0, 0}, 0.99), 0.0);  // empty
+  // Overflow observations report the last finite bound (conservative).
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, {0, 0, 7}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile({}, {}, 0.5), 0.0);
+  // Quantiles are clamped to [0, 1].
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, {3, 0, 0}, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, {3, 0, 0}, -1.0), 1.0);
+}
+
 }  // namespace
 }  // namespace lshap

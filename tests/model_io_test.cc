@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/fileio.h"
 #include "corpus/corpus.h"
 #include "datasets/imdb.h"
 #include "learnshapley/model_io.h"
@@ -81,6 +82,24 @@ TEST_F(ModelIoTest, LoadRejectsGarbage) {
   }
   EXPECT_FALSE(LoadRanker(path_).ok());
   EXPECT_FALSE(LoadRanker(path_ + ".missing").ok());
+}
+
+TEST_F(ModelIoTest, SaveIsAtomicAndRecoversFromKilledWriter) {
+  // A writer killed mid-save leaves only a temp file; the final path never
+  // holds a partial model.
+  {
+    std::ofstream out(TempWritePath(path_));
+    out << "LSHAPM partial garbage from a dead process";
+  }
+  EXPECT_FALSE(LoadRanker(path_).ok());  // nothing committed
+
+  TrainResult trained = QuickTrain();
+  ASSERT_TRUE(SaveRanker(*trained.ranker, path_).ok());
+  // The save overwrote the stale temp, committed via rename, and cleaned up.
+  auto loaded = LoadRanker(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::ifstream tmp(TempWritePath(path_));
+  EXPECT_FALSE(tmp.good());
 }
 
 }  // namespace

@@ -7,9 +7,13 @@
 #       tests: the morsel-parallel evaluator differential tests
 #       (eval_property_test), the budget/cancellation machinery
 #       (budget_test), the ThreadPool stress test (common_test), the
-#       sharded metrics registry (metrics_test), and the corpus shard
+#       sharded metrics registry (metrics_test), the corpus shard
 #       streaming layer — concurrent ReadShard + cursor prefetch
-#       (corpus_stream_test).
+#       (corpus_stream_test) — and the ranking service: concurrent
+#       Submit/Rank with snapshot swaps under load (serving_test).
+#   serve — plain build, then a short closed-loop bench_serve smoke run
+#       (warm / overload / chaos phases). Exits non-zero if any phase
+#       violates the zero-silent-drops accounting invariant.
 #
 # Any sanitizer report aborts the offending test
 # (-fno-sanitize-recover=all), so a green run means clean.
@@ -29,10 +33,17 @@ case "$MODE" in
     CMAKE_MODE=thread
     # ^metrics_test$ is anchored: a bare 'metrics_test' would also match
     # ranking_metrics_test, which is single-threaded and slow under TSan.
-    TEST_ARGS=(-R 'eval_property_test|budget_test|common_test|^metrics_test$|corpus_stream_test')
+    TEST_ARGS=(-R 'eval_property_test|budget_test|common_test|^metrics_test$|corpus_stream_test|serving_test')
+    ;;
+  serve)
+    BUILD_DIR="${BUILD_DIR:-build}"
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_serve
+    "$BUILD_DIR"/bench/bench_serve --smoke
+    exit 0
     ;;
   *)
-    echo "unknown LSHAP_SANITIZE mode '$MODE' (want address|ON|thread)" >&2
+    echo "unknown LSHAP_SANITIZE mode '$MODE' (want address|ON|thread|serve)" >&2
     exit 2
     ;;
 esac
