@@ -14,8 +14,12 @@
 // cancelled. A violation exits non-zero, which is what tools/check.sh's
 // `serve` smoke mode relies on.
 //
-// Usage: bench_serve [--smoke] [--clients=N] [--requests=N]
+// Usage: bench_serve [--smoke] [--clients=N] [--requests=N] [--quantized]
 //                    [--metrics-json=PATH]
+//
+// --quantized publishes the ranker in int8 SIMD inference mode (the float
+// model stays loaded as the conversion source), exercising the quantized
+// scoring path under concurrency and snapshot swaps.
 
 #include <algorithm>
 #include <atomic>
@@ -47,6 +51,7 @@ struct Options {
   size_t requests_per_client = 300;
   size_t workers = 2;
   uint64_t seed = 42;
+  bool quantized = false;
 };
 
 // One (query, tuple) the clients can ask about — drawn Zipf-style so a few
@@ -56,7 +61,8 @@ struct RequestKey {
   OutputTuple tuple;
 };
 
-std::shared_ptr<const LearnShapleyRanker> MakeBenchRanker(uint64_t seed) {
+std::shared_ptr<const LearnShapleyRanker> MakeBenchRanker(uint64_t seed,
+                                                          bool quantized) {
   // Untrained weights: serving latency depends on the forward-pass shape,
   // not on what the weights encode, and skipping training keeps the smoke
   // mode in seconds.
@@ -69,9 +75,13 @@ std::shared_ptr<const LearnShapleyRanker> MakeBenchRanker(uint64_t seed) {
   cfg.num_layers = 1;
   cfg.ffn_dim = 32;
   LearnShapleyModel model(cfg, seed);
-  return std::make_shared<const LearnShapleyRanker>(
+  auto ranker = std::make_shared<LearnShapleyRanker>(
       std::move(model), vocab, cfg.max_len, /*shapley_scale=*/1000.0f,
       "bench");
+  if (quantized) {
+    ranker->Configure(RankerConfig{}.WithMode(InferenceMode::kQuantized));
+  }
+  return ranker;
 }
 
 // Zipf(s=1.0) sampler over [0, n) via the precomputed CDF.
@@ -296,7 +306,7 @@ int Run(const Options& opt, MetricsRegistry* metrics) {
   GeneratedDb data = MakeImdbDatabase({});
   data.db->FreezeStringOrder();
   std::shared_ptr<const Database> db(std::move(data.db));
-  auto ranker = MakeBenchRanker(opt.seed);
+  auto ranker = MakeBenchRanker(opt.seed, opt.quantized);
   const std::vector<RequestKey> pool =
       BuildRequestPool(*db, data.graph, opt.seed);
   if (pool.size() < 4) {
@@ -304,8 +314,9 @@ int Run(const Options& opt, MetricsRegistry* metrics) {
     return 1;
   }
   std::printf("request pool: %zu (query, tuple) keys, %zu clients x %zu "
-              "requests, %zu workers\n\n",
-              pool.size(), opt.clients, opt.requests_per_client, opt.workers);
+              "requests, %zu workers, %s inference\n\n",
+              pool.size(), opt.clients, opt.requests_per_client, opt.workers,
+              InferenceModeName(ranker->config().mode));
 
   PhaseSpec warm;
   warm.name = "warm";
@@ -359,6 +370,8 @@ int main(int argc, char** argv) {
       opt.requests_per_client = static_cast<size_t>(std::atol(arg + 11));
     } else if (std::strncmp(arg, "--workers=", 10) == 0) {
       opt.workers = static_cast<size_t>(std::atol(arg + 10));
+    } else if (std::strcmp(arg, "--quantized") == 0) {
+      opt.quantized = true;
     } else {
       std::printf("unknown flag: %s\n", arg);
       return 2;

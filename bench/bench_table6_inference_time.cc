@@ -2,8 +2,15 @@
 // and -large vs. Nearest Queries with syntax / witness similarity computed
 // at inference time (as deployment would), vs. the exact knowledge-
 // compilation algorithm. Average and worst-case milliseconds, single thread.
+//
+// LearnShapley rows are split into tokenize / encode / score stages so the
+// model forward pass is measured honestly (tokenization is shared context
+// work, amortized across the tuple's lineage by the batched scoring path),
+// and report per-fact amortized score latency. --quantized adds int8 SIMD
+// rows next to the float oracle rows.
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "bench_common.h"
@@ -11,6 +18,7 @@
 #include "eval/evaluator.h"
 #include "learnshapley/serialization.h"
 #include "learnshapley/trainer.h"
+#include "ml/simd.h"
 #include "similarity/similarity.h"
 
 using namespace lshap;
@@ -37,10 +45,83 @@ void PrintRow(const char* name, const Timing& t) {
   std::printf("%-34s %12.3f %12.3f\n", name, t.avg_ms, t.max_ms);
 }
 
+// Per-pair stage timings for one LearnShapley configuration.
+struct StageTimes {
+  std::vector<double> tokenize_ms;  // per pair
+  std::vector<double> encode_ms;    // per pair
+  std::vector<double> score_ms;     // per pair
+  double total_score_ms = 0.0;
+  size_t total_facts = 0;
+
+  double PerFactMs() const {
+    return total_facts == 0 ? 0.0
+                            : total_score_ms / static_cast<double>(total_facts);
+  }
+};
+
+void PrintStageRow(const char* name, const StageTimes& t) {
+  const Timing tok = Summarize(t.tokenize_ms);
+  const Timing enc = Summarize(t.encode_ms);
+  const Timing sc = Summarize(t.score_ms);
+  std::printf("%-28s %9.3f %9.3f %9.3f %9.3f %11.4f\n", name, tok.avg_ms,
+              enc.avg_ms, sc.avg_ms, sc.max_ms, t.PerFactMs());
+}
+
+// One (query, tuple, lineage) pair through the three stages, timed
+// separately. Mirrors LearnShapleyRanker::ScoreLineage's batched structure:
+// (query, tuple) context tokenized and encoded once for the whole lineage.
+void TimePair(const LearnShapleyRanker& ranker, const Database& db,
+              const Query& q, const OutputTuple& tuple,
+              const std::vector<FactId>& lineage, StageTimes& out) {
+  const Vocab& vocab = ranker.vocab();
+  const size_t max_len = ranker.max_len();
+
+  WallTimer t_tok;
+  const std::vector<std::string> q_tokens = QueryTokens(q);
+  const std::vector<std::string> t_tokens = TupleTokens(tuple);
+  std::vector<std::vector<std::string>> fact_tokens;
+  fact_tokens.reserve(lineage.size());
+  for (FactId f : lineage) {
+    fact_tokens.push_back(FactTokensWithContext(db, f, t_tokens));
+  }
+  out.tokenize_ms.push_back(t_tok.ElapsedMillis());
+
+  WallTimer t_enc;
+  const std::vector<int> q_ids = EncodeTokens(vocab, q_tokens);
+  const std::vector<int> t_ids = EncodeTokens(vocab, t_tokens);
+  std::vector<EncodedPair> inputs;
+  inputs.reserve(lineage.size());
+  for (const auto& ft : fact_tokens) {
+    const std::vector<int> f_ids = EncodeTokens(vocab, ft);
+    inputs.push_back(AssembleEncodedSegments({&q_ids, &t_ids, &f_ids}, max_len));
+  }
+  out.encode_ms.push_back(t_enc.ElapsedMillis());
+
+  static thread_local InferenceArena arena;
+  static thread_local QuantScratch scratch;
+  const bool quantized = ranker.config().mode == InferenceMode::kQuantized;
+  WallTimer t_score;
+  double sink = 0.0;
+  for (const EncodedPair& input : inputs) {
+    sink += quantized
+                ? ranker.quantized_model()->PredictShapley(input, scratch)
+                : ranker.model().PredictShapley(input, arena);
+  }
+  const double ms = t_score.ElapsedMillis();
+  out.score_ms.push_back(ms);
+  out.total_score_ms += ms;
+  out.total_facts += lineage.size();
+  if (sink == 12345.6789) std::printf("(unlikely)\n");  // keep scores live
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   InitBenchMetrics(&argc, argv);
+  bool quantized = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quantized") == 0) quantized = true;
+  }
   ThreadPool pool;
   PrintHeader("Table 6: inference time per (query, output tuple) pair [ms]");
   const Workbench wb = MakeAcademicWorkbench(pool);
@@ -61,6 +142,19 @@ int main(int argc, char** argv) {
   large_cfg.seed = 601;
   TrainResult large = TrainLearnShapley(corpus, wb.sims, large_cfg, pool);
   large.ranker->set_metrics(BenchMetrics());
+
+  // Quantized twins sharing the trained weights (opt-in mode).
+  std::unique_ptr<LearnShapleyRanker> base_q, large_q;
+  if (quantized) {
+    std::printf("quantized mode: simd=%s\n",
+                SimdLevelName(ActiveSimdLevel()));
+    base_q.reset(static_cast<LearnShapleyRanker*>(
+        base.ranker->Clone().release()));
+    base_q->Configure(RankerConfig{}.WithMode(InferenceMode::kQuantized));
+    large_q.reset(static_cast<LearnShapleyRanker*>(
+        large.ranker->Clone().release()));
+    large_q->Configure(RankerConfig{}.WithMode(InferenceMode::kQuantized));
+  }
 
   // Deployment artifacts for the Nearest Queries baselines: per-train-query
   // fact means and (for witness) output sets — data DBShap already stores.
@@ -94,7 +188,8 @@ int main(int argc, char** argv) {
     return out;
   };
 
-  std::vector<double> t_base, t_large, t_syntax, t_witness, t_exact;
+  StageTimes st_base, st_large, st_base_q, st_large_q;
+  std::vector<double> t_syntax, t_witness, t_exact;
 
   for (size_t e : corpus.test_idx) {
     const CorpusEntry& entry = corpus.entries[e];
@@ -105,17 +200,15 @@ int main(int argc, char** argv) {
       std::vector<FactId> lineage;
       for (const auto& [f, v] : contrib.shapley) lineage.push_back(f);
 
-      {
-        WallTimer timer;
-        (void)base.ranker->ScoreLineage(*corpus.db, entry.query,
-                                        contrib.tuple, lineage);
-        t_base.push_back(timer.ElapsedMillis());
-      }
-      {
-        WallTimer timer;
-        (void)large.ranker->ScoreLineage(*corpus.db, entry.query,
-                                         contrib.tuple, lineage);
-        t_large.push_back(timer.ElapsedMillis());
+      TimePair(*base.ranker, *corpus.db, entry.query, contrib.tuple, lineage,
+               st_base);
+      TimePair(*large.ranker, *corpus.db, entry.query, contrib.tuple, lineage,
+               st_large);
+      if (quantized) {
+        TimePair(*base_q, *corpus.db, entry.query, contrib.tuple, lineage,
+                 st_base_q);
+        TimePair(*large_q, *corpus.db, entry.query, contrib.tuple, lineage,
+                 st_large_q);
       }
       {
         // Syntax NN: decompose the test query into operations against every
@@ -156,15 +249,24 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("\n%-34s %12s %12s   (%zu pairs, Academic test split)\n",
-              "method", "avg [ms]", "max [ms]", t_base.size());
+  std::printf("\n%-28s %9s %9s %9s %9s %11s   (%zu pairs)\n", "LearnShapley",
+              "tok avg", "enc avg", "score avg", "score max", "ms/fact",
+              st_base.score_ms.size());
+  PrintStageRow("  base (float)", st_base);
+  PrintStageRow("  large (float)", st_large);
+  if (quantized) {
+    PrintStageRow("  base (int8 simd)", st_base_q);
+    PrintStageRow("  large (int8 simd)", st_large_q);
+  }
+
+  std::printf("\n%-34s %12s %12s   (Academic test split)\n", "method",
+              "avg [ms]", "max [ms]");
   PrintRow("NearestQueries-witness", Summarize(t_witness));
   PrintRow("NearestQueries-syntax", Summarize(t_syntax));
-  PrintRow("LearnShapley-base", Summarize(t_base));
-  PrintRow("LearnShapley-large", Summarize(t_large));
   PrintRow("Exact Shapley (circuit, [15])", Summarize(t_exact));
   std::printf("\n(Exact computation additionally requires capturing full "
               "boolean provenance,\nwhich is excluded from its timing "
-              "here; LearnShapley needs only the lineage.)\n");
+              "here; LearnShapley needs only the lineage.\nScore timings "
+              "exclude tokenize/encode, reported separately above.)\n");
   return 0;
 }

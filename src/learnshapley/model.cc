@@ -87,6 +87,19 @@ float LearnShapleyModel::PredictShapley(const EncodedPair& input) {
   return head_shapley_.Forward(cls).at(0, 0);
 }
 
+float LearnShapleyModel::PredictShapley(const EncodedPair& input,
+                                        InferenceArena& arena) const {
+  arena.Reset();
+  Tensor& hidden = arena.Get(input.ids.size(), encoder_.config().dim);
+  encoder_.ForwardInference(input.ids, input.mask, arena, hidden);
+  Tensor& cls = arena.Get(1, hidden.cols());
+  std::copy(hidden.row_data(0), hidden.row_data(0) + hidden.cols(),
+            cls.row_data(0));
+  Tensor& pred = arena.Get(1, 1);
+  head_shapley_.ForwardInference(cls, pred);
+  return pred.at(0, 0);
+}
+
 std::vector<Param*> LearnShapleyModel::Params() {
   std::vector<Param*> params = encoder_.Params();
   head_rank_.CollectParams(params);
@@ -108,6 +121,45 @@ void LearnShapleyModel::RestoreWeights(const std::vector<Tensor>& snapshot) {
   for (size_t i = 0; i < params.size(); ++i) {
     params[i]->value = snapshot[i];
   }
+}
+
+// ------------------------------------------------- QuantizedShapleyModel
+
+QuantizedShapleyModel QuantizedShapleyModel::FromModel(
+    const LearnShapleyModel& model) {
+  QuantizedShapleyModel q;
+  q.encoder_ = QuantizedEncoder::FromEncoder(model.encoder());
+  q.head_shapley_ = QuantizedLinear::FromFloat(
+      model.head_shapley().w().value, model.head_shapley().b().value);
+  return q;
+}
+
+float QuantizedShapleyModel::PredictShapley(const EncodedPair& input,
+                                            QuantScratch& scratch) const {
+  scratch.Reset();
+  Tensor& hidden =
+      scratch.arena.Get(input.ids.size(), encoder_.config().dim);
+  encoder_.Forward(input.ids, input.mask, scratch, hidden);
+  // [CLS] row → quantize → Shapley head.
+  int8_t* qx = scratch.Row(head_shapley_.in_pad());
+  float act_scale = 0.0f;
+  SimdKernels().quantize_row(hidden.row_data(0), hidden.cols(), qx,
+                             &act_scale);
+  float pred = 0.0f;
+  head_shapley_.Forward(qx, act_scale, &pred);
+  return pred;
+}
+
+std::vector<const QuantizedLinear*> QuantizedShapleyModel::AllLinears() const {
+  std::vector<const QuantizedLinear*> out = encoder_.AllLinears();
+  out.push_back(&head_shapley_);
+  return out;
+}
+
+std::vector<QuantizedLinear*> QuantizedShapleyModel::MutableLinears() {
+  std::vector<QuantizedLinear*> out = encoder_.MutableLinears();
+  out.push_back(&head_shapley_);
+  return out;
 }
 
 }  // namespace lshap

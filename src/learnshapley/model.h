@@ -6,6 +6,7 @@
 
 #include "ml/adam.h"
 #include "ml/encoder.h"
+#include "ml/quant.h"
 #include "ml/tokenizer.h"
 
 namespace lshap {
@@ -57,6 +58,11 @@ class LearnShapleyModel {
   // Predicted (scaled) Shapley value.
   float PredictShapley(const EncodedPair& input);
 
+  // Const, scratch-free twin of PredictShapley: bit-identical result, all
+  // intermediates from the caller's per-thread arena. This is what lets one
+  // model instance serve many threads (serving, parallel evaluation).
+  float PredictShapley(const EncodedPair& input, InferenceArena& arena) const;
+
   std::vector<Param*> Params();
 
   // Deep snapshot/restore of all weights, for best-checkpoint selection.
@@ -64,6 +70,8 @@ class LearnShapleyModel {
   void RestoreWeights(const std::vector<Tensor>& snapshot);
 
   const EncoderConfig& encoder_config() const { return encoder_.config(); }
+  const TransformerEncoder& encoder() const { return encoder_; }
+  const Linear& head_shapley() const { return head_shapley_; }
 
  private:
   TransformerEncoder encoder_;
@@ -71,6 +79,30 @@ class LearnShapleyModel {
   Linear head_witness_;
   Linear head_syntax_;
   Linear head_shapley_;
+};
+
+// Int8 quantized snapshot of a trained LearnShapleyModel's inference path:
+// the encoder plus the Shapley head (the similarity heads are pre-training
+// only). Immutable and thread-safe to share; callers bring a QuantScratch.
+class QuantizedShapleyModel {
+ public:
+  QuantizedShapleyModel() = default;
+
+  static QuantizedShapleyModel FromModel(const LearnShapleyModel& model);
+
+  // Quantized counterpart of LearnShapleyModel::PredictShapley.
+  float PredictShapley(const EncodedPair& input, QuantScratch& scratch) const;
+
+  const QuantizedEncoder& encoder() const { return encoder_; }
+
+  // Every int8 layer in serialization order: the encoder's (per layer
+  // q,k,v,out,ffn1,ffn2) followed by the Shapley head.
+  std::vector<const QuantizedLinear*> AllLinears() const;
+  std::vector<QuantizedLinear*> MutableLinears();
+
+ private:
+  QuantizedEncoder encoder_;
+  QuantizedLinear head_shapley_;
 };
 
 }  // namespace lshap

@@ -6,8 +6,31 @@
 
 #include "common/fileio.h"
 #include "common/strings.h"
+#include "corpus/format.h"
 
 namespace lshap {
+
+namespace {
+
+// Canonical byte image of the quantized section, checksummed with the same
+// FNV-1a primitive as the corpus shard format: per linear, the dims as
+// little-endian u64s, then raw scale/bias floats, then raw int8 weights.
+std::string QuantCanonicalBytes(const QuantizedShapleyModel& q) {
+  std::string bytes;
+  for (const QuantizedLinear* lin : q.AllLinears()) {
+    const uint64_t dims[3] = {lin->in(), lin->out(), lin->in_pad()};
+    bytes.append(reinterpret_cast<const char*>(dims), sizeof(dims));
+    bytes.append(reinterpret_cast<const char*>(lin->scales().data()),
+                 lin->scales().size() * sizeof(float));
+    bytes.append(reinterpret_cast<const char*>(lin->bias().data()),
+                 lin->bias().size() * sizeof(float));
+    bytes.append(reinterpret_cast<const char*>(lin->weights().data()),
+                 lin->weights().size());
+  }
+  return bytes;
+}
+
+}  // namespace
 
 Status SaveRanker(LearnShapleyRanker& ranker, const std::string& path) {
   // Stream into the sibling temp path and rename into place on success, so
@@ -17,7 +40,7 @@ Status SaveRanker(LearnShapleyRanker& ranker, const std::string& path) {
   if (!out) return Status::Internal("cannot open '" + tmp + "' for write");
 
   const EncoderConfig& cfg = ranker.model().encoder_config();
-  out << "LSHAP_MODEL 1\n";
+  out << "LSHAP_MODEL 2\n";
   out << "name " << ranker.name() << '\n';
   out << "config " << cfg.vocab_size << ' ' << cfg.max_len << ' ' << cfg.dim
       << ' ' << cfg.num_heads << ' ' << cfg.num_layers << ' ' << cfg.ffn_dim
@@ -41,6 +64,38 @@ Status SaveRanker(LearnShapleyRanker& ranker, const std::string& path) {
     }
     out << '\n';
   }
+
+  // Optional v2 quantized section: present iff the ranker carries an int8
+  // model, so float-only artifacts stay byte-compatible with v1 readers
+  // modulo the header line.
+  if (const QuantizedShapleyModel* q = ranker.quantized_model()) {
+    const auto linears = q->AllLinears();
+    out << "quant " << linears.size() << ' '
+        << InferenceModeName(ranker.config().mode) << '\n';
+    for (const QuantizedLinear* lin : linears) {
+      out << "qlinear " << lin->in() << ' ' << lin->out() << ' '
+          << lin->in_pad() << '\n';
+      out << "qscales";
+      for (float s : lin->scales()) {
+        out << ' ' << StrFormat("%a", static_cast<double>(s));
+      }
+      out << '\n';
+      out << "qbias";
+      for (float b : lin->bias()) {
+        out << ' ' << StrFormat("%a", static_cast<double>(b));
+      }
+      out << '\n';
+      out << "qweights";
+      for (int8_t w : lin->weights()) out << ' ' << static_cast<int>(w);
+      out << '\n';
+    }
+    const std::string bytes = QuantCanonicalBytes(*q);
+    out << "qchecksum "
+        << StrFormat("%016llx", static_cast<unsigned long long>(FnvChecksum(
+                                    bytes.data(), bytes.size())))
+        << '\n';
+  }
+
   out.flush();
   if (!out) {
     out.close();
@@ -60,9 +115,11 @@ Result<std::unique_ptr<LearnShapleyRanker>> LoadRanker(
   };
 
   std::string line;
-  if (!std::getline(in, line) || line != "LSHAP_MODEL 1") {
+  if (!std::getline(in, line) ||
+      (line != "LSHAP_MODEL 1" && line != "LSHAP_MODEL 2")) {
     return bad("missing header");
   }
+  const int version = line == "LSHAP_MODEL 1" ? 1 : 2;
   if (!std::getline(in, line) || !StartsWith(line, "name ")) {
     return bad("missing name");
   }
@@ -129,11 +186,95 @@ Result<std::unique_ptr<LearnShapleyRanker>> LoadRanker(
     }
   }
 
+  // Optional quantized section (v2 only). The shapes come from quantizing
+  // the just-loaded float model, then every scale/bias/weight is overwritten
+  // with the stored values and cross-checked against the FNV-1a checksum.
+  bool have_quant = false;
+  InferenceMode quant_mode = InferenceMode::kQuantized;
+  QuantizedShapleyModel qmodel;
+  if (version >= 2 && std::getline(in, line) && StartsWith(line, "quant ")) {
+    std::istringstream ls(line);
+    std::string word;
+    std::string mode_name;
+    size_t count = 0;
+    ls >> word >> count >> mode_name;
+    if (!ls) return bad("malformed quant line");
+    if (mode_name == "float") {
+      quant_mode = InferenceMode::kFloat;
+    } else if (mode_name != "quantized") {
+      return bad("unknown quant mode '" + mode_name + "'");
+    }
+    qmodel = QuantizedShapleyModel::FromModel(model);
+    std::vector<QuantizedLinear*> linears = qmodel.MutableLinears();
+    if (count != linears.size()) return bad("quant linear count mismatch");
+    for (QuantizedLinear* lin : linears) {
+      if (!std::getline(in, line)) return bad("truncated quant section");
+      {
+        std::istringstream qs(line);
+        size_t in_dim = 0, out_dim = 0, in_pad = 0;
+        qs >> word >> in_dim >> out_dim >> in_pad;
+        if (word != "qlinear" || !qs || in_dim != lin->in() ||
+            out_dim != lin->out() || in_pad != lin->in_pad()) {
+          return bad("quant linear shape mismatch");
+        }
+      }
+      if (!std::getline(in, line)) return bad("truncated quant scales");
+      {
+        std::istringstream qs(line);
+        qs >> word;
+        if (word != "qscales") return bad("malformed quant scales");
+        for (float& s : lin->mutable_scales()) {
+          std::string hex;
+          if (!(qs >> hex)) return bad("truncated quant scales");
+          s = std::strtof(hex.c_str(), nullptr);
+        }
+      }
+      if (!std::getline(in, line)) return bad("truncated quant bias");
+      {
+        std::istringstream qs(line);
+        qs >> word;
+        if (word != "qbias") return bad("malformed quant bias");
+        for (float& b : lin->mutable_bias()) {
+          std::string hex;
+          if (!(qs >> hex)) return bad("truncated quant bias");
+          b = std::strtof(hex.c_str(), nullptr);
+        }
+      }
+      if (!std::getline(in, line)) return bad("truncated quant weights");
+      {
+        std::istringstream qs(line);
+        qs >> word;
+        if (word != "qweights") return bad("malformed quant weights");
+        for (int8_t& w : lin->mutable_weights()) {
+          int v = 0;
+          if (!(qs >> v) || v < -128 || v > 127) {
+            return bad("truncated quant weights");
+          }
+          w = static_cast<int8_t>(v);
+        }
+      }
+    }
+    if (!std::getline(in, line) || !StartsWith(line, "qchecksum ")) {
+      return bad("missing quant checksum");
+    }
+    const std::string bytes = QuantCanonicalBytes(qmodel);
+    const std::string want =
+        StrFormat("%016llx", static_cast<unsigned long long>(
+                                 FnvChecksum(bytes.data(), bytes.size())));
+    if (line.substr(10) != want) return bad("quant checksum mismatch");
+    have_quant = true;
+  }
+
   // The shapley_scale only affects the (monotone) rescaling of scores, not
   // the ranking; rankers are saved post-training so we keep the default.
-  return std::make_unique<LearnShapleyRanker>(std::move(model),
-                                              std::move(vocab),
-                                              ranker_max_len, 1000.0f, name);
+  auto ranker = std::make_unique<LearnShapleyRanker>(
+      std::move(model), std::move(vocab), ranker_max_len, 1000.0f, name);
+  if (have_quant) {
+    ranker->AdoptQuantizedModel(
+        std::make_shared<const QuantizedShapleyModel>(std::move(qmodel)));
+    ranker->Configure(RankerConfig{}.WithMode(quant_mode));
+  }
+  return ranker;
 }
 
 }  // namespace lshap

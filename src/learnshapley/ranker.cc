@@ -6,6 +6,33 @@
 
 namespace lshap {
 
+namespace {
+
+// Per-thread inference workspaces. The ranker itself stays const during
+// scoring; every thread that scores through a shared instance brings its
+// own activation scratch via these.
+InferenceArena& TlsArena() {
+  thread_local InferenceArena arena;
+  return arena;
+}
+
+QuantScratch& TlsScratch() {
+  thread_local QuantScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+const char* InferenceModeName(InferenceMode mode) {
+  switch (mode) {
+    case InferenceMode::kFloat:
+      return "float";
+    case InferenceMode::kQuantized:
+      return "quantized";
+  }
+  return "unknown";
+}
+
 LearnShapleyRanker::LearnShapleyRanker(LearnShapleyModel model,
                                        std::shared_ptr<const Vocab> vocab,
                                        size_t max_len, float shapley_scale,
@@ -22,22 +49,46 @@ void LearnShapleyRanker::set_metrics(MetricsRegistry* registry) {
                                 ExponentialBuckets(1e-5, 4.0, 12));
 }
 
+void LearnShapleyRanker::Configure(const RankerConfig& config) {
+  config_ = config;
+  if (config_.mode == InferenceMode::kQuantized && quant_ == nullptr) {
+    quant_ = std::make_shared<const QuantizedShapleyModel>(
+        QuantizedShapleyModel::FromModel(model_));
+  }
+}
+
+void LearnShapleyRanker::AdoptQuantizedModel(
+    std::shared_ptr<const QuantizedShapleyModel> q) {
+  quant_ = std::move(q);
+  config_.mode = InferenceMode::kQuantized;
+}
+
+double LearnShapleyRanker::PredictEncoded(const EncodedPair& input) const {
+  const float raw = config_.mode == InferenceMode::kQuantized
+                        ? quant_->PredictShapley(input, TlsScratch())
+                        : model_.PredictShapley(input, TlsArena());
+  return static_cast<double>(raw) / static_cast<double>(shapley_scale_);
+}
+
 ShapleyValues LearnShapleyRanker::ScoreLineage(
     const Database& db, const Query& q, const OutputTuple& t,
-    const std::vector<FactId>& lineage) {
+    const std::vector<FactId>& lineage) const {
   const auto start = score_seconds_.enabled()
                          ? std::chrono::steady_clock::now()
                          : std::chrono::steady_clock::time_point{};
-  const std::vector<std::string> q_tokens = QueryTokens(q);
+  // Encode the (query, tuple) context once; only the fact segment differs
+  // across the tuple's lineage.
   const std::vector<std::string> t_tokens = TupleTokens(t);
+  const std::vector<int> q_ids = EncodeTokens(*vocab_, QueryTokens(q));
+  const std::vector<int> t_ids = EncodeTokens(*vocab_, t_tokens);
   ShapleyValues out;
   out.reserve(lineage.size());
   for (FactId f : lineage) {
-    const EncodedPair input = EncodeSegments(
-        *vocab_, {q_tokens, t_tokens, FactTokensWithContext(db, f, t_tokens)},
-        max_len_);
-    out[f] = static_cast<double>(model_.PredictShapley(input)) /
-             static_cast<double>(shapley_scale_);
+    const std::vector<int> f_ids =
+        EncodeTokens(*vocab_, FactTokensWithContext(db, f, t_tokens));
+    const EncodedPair input =
+        AssembleEncodedSegments({&q_ids, &t_ids, &f_ids}, max_len_);
+    out[f] = PredictEncoded(input);
   }
   facts_scored_.Inc(lineage.size());
   if (score_seconds_.enabled()) {
@@ -50,12 +101,13 @@ ShapleyValues LearnShapleyRanker::ScoreLineage(
 
 Result<ShapleyValues> LearnShapleyRanker::ScoreLineageBudgeted(
     const Database& db, const Query& q, const OutputTuple& t,
-    const std::vector<FactId>& lineage, ExecutionBudget& budget) {
+    const std::vector<FactId>& lineage, ExecutionBudget& budget) const {
   const auto start = score_seconds_.enabled()
                          ? std::chrono::steady_clock::now()
                          : std::chrono::steady_clock::time_point{};
-  const std::vector<std::string> q_tokens = QueryTokens(q);
   const std::vector<std::string> t_tokens = TupleTokens(t);
+  const std::vector<int> q_ids = EncodeTokens(*vocab_, QueryTokens(q));
+  const std::vector<int> t_ids = EncodeTokens(*vocab_, t_tokens);
   ShapleyValues out;
   out.reserve(lineage.size());
   size_t scored = 0;
@@ -65,11 +117,11 @@ Result<ShapleyValues> LearnShapleyRanker::ScoreLineageBudgeted(
       facts_scored_.Inc(scored);
       return st;
     }
-    const EncodedPair input = EncodeSegments(
-        *vocab_, {q_tokens, t_tokens, FactTokensWithContext(db, f, t_tokens)},
-        max_len_);
-    out[f] = static_cast<double>(model_.PredictShapley(input)) /
-             static_cast<double>(shapley_scale_);
+    const std::vector<int> f_ids =
+        EncodeTokens(*vocab_, FactTokensWithContext(db, f, t_tokens));
+    const EncodedPair input =
+        AssembleEncodedSegments({&q_ids, &t_ids, &f_ids}, max_len_);
+    out[f] = PredictEncoded(input);
     ++scored;
   }
   facts_scored_.Inc(scored);

@@ -15,9 +15,32 @@ namespace lshap {
 // Budget check site polled once per lineage fact in ScoreLineageBudgeted.
 inline constexpr char kSiteRankScoreFact[] = "rank.score_fact";
 
+// Which forward pass ScoreLineage runs.
+enum class InferenceMode {
+  kFloat = 0,      // exact float path (the differential oracle)
+  kQuantized = 1,  // int8 SIMD path (DESIGN.md §12)
+};
+
+const char* InferenceModeName(InferenceMode mode);
+
+// Opt-in inference settings. The float path stays the default; quantized
+// mode derives an int8 model from the float weights on first use.
+struct RankerConfig {
+  InferenceMode mode = InferenceMode::kFloat;
+
+  RankerConfig& WithMode(InferenceMode m) {
+    mode = m;
+    return *this;
+  }
+};
+
 // The deployable LearnShapley artifact: a trained model plus its vocabulary.
 // At inference it needs only the query, the output tuple and the lineage —
 // no provenance — matching the paper's deployment contract.
+//
+// Scoring is const and scratch-free (per-thread workspaces live in
+// thread-local storage), so a single ranker instance — e.g. the one inside
+// a serving snapshot — is safely shareable across worker threads.
 class LearnShapleyRanker : public FactScorer {
  public:
   LearnShapleyRanker(LearnShapleyModel model,
@@ -25,20 +48,19 @@ class LearnShapleyRanker : public FactScorer {
                      float shapley_scale, std::string name);
 
   // Direct API for library users: scores an arbitrary (query, tuple,
-  // lineage) triple against `db`.
+  // lineage) triple against `db`. The (query, tuple) context is tokenized
+  // and vocab-encoded once and reused across the whole lineage.
   ShapleyValues ScoreLineage(const Database& db, const Query& q,
                              const OutputTuple& t,
-                             const std::vector<FactId>& lineage);
+                             const std::vector<FactId>& lineage) const;
 
   // Deadline-aware variant: charges one work unit per lineage fact at
   // kSiteRankScoreFact, so a serving deadline interrupts a large lineage
   // between facts instead of after the whole forward-pass loop. Returns the
   // budget's trip status when interrupted — never a partially scored map.
-  Result<ShapleyValues> ScoreLineageBudgeted(const Database& db,
-                                             const Query& q,
-                                             const OutputTuple& t,
-                                             const std::vector<FactId>& lineage,
-                                             ExecutionBudget& budget);
+  Result<ShapleyValues> ScoreLineageBudgeted(
+      const Database& db, const Query& q, const OutputTuple& t,
+      const std::vector<FactId>& lineage, ExecutionBudget& budget) const;
 
   // FactScorer interface (reads only the lineage keys).
   ShapleyValues Score(const Corpus& corpus, size_t entry_idx,
@@ -46,19 +68,42 @@ class LearnShapleyRanker : public FactScorer {
   std::unique_ptr<FactScorer> Clone() const override;
   std::string name() const override { return name_; }
 
+  // Applies the inference settings. Switching to kQuantized quantizes the
+  // current float weights unless a quantized model was already adopted
+  // (e.g. from model_io). Not thread-safe against concurrent scoring —
+  // configure before sharing, like set_metrics.
+  void Configure(const RankerConfig& config);
+  const RankerConfig& config() const { return config_; }
+
+  // Installs a pre-built quantized model (deserialization path) and
+  // switches to quantized mode. Clones share the instance.
+  void AdoptQuantizedModel(std::shared_ptr<const QuantizedShapleyModel> q);
+  const QuantizedShapleyModel* quantized_model() const {
+    return quant_.get();
+  }
+
+  // Mutable access for training/IO. Mutating weights invalidates any
+  // quantized model built from them; re-run Configure afterwards.
   LearnShapleyModel& model() { return model_; }
+  const LearnShapleyModel& model() const { return model_; }
   const Vocab& vocab() const { return *vocab_; }
   size_t max_len() const { return max_len_; }
+  float shapley_scale() const { return shapley_scale_; }
 
   // Observability opt-in: records a per-ScoreLineage latency histogram
   // (rank.score_seconds) and a scored-fact counter (rank.facts_scored).
   // Handles are plain values, so Clone() copies them and cloned rankers
-  // keep reporting into the same registry (the evaluation harness scores
-  // per-worker clones in parallel; the shards absorb the contention).
+  // keep reporting into the same registry; the handles' sharded cells
+  // absorb contention when one shared instance is scored from many threads.
   void set_metrics(MetricsRegistry* registry);
 
  private:
+  // One encoded sample through the configured forward pass, descaled.
+  double PredictEncoded(const EncodedPair& input) const;
+
   LearnShapleyModel model_;
+  std::shared_ptr<const QuantizedShapleyModel> quant_;
+  RankerConfig config_;
   std::shared_ptr<const Vocab> vocab_;
   size_t max_len_;
   float shapley_scale_;

@@ -58,6 +58,33 @@ Tensor TransformerEncoder::Forward(const std::vector<int>& ids,
   return final_ln_.Forward(h);
 }
 
+void TransformerEncoder::ForwardInference(const std::vector<int>& ids,
+                                          const std::vector<bool>& mask,
+                                          InferenceArena& arena,
+                                          Tensor& out) const {
+  LSHAP_CHECK_LE(ids.size(), config_.max_len);
+  LSHAP_CHECK_EQ(ids.size(), mask.size());
+  const size_t n = ids.size();
+  const size_t dim = config_.dim;
+  Tensor& h0 = arena.Get(n, dim);
+  const Tensor& tok = tok_emb_.table();
+  const Tensor& pos = pos_emb_.table();
+  for (size_t i = 0; i < n; ++i) {
+    LSHAP_CHECK_LT(static_cast<size_t>(ids[i]), tok.rows());
+    const float* src = tok.row_data(static_cast<size_t>(ids[i]));
+    const float* prow = pos.row_data(i);
+    float* dst = h0.row_data(i);
+    for (size_t c = 0; c < dim; ++c) dst[c] = src[c] + prow[c];
+  }
+  const Tensor* cur = &h0;
+  for (const auto& layer : layers_) {
+    Tensor& next = arena.Get(n, dim);
+    layer.ForwardInference(*cur, mask, arena, next);
+    cur = &next;
+  }
+  final_ln_.ForwardInference(*cur, out);
+}
+
 void TransformerEncoder::Backward(const Tensor& d_hidden) {
   Tensor d = final_ln_.Backward(d_hidden);
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {

@@ -37,9 +37,20 @@ class TransformerEncoder {
   Tensor Forward(const std::vector<int>& ids, const std::vector<bool>& mask);
   void Backward(const Tensor& d_hidden);
 
+  // Scratch-free inference twin of Forward(): const, bit-identical output,
+  // all intermediates from the caller's arena. Makes one encoder instance
+  // shareable across threads (each thread brings its own arena).
+  void ForwardInference(const std::vector<int>& ids,
+                        const std::vector<bool>& mask, InferenceArena& arena,
+                        Tensor& out) const;
+
   std::vector<Param*> Params();
 
   const EncoderConfig& config() const { return config_; }
+  const Embedding& tok_emb() const { return tok_emb_; }
+  const Embedding& pos_emb() const { return pos_emb_; }
+  const std::vector<TransformerLayer>& layers() const { return layers_; }
+  const LayerNorm& final_ln() const { return final_ln_; }
 
  private:
   EncoderConfig config_;

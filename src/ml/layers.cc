@@ -24,6 +24,13 @@ Tensor Linear::Forward(const Tensor& x) {
   return y;
 }
 
+void Linear::ForwardInference(const Tensor& x, Tensor& y) const {
+  // Same arithmetic as Forward() (MatMul is MatMulInto under the hood), but
+  // const and without the x_ backward cache.
+  MatMulInto(x, w_.value, y);
+  AddRowBroadcast(y, b_.value);
+}
+
 Tensor Linear::Backward(const Tensor& dy) {
   // dW = xᵀ·dy ; db = column sums of dy ; dx = dy·Wᵀ.
   Tensor dw = MatMulATB(x_, dy);
@@ -112,6 +119,34 @@ Tensor LayerNorm::Forward(const Tensor& x) {
   return y;
 }
 
+void LayerNorm::ForwardInference(const Tensor& x, Tensor& y) const {
+  // Statement-for-statement the same float sequence as Forward(), with the
+  // normalized value in a local instead of the xhat_ cache.
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  y.Resize(n, d);
+  for (size_t r = 0; r < n; ++r) {
+    const float* row = x.row_data(r);
+    float mean = 0.0f;
+    for (size_t c = 0; c < d; ++c) mean += row[c];
+    mean /= static_cast<float>(d);
+    float var = 0.0f;
+    for (size_t c = 0; c < d; ++c) {
+      const float diff = row[c] - mean;
+      var += diff * diff;
+    }
+    var /= static_cast<float>(d);
+    const float rstd = 1.0f / std::sqrt(var + 1e-5f);
+    float* out = y.row_data(r);
+    const float* g = gamma_.value.row_data(0);
+    const float* b = beta_.value.row_data(0);
+    for (size_t c = 0; c < d; ++c) {
+      const float xh = (row[c] - mean) * rstd;
+      out[c] = xh * g[c] + b[c];
+    }
+  }
+}
+
 Tensor LayerNorm::Backward(const Tensor& dy) {
   const size_t n = dy.rows();
   const size_t d = dy.cols();
@@ -158,6 +193,15 @@ Tensor Gelu::Forward(const Tensor& x) {
     y.data()[i] = 0.5f * v * (1.0f + t);
   }
   return y;
+}
+
+void Gelu::ForwardInference(const Tensor& x, Tensor& y) {
+  y.Resize(x.rows(), x.cols());
+  for (size_t i = 0; i < x.size(); ++i) {
+    const float v = x.data()[i];
+    const float t = std::tanh(kGeluC * (v + 0.044715f * v * v * v));
+    y.data()[i] = 0.5f * v * (1.0f + t);
+  }
 }
 
 Tensor Gelu::Backward(const Tensor& dy) {
@@ -245,6 +289,64 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& x,
     attn_[h] = std::move(scores);
   }
   return out_proj_.Forward(concat);
+}
+
+void MultiHeadSelfAttention::ForwardInference(const Tensor& x,
+                                              const std::vector<bool>& mask,
+                                              InferenceArena& arena,
+                                              Tensor& out) const {
+  const size_t n = x.rows();
+  Tensor& q = arena.Get(n, dim_);
+  Tensor& k = arena.Get(n, dim_);
+  Tensor& v = arena.Get(n, dim_);
+  q_proj_.ForwardInference(x, q);
+  k_proj_.ForwardInference(x, k);
+  v_proj_.ForwardInference(x, v);
+
+  Tensor& concat = arena.Get(n, dim_);
+  Tensor& scores = arena.Get(n, n);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  for (size_t h = 0; h < num_heads_; ++h) {
+    const size_t off = h * head_dim_;
+    for (size_t i = 0; i < n; ++i) {
+      const float* qi = q.row_data(i) + off;
+      float* srow = scores.row_data(i);
+      for (size_t j = 0; j < n; ++j) {
+        if (!mask[j]) {
+          srow[j] = -1e30f;
+          continue;
+        }
+        const float* kj = k.row_data(j) + off;
+        float dot = 0.0f;
+        for (size_t c = 0; c < head_dim_; ++c) dot += qi[c] * kj[c];
+        srow[j] = dot * scale;
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      float* srow = scores.row_data(i);
+      float max_v = -1e30f;
+      for (size_t j = 0; j < n; ++j) max_v = std::max(max_v, srow[j]);
+      float sum = 0.0f;
+      for (size_t j = 0; j < n; ++j) {
+        srow[j] = std::exp(srow[j] - max_v);
+        sum += srow[j];
+      }
+      const float inv = 1.0f / sum;
+      for (size_t j = 0; j < n; ++j) srow[j] *= inv;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const float* arow = scores.row_data(i);
+      float* orow = concat.row_data(i) + off;
+      for (size_t c = 0; c < head_dim_; ++c) orow[c] = 0.0f;
+      for (size_t j = 0; j < n; ++j) {
+        const float a = arow[j];
+        if (a == 0.0f) continue;
+        const float* vj = v.row_data(j) + off;
+        for (size_t c = 0; c < head_dim_; ++c) orow[c] += a * vj[c];
+      }
+    }
+  }
+  out_proj_.ForwardInference(concat, out);
 }
 
 Tensor MultiHeadSelfAttention::Backward(const Tensor& dy) {
@@ -336,6 +438,30 @@ Tensor TransformerLayer::Forward(const Tensor& x,
   Tensor out = h;
   out.Add(ffn2_.Forward(gelu_.Forward(ffn1_.Forward(ln2_.Forward(h)))));
   return out;
+}
+
+void TransformerLayer::ForwardInference(const Tensor& x,
+                                        const std::vector<bool>& mask,
+                                        InferenceArena& arena,
+                                        Tensor& out) const {
+  Tensor& ln1_out = arena.Get(x.rows(), x.cols());
+  ln1_.ForwardInference(x, ln1_out);
+  Tensor& attn_out = arena.Get(x.rows(), x.cols());
+  attn_.ForwardInference(ln1_out, mask, arena, attn_out);
+  Tensor& h = arena.Get(x.rows(), x.cols());
+  h = x;
+  h.Add(attn_out);
+
+  Tensor& ln2_out = arena.Get(h.rows(), h.cols());
+  ln2_.ForwardInference(h, ln2_out);
+  Tensor& ffn1_out = arena.Get(1, 1);
+  ffn1_.ForwardInference(ln2_out, ffn1_out);
+  Tensor& gelu_out = arena.Get(1, 1);
+  Gelu::ForwardInference(ffn1_out, gelu_out);
+  Tensor& ffn2_out = arena.Get(1, 1);
+  ffn2_.ForwardInference(gelu_out, ffn2_out);
+  out = h;
+  out.Add(ffn2_out);
 }
 
 Tensor TransformerLayer::Backward(const Tensor& dy) {

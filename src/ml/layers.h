@@ -1,6 +1,7 @@
 #ifndef LSHAP_ML_LAYERS_H_
 #define LSHAP_ML_LAYERS_H_
 
+#include <deque>
 #include <vector>
 
 #include "ml/tensor.h"
@@ -19,6 +20,26 @@ struct Param {
   void ZeroGrad() { grad.Zero(); }
 };
 
+// Caller-provided activation workspace for the const inference forwards.
+// Get() hands out zeroed, reusable tensor slots; Reset() recycles them all
+// without freeing. Slots live in a deque so references stay valid as more
+// are acquired. One arena per thread — the layers themselves stay untouched,
+// which is what makes a single snapshot ranker shareable across workers.
+class InferenceArena {
+ public:
+  Tensor& Get(size_t rows, size_t cols) {
+    if (next_ == slots_.size()) slots_.emplace_back();
+    Tensor& t = slots_[next_++];
+    t.Resize(rows, cols);
+    return t;
+  }
+  void Reset() { next_ = 0; }
+
+ private:
+  std::deque<Tensor> slots_;
+  size_t next_ = 0;
+};
+
 // Affine map y = x·W + b. Caches x for the backward pass, so one instance
 // handles one forward/backward pair at a time (sequential SGD over samples).
 class Linear {
@@ -30,9 +51,14 @@ class Linear {
   // Accumulates parameter grads; returns dL/dx.
   Tensor Backward(const Tensor& dy);
 
+  // Scratch-free inference: writes y = x·W + b into the caller's output
+  // without touching the backward cache. Bit-identical to Forward().
+  void ForwardInference(const Tensor& x, Tensor& y) const;
+
   void CollectParams(std::vector<Param*>& out);
 
   const Param& w() const { return w_; }
+  const Param& b() const { return b_; }
 
  private:
   Param w_;  // in×out
@@ -52,6 +78,7 @@ class Embedding {
   void CollectParams(std::vector<Param*>& out);
 
   size_t vocab_size() const { return table_.value.rows(); }
+  const Tensor& table() const { return table_.value; }
 
  private:
   Param table_;  // vocab×dim
@@ -67,7 +94,13 @@ class LayerNorm {
   Tensor Forward(const Tensor& x);
   Tensor Backward(const Tensor& dy);
 
+  // Scratch-free inference twin of Forward() (no xhat/rstd caching).
+  void ForwardInference(const Tensor& x, Tensor& y) const;
+
   void CollectParams(std::vector<Param*>& out);
+
+  const Tensor& gamma() const { return gamma_.value; }
+  const Tensor& beta() const { return beta_.value; }
 
  private:
   Param gamma_;  // 1×dim
@@ -81,6 +114,9 @@ class Gelu {
  public:
   Tensor Forward(const Tensor& x);
   Tensor Backward(const Tensor& dy);
+
+  // Scratch-free inference twin of Forward().
+  static void ForwardInference(const Tensor& x, Tensor& y);
 
  private:
   Tensor x_;
@@ -97,7 +133,19 @@ class MultiHeadSelfAttention {
   Tensor Forward(const Tensor& x, const std::vector<bool>& mask);
   Tensor Backward(const Tensor& dy);
 
+  // Scratch-free inference twin of Forward(); intermediate activations come
+  // from `arena`, the result lands in `out`.
+  void ForwardInference(const Tensor& x, const std::vector<bool>& mask,
+                        InferenceArena& arena, Tensor& out) const;
+
   void CollectParams(std::vector<Param*>& out);
+
+  size_t num_heads() const { return num_heads_; }
+  size_t head_dim() const { return head_dim_; }
+  const Linear& q_proj() const { return q_proj_; }
+  const Linear& k_proj() const { return k_proj_; }
+  const Linear& v_proj() const { return v_proj_; }
+  const Linear& out_proj() const { return out_proj_; }
 
  private:
   size_t dim_ = 0;
@@ -121,7 +169,17 @@ class TransformerLayer {
   Tensor Forward(const Tensor& x, const std::vector<bool>& mask);
   Tensor Backward(const Tensor& dy);
 
+  // Scratch-free inference twin of Forward().
+  void ForwardInference(const Tensor& x, const std::vector<bool>& mask,
+                        InferenceArena& arena, Tensor& out) const;
+
   void CollectParams(std::vector<Param*>& out);
+
+  const LayerNorm& ln1() const { return ln1_; }
+  const LayerNorm& ln2() const { return ln2_; }
+  const MultiHeadSelfAttention& attn() const { return attn_; }
+  const Linear& ffn1() const { return ffn1_; }
+  const Linear& ffn2() const { return ffn2_; }
 
  private:
   LayerNorm ln1_, ln2_;

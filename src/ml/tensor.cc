@@ -29,8 +29,14 @@ void Tensor::Scale(float s) {
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  MatMulInto(a, b, c);
+  return c;
+}
+
+void MatMulInto(const Tensor& a, const Tensor& b, Tensor& c) {
   LSHAP_CHECK_EQ(a.cols(), b.rows());
-  Tensor c(a.rows(), b.cols());
+  c.Resize(a.rows(), b.cols());
   const size_t n = a.rows();
   const size_t k = a.cols();
   const size_t m = b.cols();
@@ -44,7 +50,6 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       for (size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
     }
   }
-  return c;
 }
 
 Tensor MatMulATB(const Tensor& a, const Tensor& b) {

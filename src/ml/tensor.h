@@ -40,6 +40,14 @@ class Tensor {
   void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
   void Zero() { Fill(0.0f); }
 
+  // Reshape to rows×cols with all elements zeroed, reusing the existing
+  // allocation when capacity suffices (the InferenceArena hot path).
+  void Resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0f);
+  }
+
   // this += other (same shape).
   void Add(const Tensor& other);
   // this += scale * other.
@@ -54,6 +62,9 @@ class Tensor {
 
 // C = A · B. Shapes: (n×k)·(k×m) → (n×m).
 Tensor MatMul(const Tensor& a, const Tensor& b);
+// C = A · B into a caller-owned output (resized and zeroed here). MatMul is
+// implemented on top of this, so the two produce bit-identical results.
+void MatMulInto(const Tensor& a, const Tensor& b, Tensor& c);
 // C = Aᵀ · B. Shapes: (k×n)ᵀ·(k×m) → (n×m).
 Tensor MatMulATB(const Tensor& a, const Tensor& b);
 // C = A · Bᵀ. Shapes: (n×k)·(m×k)ᵀ → (n×m).

@@ -51,38 +51,50 @@ int Vocab::Encode(const std::string& token) const {
   return it == token_to_id_.end() ? kUnk : it->second;
 }
 
-EncodedPair EncodeSegments(
-    const Vocab& vocab,
-    const std::vector<std::vector<std::string>>& segments, size_t max_len) {
+std::vector<int> EncodeTokens(const Vocab& vocab,
+                              const std::vector<std::string>& tokens) {
+  std::vector<int> ids;
+  ids.reserve(tokens.size());
+  for (const auto& t : tokens) ids.push_back(vocab.Encode(t));
+  return ids;
+}
+
+EncodedPair AssembleEncodedSegments(
+    const std::vector<const std::vector<int>*>& segments, size_t max_len) {
   LSHAP_CHECK(!segments.empty());
   // Budget: [CLS] + per-segment trailing [SEP]-like separators. We spend
   // 1 + num_segments special positions and split the rest proportionally to
   // segment length (each segment gets at least one token if non-empty).
   const size_t specials = 1 + segments.size() - 1;
-  LSHAP_CHECK_GT(max_len, specials);
+  LSHAP_CHECK_GE(max_len, specials);
   size_t budget = max_len - specials;
 
   size_t total = 0;
-  for (const auto& s : segments) total += s.size();
+  for (const auto* s : segments) total += s->size();
   std::vector<size_t> take(segments.size());
   if (total <= budget) {
-    for (size_t i = 0; i < segments.size(); ++i) take[i] = segments[i].size();
+    for (size_t i = 0; i < segments.size(); ++i) take[i] = segments[i]->size();
   } else {
     // Shortest-segment-first allocation: short segments (the output tuple
     // and the fact, whose tokens are the most discriminative) are kept
     // whole; only the longest segments (typically the SQL text) get
     // truncated. Processing in ascending length order with an equal-share
     // cap achieves this: each segment takes min(len, remaining / left).
+    // When budget < #segments the naive share rounds to zero, which used to
+    // hand the entire budget to the longest segment; floor the share at one
+    // token (capped by what actually remains) so short segments — served
+    // first — still get their tokens at any max_len.
     std::vector<size_t> order(segments.size());
     for (size_t i = 0; i < order.size(); ++i) order[i] = i;
     std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return segments[a].size() < segments[b].size();
+      return segments[a]->size() < segments[b]->size();
     });
     size_t remaining = budget;
     size_t left = segments.size();
     for (size_t i : order) {
-      const size_t share = remaining / left;
-      take[i] = std::min(segments[i].size(), share);
+      const size_t share =
+          std::min(remaining, std::max<size_t>(1, remaining / left));
+      take[i] = std::min(segments[i]->size(), share);
       remaining -= take[i];
       --left;
     }
@@ -91,13 +103,24 @@ EncodedPair EncodeSegments(
   EncodedPair out;
   out.ids.push_back(Vocab::kCls);
   for (size_t i = 0; i < segments.size(); ++i) {
-    for (size_t j = 0; j < take[i]; ++j) {
-      out.ids.push_back(vocab.Encode(segments[i][j]));
-    }
+    const std::vector<int>& seg = *segments[i];
+    out.ids.insert(out.ids.end(), seg.begin(), seg.begin() + take[i]);
     if (i + 1 < segments.size()) out.ids.push_back(Vocab::kSep);
   }
   out.mask.assign(out.ids.size(), true);
   return out;
+}
+
+EncodedPair EncodeSegments(
+    const Vocab& vocab,
+    const std::vector<std::vector<std::string>>& segments, size_t max_len) {
+  std::vector<std::vector<int>> encoded;
+  encoded.reserve(segments.size());
+  for (const auto& s : segments) encoded.push_back(EncodeTokens(vocab, s));
+  std::vector<const std::vector<int>*> ptrs;
+  ptrs.reserve(encoded.size());
+  for (const auto& e : encoded) ptrs.push_back(&e);
+  return AssembleEncodedSegments(ptrs, max_len);
 }
 
 }  // namespace lshap

@@ -51,6 +51,18 @@ EncodedPair EncodeSegments(const Vocab& vocab,
                            const std::vector<std::vector<std::string>>& segments,
                            size_t max_len);
 
+// Vocab-encodes a token list without any framing — the cacheable half of
+// EncodeSegments. Batched lineage scoring encodes the query/tuple segments
+// once and reassembles per fact.
+std::vector<int> EncodeTokens(const Vocab& vocab,
+                              const std::vector<std::string>& tokens);
+
+// Frames already-encoded segments as [CLS] s0 [SEP] s1 … with the same
+// equal-share truncation as EncodeSegments (which is implemented on top of
+// this, so the two stay in lockstep). Pointers must be non-null.
+EncodedPair AssembleEncodedSegments(
+    const std::vector<const std::vector<int>*>& segments, size_t max_len);
+
 }  // namespace lshap
 
 #endif  // LSHAP_ML_TOKENIZER_H_

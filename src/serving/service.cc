@@ -182,7 +182,7 @@ size_t RankingService::PumpAll() {
     auto batch = CollectBatch(/*blocking=*/false);
     if (batch.empty()) break;
     processed += batch.size();
-    ProcessBatch(batch, pump_state_);
+    ProcessBatch(batch);
   }
   return processed;
 }
@@ -218,11 +218,10 @@ size_t RankingService::queue_depth() const {
 }
 
 void RankingService::WorkerLoop() {
-  ScoreState state;
   while (true) {
     auto batch = CollectBatch(/*blocking=*/true);
     if (batch.empty()) return;  // only happens at shutdown
-    ProcessBatch(batch, state);
+    ProcessBatch(batch);
   }
 }
 
@@ -268,19 +267,13 @@ RankingService::CollectBatch(bool blocking) {
 }
 
 void RankingService::ProcessBatch(
-    std::vector<std::unique_ptr<Pending>>& batch, ScoreState& state) {
+    std::vector<std::unique_ptr<Pending>>& batch) {
   SnapshotHandle snapshot = slot_.Acquire();
   batch_size_.Observe(static_cast<double>(batch.size()));
-  LearnShapleyRanker* ranker = nullptr;
-  if (snapshot != nullptr && snapshot->ranker != nullptr) {
-    // The model's forward pass mutates scratch buffers, so each scoring
-    // thread ranks on a private clone, refreshed when the epoch moves.
-    if (state.clone == nullptr || state.clone_epoch != snapshot->epoch) {
-      state.clone = std::make_unique<LearnShapleyRanker>(*snapshot->ranker);
-      state.clone_epoch = snapshot->epoch;
-    }
-    ranker = state.clone.get();
-  }
+  // Scoring is const and scratch-free (per-thread workspaces inside the
+  // ranker), so every worker ranks through the snapshot's shared instance.
+  const LearnShapleyRanker* ranker =
+      snapshot != nullptr ? snapshot->ranker.get() : nullptr;
   for (auto& pending : batch) {
     const Clock::time_point started = Clock::now();
     RankResponse response;
@@ -296,7 +289,7 @@ void RankingService::ProcessBatch(
 
 RankResponse RankingService::Process(Pending& pending,
                                      const DatabaseSnapshot& snapshot,
-                                     LearnShapleyRanker* ranker) {
+                                     const LearnShapleyRanker* ranker) {
   RankResponse response;
   response.epoch = snapshot.epoch;
   const RankRequest& request = pending.request;

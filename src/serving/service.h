@@ -138,9 +138,10 @@ struct ServiceConfig {
 
 // The service. Thread-safe throughout: Submit/Rank may be called from any
 // number of client threads while Publish installs new snapshots and
-// workers drain the queue. Workers score on private per-epoch ranker
-// clones (the model's forward pass mutates scratch buffers), refreshed
-// lazily when they observe a new epoch.
+// workers drain the queue. Scoring goes through the snapshot's shared
+// const ranker directly: LearnShapleyRanker's scoring path is const and
+// scratch-free (per-thread inference workspaces), so no per-worker clones
+// are needed.
 class RankingService {
  public:
   explicit RankingService(ServiceConfig config);
@@ -192,22 +193,14 @@ class RankingService {
     std::unique_ptr<ExecutionBudget> budget;
   };
 
-  // Per-scoring-thread state: the ranker clone and the epoch it was
-  // cloned at.
-  struct ScoreState {
-    uint64_t clone_epoch = 0;
-    std::unique_ptr<LearnShapleyRanker> clone;
-  };
-
   void WorkerLoop();
   // Pops one micro-batch. `blocking` (worker mode) waits for work and
   // holds the batch open until the flush deadline; non-blocking (pump)
   // takes what is queued right now.
   std::vector<std::unique_ptr<Pending>> CollectBatch(bool blocking);
-  void ProcessBatch(std::vector<std::unique_ptr<Pending>>& batch,
-                    ScoreState& state);
+  void ProcessBatch(std::vector<std::unique_ptr<Pending>>& batch);
   RankResponse Process(Pending& pending, const DatabaseSnapshot& snapshot,
-                       LearnShapleyRanker* ranker);
+                       const LearnShapleyRanker* ranker);
   void FinishResponse(Pending& pending, RankResponse response,
                       Clock::time_point started);
 
@@ -221,8 +214,7 @@ class RankingService {
   bool stopped_ = false;
 
   std::vector<std::thread> workers_;
-  std::mutex pump_mu_;       // serializes PumpAll callers
-  ScoreState pump_state_;    // guarded by pump_mu_
+  std::mutex pump_mu_;  // serializes PumpAll callers
 
   // serve.* instrumentation (no-op handles when metrics is null).
   Counter submitted_, admitted_, completed_, errors_, cancelled_;

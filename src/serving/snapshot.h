@@ -22,10 +22,9 @@ namespace lshap {
 // a snapshot; readers share it through shared_ptr, so an old epoch stays
 // fully valid for in-flight requests after a newer one is published.
 //
-// The ranker held here is a template: LearnShapleyModel's forward pass
-// mutates internal buffers, so service workers score on private per-epoch
-// clones (LearnShapleyRanker is deep-copyable) rather than through this
-// shared const instance.
+// The ranker is scored through directly by every worker: its scoring path
+// is const and scratch-free (per-thread inference workspaces), so one
+// shared const instance serves all threads with no per-epoch clones.
 struct DatabaseSnapshot {
   uint64_t epoch = 0;
   std::shared_ptr<const Database> db;
@@ -41,9 +40,8 @@ using SnapshotHandle = std::shared_ptr<const DatabaseSnapshot>;
 // requests keep the handle they acquired, so a swap never blocks or
 // invalidates readers — the old snapshot dies when its last handle drops.
 //
-// The epoch counter is also readable lock-free, which lets workers detect
-// "a new version landed" (and refresh their ranker clones) without
-// acquiring the slot mutex on every request.
+// The epoch counter is also readable lock-free, which lets clients detect
+// "a new version landed" without acquiring the slot mutex on every request.
 class SnapshotSlot {
  public:
   // Installs `snapshot` (whose `epoch` field is assigned here) and returns

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/rng.h"
@@ -293,6 +294,60 @@ TEST(EncodeSegmentsTest, LayoutAndTruncation) {
   const EncodedPair q = EncodeSegments(v, {longseg, {"c"}}, 10);
   EXPECT_LE(q.ids.size(), 10u);
   EXPECT_EQ(q.ids[0], Vocab::kCls);
+}
+
+TEST(EncodeSegmentsTest, TinyBudgetsKeepShortSegmentsFirst) {
+  // Regression: with a content budget below the segment count, the
+  // equal-share split rounded to zero and the whole budget fell through to
+  // the *longest* segment — starving the short, discriminative segments
+  // (the output tuple, the fact) in favor of SQL text.
+  Vocab v;
+  v.AddTokens({"q", "t", "f"});
+  const std::vector<std::string> query(6, "q");            // longest
+  const std::vector<std::string> tuple = {"t"};            // shortest
+  const std::vector<std::string> fact = {"f", "f", "f"};   // middle
+  const size_t specials = 3;  // [CLS] + 2 [SEP]
+  auto count = [&](const EncodedPair& p, const char* tok) {
+    return std::count(p.ids.begin(), p.ids.end(), v.Encode(tok));
+  };
+
+  // Budget 0: specials only, no crash, no content tokens.
+  const EncodedPair p0 = EncodeSegments(v, {query, tuple, fact}, specials);
+  EXPECT_EQ(p0.ids,
+            (std::vector<int>{Vocab::kCls, Vocab::kSep, Vocab::kSep}));
+
+  // Budget 1: the single content token goes to the shortest segment, not
+  // to the SQL text.
+  const EncodedPair p1 = EncodeSegments(v, {query, tuple, fact}, specials + 1);
+  EXPECT_EQ(p1.ids.size(), specials + 1);
+  EXPECT_EQ(count(p1, "t"), 1);
+  EXPECT_EQ(count(p1, "q"), 0);
+
+  // Budget = #segments - 1: the two shortest segments keep one token each.
+  const EncodedPair p2 = EncodeSegments(v, {query, tuple, fact}, specials + 2);
+  EXPECT_EQ(p2.ids.size(), specials + 2);
+  EXPECT_EQ(count(p2, "t"), 1);
+  EXPECT_EQ(count(p2, "f"), 1);
+  EXPECT_EQ(count(p2, "q"), 0);
+}
+
+TEST(EncodeSegmentsTest, AssembleMatchesEncodeSegments) {
+  // The batched scoring path (EncodeTokens + AssembleEncodedSegments) must
+  // produce byte-identical framing to the one-shot EncodeSegments.
+  Vocab v;
+  v.AddTokens({"a", "b", "c", "d", "e"});
+  const std::vector<std::string> s0 = {"a", "b", "c", "a", "b", "c"};
+  const std::vector<std::string> s1 = {"d"};
+  const std::vector<std::string> s2 = {"e", "e", "a"};
+  for (size_t max_len : {3u, 4u, 5u, 8u, 16u}) {
+    const EncodedPair want = EncodeSegments(v, {s0, s1, s2}, max_len);
+    const std::vector<int> e0 = EncodeTokens(v, s0);
+    const std::vector<int> e1 = EncodeTokens(v, s1);
+    const std::vector<int> e2 = EncodeTokens(v, s2);
+    const EncodedPair got = AssembleEncodedSegments({&e0, &e1, &e2}, max_len);
+    EXPECT_EQ(got.ids, want.ids) << "max_len=" << max_len;
+    EXPECT_EQ(got.mask, want.mask) << "max_len=" << max_len;
+  }
 }
 
 }  // namespace

@@ -1,13 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <sstream>
+#include <string>
 
 #include "common/fileio.h"
 #include "corpus/corpus.h"
 #include "datasets/imdb.h"
 #include "learnshapley/model_io.h"
 #include "learnshapley/trainer.h"
+#include "ml/quant.h"
 
 namespace lshap {
 namespace {
@@ -100,6 +104,66 @@ TEST_F(ModelIoTest, SaveIsAtomicAndRecoversFromKilledWriter) {
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   std::ifstream tmp(TempWritePath(path_));
   EXPECT_FALSE(tmp.good());
+}
+
+TEST_F(ModelIoTest, QuantizedSectionRoundTrips) {
+  TrainResult trained = QuickTrain();
+  trained.ranker->Configure(
+      RankerConfig{}.WithMode(InferenceMode::kQuantized));
+  ASSERT_NE(trained.ranker->quantized_model(), nullptr);
+  ASSERT_TRUE(SaveRanker(*trained.ranker, path_).ok());
+
+  auto loaded = LoadRanker(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->config().mode, InferenceMode::kQuantized);
+  ASSERT_NE((*loaded)->quantized_model(), nullptr);
+
+  // The int8 weights, scales and biases round-trip losslessly: identical
+  // quantized predictions on a fixed input.
+  EncodedPair input;
+  input.ids = {Vocab::kCls, 7, 9, Vocab::kSep, 11};
+  input.mask.assign(input.ids.size(), true);
+  QuantScratch a, b;
+  EXPECT_EQ(trained.ranker->quantized_model()->PredictShapley(input, a),
+            (*loaded)->quantized_model()->PredictShapley(input, b));
+
+  // And so do the float weights next to them.
+  EXPECT_EQ(trained.ranker->model().PredictShapley(input),
+            (*loaded)->model().PredictShapley(input));
+}
+
+TEST_F(ModelIoTest, CorruptedQuantSectionIsRejected) {
+  TrainResult trained = QuickTrain();
+  trained.ranker->Configure(
+      RankerConfig{}.WithMode(InferenceMode::kQuantized));
+  ASSERT_TRUE(SaveRanker(*trained.ranker, path_).ok());
+
+  // Flip one int8 weight in the stored text. The per-line parse still
+  // succeeds — only the FNV-1a checksum can catch it.
+  std::string contents;
+  {
+    std::ifstream in(path_);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    contents = ss.str();
+  }
+  const size_t pos = contents.find("\nqweights ");
+  ASSERT_NE(pos, std::string::npos);
+  const size_t val_pos = pos + std::string("\nqweights ").size();
+  // Replace the first weight with a different in-range value.
+  const size_t val_end = contents.find_first_of(" \n", val_pos);
+  const int old_val = std::atoi(contents.substr(val_pos).c_str());
+  const int new_val = old_val == 13 ? 14 : 13;
+  contents.replace(val_pos, val_end - val_pos, std::to_string(new_val));
+  {
+    std::ofstream out(path_);
+    out << contents;
+  }
+
+  auto loaded = LoadRanker(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("checksum"), std::string::npos)
+      << loaded.status().ToString();
 }
 
 }  // namespace

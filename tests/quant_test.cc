@@ -1,0 +1,442 @@
+// Differential tests for the quantized SIMD inference path (DESIGN.md §12):
+//
+//  - KernelBitEquality: the AVX2 and scalar kernels are bit-equal on random
+//    shapes (this is what lets the AVX2-disabled CI leg certify the scalar
+//    fallback as the same function).
+//  - Float inference twins: the const arena-based ForwardInference path is
+//    bit-identical to the mutating training forward.
+//  - QuantizedLinear: codes reconstruct the float weights within half a
+//    quantization step, and the int8 forward stays inside the analytic
+//    error bound of the scheme.
+//  - End-to-end: quantized top-k rankings agree with the float oracle on
+//    the held-out eval split within a small NDCG tolerance, batched lineage
+//    scoring equals per-fact scoring, and one shared const ranker scored
+//    from many threads is deterministic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "corpus/corpus.h"
+#include "datasets/imdb.h"
+#include "learnshapley/model.h"
+#include "learnshapley/ranker.h"
+#include "learnshapley/trainer.h"
+#include "metrics/ranking_metrics.h"
+#include "ml/encoder.h"
+#include "ml/layers.h"
+#include "ml/quant.h"
+#include "ml/simd.h"
+#include "shapley/shapley.h"
+
+namespace lshap {
+namespace {
+
+// Grabs both kernel tables through the dispatch point. The tables are
+// statics, so the references stay valid after the level is restored.
+struct BothTables {
+  const SimdKernelTable* scalar;
+  const SimdKernelTable* simd;
+};
+
+BothTables GetTables() {
+  const SimdLevel detected = DetectedSimdLevel();
+  SetSimdLevel(SimdLevel::kScalar);
+  const SimdKernelTable* scalar = &SimdKernels();
+  SetSimdLevel(detected);
+  return {scalar, &SimdKernels()};
+}
+
+class KernelBitEquality : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (DetectedSimdLevel() == SimdLevel::kScalar) {
+      GTEST_SKIP() << "no SIMD level above scalar on this build/CPU";
+    }
+  }
+  void TearDown() override { SetSimdLevel(DetectedSimdLevel()); }
+};
+
+TEST_F(KernelBitEquality, DotInt8) {
+  auto [scalar, simd] = GetTables();
+  Rng rng(101);
+  for (size_t n : {kInt8BlockElems, 2 * kInt8BlockElems, 3 * kInt8BlockElems,
+                   8 * kInt8BlockElems}) {
+    std::vector<int8_t> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<int8_t>(static_cast<int>(rng.NextBounded(255)) - 127);
+      b[i] = static_cast<int8_t>(static_cast<int>(rng.NextBounded(255)) - 127);
+    }
+    EXPECT_EQ(scalar->dot_i8(a.data(), b.data(), n),
+              simd->dot_i8(a.data(), b.data(), n))
+        << "n=" << n;
+  }
+}
+
+std::vector<float> RandomRow(Rng& rng, size_t n, float scale) {
+  std::vector<float> x(n);
+  for (float& v : x) {
+    v = scale * (2.0f * static_cast<float>(rng.NextDouble()) - 1.0f);
+  }
+  return x;
+}
+
+TEST_F(KernelBitEquality, Gelu) {
+  auto [scalar, simd] = GetTables();
+  Rng rng(102);
+  for (size_t n : {1u, 3u, 7u, 8u, 9u, 15u, 16u, 17u, 33u, 100u}) {
+    const std::vector<float> x = RandomRow(rng, n, 6.0f);
+    std::vector<float> a = x, b = x;
+    scalar->gelu(a.data(), n);
+    simd->gelu(b.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(a[i], b[i]) << "n=" << n << " i=" << i << " x=" << x[i];
+    }
+  }
+}
+
+TEST_F(KernelBitEquality, SoftmaxIncludingMaskedEntries) {
+  auto [scalar, simd] = GetTables();
+  Rng rng(103);
+  for (size_t n : {1u, 2u, 7u, 8u, 9u, 16u, 31u, 64u, 100u}) {
+    std::vector<float> x = RandomRow(rng, n, 8.0f);
+    // Mask a third of the entries the way attention does; the kernels must
+    // drive those to exactly zero in both variants.
+    for (size_t i = 0; i < n; ++i) {
+      if (i % 3 == 1 && n > 1) x[i] = -1e30f;
+    }
+    std::vector<float> a = x, b = x;
+    scalar->softmax(a.data(), n);
+    simd->softmax(b.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(a[i], b[i]) << "n=" << n << " i=" << i;
+      if (i % 3 == 1 && n > 1) {
+        EXPECT_EQ(a[i], 0.0f);
+      }
+    }
+  }
+}
+
+TEST_F(KernelBitEquality, QuantizeRow) {
+  auto [scalar, simd] = GetTables();
+  Rng rng(104);
+  for (size_t n : {1u, 5u, 8u, 13u, 16u, 24u, 48u, 100u}) {
+    const std::vector<float> x = RandomRow(rng, n, 3.0f);
+    std::vector<int8_t> qa(n, 42), qb(n, 42);
+    float sa = -1.0f, sb = -1.0f;
+    scalar->quantize_row(x.data(), n, qa.data(), &sa);
+    simd->quantize_row(x.data(), n, qb.data(), &sb);
+    EXPECT_EQ(sa, sb) << "n=" << n;
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(qa[i], qb[i]) << "n=" << n << " i=" << i;
+    }
+  }
+  // Zero rows get scale 0 and all-zero codes in both variants.
+  std::vector<float> zeros(40, 0.0f);
+  std::vector<int8_t> qa(40, 42), qb(40, 42);
+  float sa = -1.0f, sb = -1.0f;
+  scalar->quantize_row(zeros.data(), zeros.size(), qa.data(), &sa);
+  simd->quantize_row(zeros.data(), zeros.size(), qb.data(), &sb);
+  EXPECT_EQ(sa, 0.0f);
+  EXPECT_EQ(sb, 0.0f);
+  for (size_t i = 0; i < zeros.size(); ++i) {
+    EXPECT_EQ(qa[i], 0);
+    EXPECT_EQ(qb[i], 0);
+  }
+}
+
+TEST(SimdExpApproxTest, TracksStdExpAndMasksToZero) {
+  for (float x = -20.0f; x <= 20.0f; x += 0.37f) {
+    const float want = std::exp(x);
+    EXPECT_NEAR(SimdExpApprox(x), want, 2e-5f * (1.0f + want)) << "x=" << x;
+  }
+  EXPECT_EQ(SimdExpApprox(-1e30f), 0.0f);  // masked attention scores
+  EXPECT_EQ(SimdExpApprox(-100.0f), 0.0f);
+  EXPECT_GT(SimdExpApprox(-80.0f), 0.0f);
+}
+
+// ---- Float inference twins ----
+
+TEST(FloatInferenceTest, EncoderForwardInferenceIsBitIdentical) {
+  EncoderConfig cfg;
+  cfg.vocab_size = 40;
+  cfg.max_len = 12;
+  cfg.dim = 16;
+  cfg.num_heads = 2;
+  cfg.num_layers = 2;
+  cfg.ffn_dim = 32;
+  cfg.seed = 21;
+  TransformerEncoder enc(cfg);
+  Rng rng(22);
+  InferenceArena arena;
+  for (int trial = 0; trial < 5; ++trial) {
+    const size_t len = 3 + rng.NextBounded(9);
+    std::vector<int> ids;
+    ids.push_back(Vocab::kCls);
+    for (size_t i = 1; i < len; ++i) {
+      ids.push_back(static_cast<int>(
+          Vocab::kNumSpecial +
+          rng.NextBounded(cfg.vocab_size - Vocab::kNumSpecial)));
+    }
+    const std::vector<bool> mask(len, true);
+    const Tensor want = enc.Forward(ids, mask);
+    arena.Reset();
+    Tensor got;
+    enc.ForwardInference(ids, mask, arena, got);
+    ASSERT_EQ(got.rows(), want.rows());
+    ASSERT_EQ(got.cols(), want.cols());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got.data()[i], want.data()[i]) << "trial " << trial;
+    }
+  }
+}
+
+TEST(FloatInferenceTest, ModelPredictShapleyTwinsAgreeExactly) {
+  EncoderConfig cfg;
+  cfg.vocab_size = 30;
+  cfg.max_len = 16;
+  cfg.dim = 16;
+  cfg.num_heads = 2;
+  cfg.num_layers = 1;
+  cfg.ffn_dim = 32;
+  cfg.seed = 31;
+  LearnShapleyModel model(cfg, 31);
+  InferenceArena arena;
+  EncodedPair input;
+  input.ids = {Vocab::kCls, 7, 9, Vocab::kSep, 11, 6, Vocab::kSep, 8};
+  input.mask.assign(input.ids.size(), true);
+  const float mutating = model.PredictShapley(input);
+  const float via_arena = model.PredictShapley(input, arena);
+  EXPECT_EQ(mutating, via_arena);
+}
+
+// ---- QuantizedLinear ----
+
+TEST(QuantizedLinearTest, CodesReconstructWeightsWithinHalfStep) {
+  Rng rng(41);
+  const size_t in = 24, out = 12;
+  const Tensor w = Tensor::Randn(in, out, 1.0f, rng);
+  const Tensor b = Tensor::Randn(1, out, 1.0f, rng);
+  const QuantizedLinear q = QuantizedLinear::FromFloat(w, b);
+  ASSERT_EQ(q.in(), in);
+  ASSERT_EQ(q.out(), out);
+  ASSERT_EQ(q.in_pad() % kInt8BlockElems, 0u);
+  for (size_t j = 0; j < out; ++j) {
+    float amax = 0.0f;
+    for (size_t i = 0; i < in; ++i) amax = std::max(amax, std::abs(w.at(i, j)));
+    EXPECT_FLOAT_EQ(q.scales()[j], amax / 127.0f);
+    for (size_t i = 0; i < in; ++i) {
+      const float code =
+          static_cast<float>(q.weights()[j * q.in_pad() + i]);
+      EXPECT_NEAR(code * q.scales()[j], w.at(i, j),
+                  0.5f * q.scales()[j] + 1e-6f);
+    }
+    // The padded tail must be zero codes (they face zero-padded activations
+    // but keeping them zero makes the layout checksum-stable).
+    for (size_t i = in; i < q.in_pad(); ++i) {
+      EXPECT_EQ(q.weights()[j * q.in_pad() + i], 0);
+    }
+  }
+}
+
+TEST(QuantizedLinearTest, ForwardStaysInsideAnalyticErrorBound) {
+  Rng rng(42);
+  const size_t rows = 4, in = 40, out = 20;
+  const Tensor w = Tensor::Randn(in, out, 0.7f, rng);
+  const Tensor b = Tensor::Randn(1, out, 0.5f, rng);
+  const Tensor x = Tensor::Randn(rows, in, 1.2f, rng);
+  const QuantizedLinear q = QuantizedLinear::FromFloat(w, b);
+
+  QuantScratch scratch;
+  Tensor got;
+  QuantizedLinearForward(q, x, scratch, got);
+  ASSERT_EQ(got.rows(), rows);
+  ASSERT_EQ(got.cols(), out);
+
+  for (size_t r = 0; r < rows; ++r) {
+    float amax = 0.0f;
+    for (size_t i = 0; i < in; ++i) amax = std::max(amax, std::abs(x.at(r, i)));
+    const float act_scale = amax / 127.0f;
+    for (size_t j = 0; j < out; ++j) {
+      float want = b.at(0, j);
+      float bound = 1e-4f;
+      for (size_t i = 0; i < in; ++i) {
+        want += x.at(r, i) * w.at(i, j);
+        // Worst case per term: half a step on each operand plus the cross
+        // term (both operands rounded at once).
+        bound += 0.5f * act_scale * std::abs(w.at(i, j)) +
+                 0.5f * q.scales()[j] * std::abs(x.at(r, i)) +
+                 0.25f * act_scale * q.scales()[j];
+      }
+      EXPECT_NEAR(got.at(r, j), want, bound) << "r=" << r << " j=" << j;
+    }
+  }
+}
+
+// ---- End-to-end: quantized vs float oracle on the eval split ----
+
+struct TrainedFixture {
+  GeneratedDb data;
+  ThreadPool pool;
+  Corpus corpus;
+  TrainResult trained;
+
+  TrainedFixture() : data(MakeImdbDatabase({})), pool(2) {
+    CorpusConfig cfg;
+    cfg.seed = 12;
+    cfg.num_base_queries = 8;
+    cfg.max_outputs_per_query = 6;
+    cfg.query_gen.max_tables = 3;
+    corpus = BuildCorpus(*data.db, data.graph, cfg, pool);
+    SimilarityMatrices sims = ComputeSimilarityMatrices(corpus, 6, pool);
+    TrainConfig tc;
+    tc.do_pretrain = false;
+    tc.finetune_epochs = 1;
+    tc.finetune_samples_per_epoch = 64;
+    tc.batch_size = 32;
+    tc.seed = 13;
+    trained = TrainLearnShapley(corpus, sims, tc, pool);
+  }
+};
+
+// One trained model shared by every end-to-end test below (training once
+// keeps this test binary fast).
+TrainedFixture& Fixture() {
+  static TrainedFixture* fixture = new TrainedFixture();
+  return *fixture;
+}
+
+struct EvalPair {
+  const CorpusEntry* entry;
+  const TupleContribution* contrib;
+  std::vector<FactId> lineage;
+};
+
+std::vector<EvalPair> EvalPairs(const Corpus& corpus) {
+  std::vector<EvalPair> pairs;
+  for (size_t e : corpus.test_idx) {
+    const CorpusEntry& entry = corpus.entries[e];
+    for (const TupleContribution& c : entry.contributions) {
+      EvalPair p{&entry, &c, {}};
+      for (const auto& [f, v] : c.shapley) p.lineage.push_back(f);
+      if (!p.lineage.empty()) pairs.push_back(std::move(p));
+    }
+  }
+  return pairs;
+}
+
+TEST(QuantizedEndToEndTest, TopKAgreesWithFloatOracleWithinNdcgTolerance) {
+  TrainedFixture& fx = Fixture();
+  LearnShapleyRanker& ranker = *fx.trained.ranker;
+  const std::vector<EvalPair> pairs = EvalPairs(fx.corpus);
+  ASSERT_FALSE(pairs.empty());
+
+  std::vector<ShapleyValues> float_scores;
+  ranker.Configure(RankerConfig{}.WithMode(InferenceMode::kFloat));
+  for (const EvalPair& p : pairs) {
+    float_scores.push_back(ranker.ScoreLineage(
+        *fx.corpus.db, p.entry->query, p.contrib->tuple, p.lineage));
+  }
+
+  ranker.Configure(RankerConfig{}.WithMode(InferenceMode::kQuantized));
+  ASSERT_NE(ranker.quantized_model(), nullptr);
+
+  std::vector<double> agreement, gold_delta;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const EvalPair& p = pairs[i];
+    const ShapleyValues quant_scores = ranker.ScoreLineage(
+        *fx.corpus.db, p.entry->query, p.contrib->tuple, p.lineage);
+    const std::vector<FactId> rank_f = RankByScore(float_scores[i]);
+    const std::vector<FactId> rank_q = RankByScore(quant_scores);
+
+    // NDCG of the quantized ranking with the float ranking as gold: graded
+    // relevance by float rank position, so low-rank swaps between near-ties
+    // cost little and top-k swaps cost a lot.
+    ShapleyValues float_rank_rel;
+    for (size_t r = 0; r < rank_f.size(); ++r) {
+      float_rank_rel[rank_f[r]] =
+          static_cast<double>(rank_f.size() - r);
+    }
+    agreement.push_back(NdcgAtK(rank_q, float_rank_rel, 10));
+
+    // Against the true Shapley gold, quantization must not change ranking
+    // quality by more than a hair.
+    gold_delta.push_back(std::abs(NdcgAtK(rank_f, p.contrib->shapley, 10) -
+                                  NdcgAtK(rank_q, p.contrib->shapley, 10)));
+  }
+  EXPECT_GE(Mean(agreement), 0.97) << "quantized ranking diverged from the "
+                                      "float oracle on the eval split";
+  EXPECT_LE(Mean(gold_delta), 0.02);
+  ranker.Configure(RankerConfig{}.WithMode(InferenceMode::kFloat));
+}
+
+TEST(QuantizedEndToEndTest, BatchedLineageEqualsPerFactScoring) {
+  TrainedFixture& fx = Fixture();
+  LearnShapleyRanker& ranker = *fx.trained.ranker;
+  const std::vector<EvalPair> pairs = EvalPairs(fx.corpus);
+  ASSERT_FALSE(pairs.empty());
+
+  for (InferenceMode mode :
+       {InferenceMode::kFloat, InferenceMode::kQuantized}) {
+    ranker.Configure(RankerConfig{}.WithMode(mode));
+    const EvalPair& p = pairs.front();
+    const ShapleyValues batched = ranker.ScoreLineage(
+        *fx.corpus.db, p.entry->query, p.contrib->tuple, p.lineage);
+    for (FactId f : p.lineage) {
+      const ShapleyValues single = ranker.ScoreLineage(
+          *fx.corpus.db, p.entry->query, p.contrib->tuple, {f});
+      ASSERT_EQ(single.size(), 1u);
+      EXPECT_EQ(batched.at(f), single.at(f))
+          << "mode " << InferenceModeName(mode) << " fact " << f;
+    }
+  }
+  ranker.Configure(RankerConfig{}.WithMode(InferenceMode::kFloat));
+}
+
+TEST(QuantizedEndToEndTest, SharedConstRankerIsDeterministicAcrossThreads) {
+  TrainedFixture& fx = Fixture();
+  const std::vector<EvalPair> pairs = EvalPairs(fx.corpus);
+  ASSERT_FALSE(pairs.empty());
+
+  for (InferenceMode mode :
+       {InferenceMode::kFloat, InferenceMode::kQuantized}) {
+    fx.trained.ranker->Configure(RankerConfig{}.WithMode(mode));
+    const LearnShapleyRanker& shared = *fx.trained.ranker;
+
+    std::vector<ShapleyValues> serial;
+    for (const EvalPair& p : pairs) {
+      serial.push_back(shared.ScoreLineage(*fx.corpus.db, p.entry->query,
+                                           p.contrib->tuple, p.lineage));
+    }
+
+    constexpr size_t kThreads = 4;
+    std::vector<std::vector<ShapleyValues>> per_thread(kThreads);
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (const EvalPair& p : pairs) {
+          per_thread[t].push_back(shared.ScoreLineage(
+              *fx.corpus.db, p.entry->query, p.contrib->tuple, p.lineage));
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+
+    for (size_t t = 0; t < kThreads; ++t) {
+      ASSERT_EQ(per_thread[t].size(), serial.size());
+      for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(per_thread[t][i], serial[i])
+            << "mode " << InferenceModeName(mode) << " thread " << t;
+      }
+    }
+  }
+  fx.trained.ranker->Configure(RankerConfig{}.WithMode(InferenceMode::kFloat));
+}
+
+}  // namespace
+}  // namespace lshap

@@ -9,8 +9,10 @@
 #       (budget_test), the ThreadPool stress test (common_test), the
 #       sharded metrics registry (metrics_test), the corpus shard
 #       streaming layer — concurrent ReadShard + cursor prefetch
-#       (corpus_stream_test) — and the ranking service: concurrent
-#       Submit/Rank with snapshot swaps under load (serving_test).
+#       (corpus_stream_test) — the ranking service: concurrent
+#       Submit/Rank with snapshot swaps under load (serving_test) — and
+#       the shared const ranker scored from many threads in both float
+#       and int8 inference modes (quant_test).
 #   serve — plain build, then a short closed-loop bench_serve smoke run
 #       (warm / overload / chaos phases). Exits non-zero if any phase
 #       violates the zero-silent-drops accounting invariant.
@@ -33,13 +35,14 @@ case "$MODE" in
     CMAKE_MODE=thread
     # ^metrics_test$ is anchored: a bare 'metrics_test' would also match
     # ranking_metrics_test, which is single-threaded and slow under TSan.
-    TEST_ARGS=(-R 'eval_property_test|budget_test|common_test|^metrics_test$|corpus_stream_test|serving_test')
+    TEST_ARGS=(-R 'eval_property_test|budget_test|common_test|^metrics_test$|corpus_stream_test|serving_test|quant_test')
     ;;
   serve)
     BUILD_DIR="${BUILD_DIR:-build}"
     cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
     cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_serve
     "$BUILD_DIR"/bench/bench_serve --smoke
+    "$BUILD_DIR"/bench/bench_serve --smoke --quantized
     exit 0
     ;;
   *)
