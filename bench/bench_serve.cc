@@ -132,7 +132,8 @@ std::vector<RequestKey> BuildRequestPool(const Database& db,
 struct PhaseCounters {
   uint64_t submitted = 0, admitted = 0, completed = 0, errors = 0;
   uint64_t cancelled = 0, rejected = 0;
-  uint64_t rung_model = 0, rung_cached = 0, rung_proxy = 0, rung_degraded = 0;
+  uint64_t rung_model = 0, rung_cached = 0, rung_stratified = 0,
+           rung_proxy = 0, rung_degraded = 0;
 };
 
 PhaseCounters ReadCounters(const MetricsRegistry& m) {
@@ -150,6 +151,7 @@ PhaseCounters ReadCounters(const MetricsRegistry& m) {
                m.CounterValue("serve.rejected.shutdown");
   c.rung_model = m.CounterValue("serve.rung.model");
   c.rung_cached = m.CounterValue("serve.rung.cached");
+  c.rung_stratified = m.CounterValue("serve.rung.stratified");
   c.rung_proxy = m.CounterValue("serve.rung.cnf_proxy");
   c.rung_degraded = m.CounterValue("serve.rung.degraded");
   return c;
@@ -165,6 +167,7 @@ PhaseCounters Delta(const PhaseCounters& after, const PhaseCounters& before) {
   d.rejected = after.rejected - before.rejected;
   d.rung_model = after.rung_model - before.rung_model;
   d.rung_cached = after.rung_cached - before.rung_cached;
+  d.rung_stratified = after.rung_stratified - before.rung_stratified;
   d.rung_proxy = after.rung_proxy - before.rung_proxy;
   d.rung_degraded = after.rung_degraded - before.rung_degraded;
   return d;
@@ -270,10 +273,11 @@ bool RunPhase(const PhaseSpec& spec, const Options& opt,
   std::printf("%-9s p50 %8.3f ms   p99 %8.3f ms   %8.1f req/s   "
               "reject %5.1f%%\n",
               spec.name, p50 * 1e3, p99 * 1e3, qps, reject_rate * 100.0);
-  std::printf("          rungs: model %llu  cached %llu  cnf_proxy %llu  "
-              "degraded %llu   errors %llu\n",
+  std::printf("          rungs: model %llu  cached %llu  stratified %llu  "
+              "cnf_proxy %llu  degraded %llu   errors %llu\n",
               static_cast<unsigned long long>(d.rung_model),
               static_cast<unsigned long long>(d.rung_cached),
+              static_cast<unsigned long long>(d.rung_stratified),
               static_cast<unsigned long long>(d.rung_proxy),
               static_cast<unsigned long long>(d.rung_degraded),
               static_cast<unsigned long long>(d.errors));

@@ -49,10 +49,10 @@ void PrintDb(const Workbench& wb) {
   // Degradation-ladder accounting of the build (see BuildStats): which rung
   // produced each sampled tuple's ground truth, and where budgets tripped.
   const BuildStats& bs = c.stats;
-  std::printf("build: exact %zu | monte-carlo %zu | cnf-proxy %zu | "
-              "skipped %zu | wall %.2fs\n",
-              bs.exact, bs.monte_carlo, bs.cnf_proxy, bs.skipped,
-              bs.wall_seconds);
+  std::printf("build: exact %zu | stratified %zu | monte-carlo %zu | "
+              "cnf-proxy %zu | skipped %zu | wall %.2fs\n",
+              bs.exact, bs.stratified, bs.monte_carlo, bs.cnf_proxy,
+              bs.skipped, bs.wall_seconds);
   for (const auto& [site, count] : bs.budget_trips) {
     std::printf("  budget trips at %-24s %zu\n", site.c_str(), count);
   }

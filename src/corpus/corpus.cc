@@ -24,7 +24,14 @@ namespace {
 // and folded into BuildStats serially after the wave, so the recorded
 // counts are deterministic regardless of thread interleaving.
 struct LadderOutcome {
-  enum Rung : uint8_t { kNotRun = 0, kExact, kMonteCarlo, kCnfProxy, kSkip };
+  enum Rung : uint8_t {
+    kNotRun = 0,
+    kExact,
+    kStratified,
+    kMonteCarlo,
+    kCnfProxy,
+    kSkip
+  };
   Rung rung = kNotRun;
   std::vector<std::string> trip_sites;
 };
@@ -38,8 +45,8 @@ struct LadderOutcome {
 // transitions alongside the evaluator and trainer sections.
 struct CorpusMetricSet {
   Counter queries_generated, queries_kept, tuples_prefiltered, jobs,
-      rung_exact, rung_monte_carlo, rung_cnf_proxy, rung_skipped,
-      budget_trips;
+      rung_exact, rung_stratified, rung_monte_carlo, rung_cnf_proxy,
+      rung_skipped, budget_trips;
   Histogram lineage_facts, circuit_nodes;
   Gauge wall_seconds;
 
@@ -50,6 +57,7 @@ struct CorpusMetricSet {
         tuples_prefiltered(CounterFor(r, "corpus.tuples_prefiltered")),
         jobs(CounterFor(r, "corpus.ground_truth_jobs")),
         rung_exact(CounterFor(r, "corpus.rung_exact")),
+        rung_stratified(CounterFor(r, "corpus.rung_stratified")),
         rung_monte_carlo(CounterFor(r, "corpus.rung_monte_carlo")),
         rung_cnf_proxy(CounterFor(r, "corpus.rung_cnf_proxy")),
         rung_skipped(CounterFor(r, "corpus.rung_skipped")),
@@ -78,8 +86,9 @@ struct ShardResult {
 // K contiguous slices, and the sequential sampling RNG stream — output
 // sampling per kept query, then the final split shuffle — is consumed in
 // shard order, exactly the order the K=1 build consumes it. The
-// Monte-Carlo fallback is seeded by global job index (a running counter
-// across shards). So the merged entries, splits and rung counts are
+// stratified and Monte-Carlo fallback rungs are seeded by global job index
+// (a running counter across shards, with distinct per-rung mix
+// constants). So the merged entries, splits and rung counts are
 // identical for every K and thread count; only wall-clock deadline trips
 // can differ run to run.
 //
@@ -121,8 +130,8 @@ BuildStats RunShardedBuild(const Database& db, const SchemaGraph& graph,
   BuildStats stats;
   stats.per_shard.reserve(num_shards);
   // Global ladder-job counter: jobs are enumerated in the same order for
-  // every K, and this index seeds the Monte-Carlo fallback, so rung results
-  // are shard-count-invariant.
+  // every K, and this index seeds the sampling fallbacks (stratified and
+  // plain MC), so rung results are shard-count-invariant.
   size_t job_counter = 0;
   size_t total_kept = 0;  // kept entries across shards, for the split
 
@@ -242,8 +251,36 @@ BuildStats RunShardedBuild(const Database& db, const SchemaGraph& graph,
           return exact.status();
         }
       }
-      // Rung 2: Monte-Carlo estimate with a fixed sample budget and a
-      // fresh deadline. Seeded per global job index so the fallback is
+      // Rung 2 (opt-in): relation-stratified MC estimate with a fresh
+      // deadline. Strata come from each lineage fact's source table; the
+      // rng is seeded per global job index (with a mix constant distinct
+      // from the plain-MC rung's) so the result is deterministic
+      // regardless of thread or shard assignment.
+      if (config.stratified_fallback_samples > 0) {
+        const std::vector<FactId> lineage = job.prov->Variables();
+        std::vector<uint32_t> strata(lineage.size());
+        for (size_t i = 0; i < lineage.size(); ++i) {
+          strata[i] = db.FactTableIndex(lineage[i]);
+        }
+        ExecutionBudget budget({config.tuple_deadline_seconds, 0},
+                               &shard_cancel, config.fault_injector);
+        Rng strat_rng(config.seed ^
+                      (0xda942042e4dd58b5ULL * (job.global + 1)));
+        Result<ShapleyValues> strat = ComputeShapleyStratified(
+            *job.prov, strata, config.stratified_fallback_samples,
+            strat_rng, budget);
+        if (strat.ok()) {
+          dest = std::move(strat).value();
+          outcome.rung = LadderOutcome::kStratified;
+          return Status::Ok();
+        }
+        outcome.trip_sites.push_back(budget.trip_site());
+        if (strat.status().code() == StatusCode::kCancelled) {
+          return strat.status();
+        }
+      }
+      // Rung 3: plain Monte-Carlo estimate with a fixed sample budget and
+      // a fresh deadline. Seeded per global job index so the fallback is
       // deterministic regardless of thread or shard assignment.
       {
         ExecutionBudget budget({config.tuple_deadline_seconds, 0},
@@ -260,7 +297,7 @@ BuildStats RunShardedBuild(const Database& db, const SchemaGraph& graph,
         outcome.trip_sites.push_back(budget.trip_site());
         if (mc.status().code() == StatusCode::kCancelled) return mc.status();
       }
-      // Rung 3: CNF-proxy ranking scores (polynomial closed form).
+      // Rung 4: CNF-proxy ranking scores (polynomial closed form).
       {
         ExecutionBudget budget({config.tuple_deadline_seconds, 0},
                                &shard_cancel, config.fault_injector);
@@ -275,7 +312,7 @@ BuildStats RunShardedBuild(const Database& db, const SchemaGraph& graph,
           return proxy.status();
         }
       }
-      // Rung 4: skip. The tuple is dropped below with a stats record; the
+      // Rung 5: skip. The tuple is dropped below with a stats record; the
       // wave itself keeps going.
       outcome.rung = LadderOutcome::kSkip;
       return Status::Ok();
@@ -296,6 +333,9 @@ BuildStats RunShardedBuild(const Database& db, const SchemaGraph& graph,
       switch (outcome.rung) {
         case LadderOutcome::kExact:
           ++sstats.exact;
+          break;
+        case LadderOutcome::kStratified:
+          ++sstats.stratified;
           break;
         case LadderOutcome::kMonteCarlo:
           ++sstats.monte_carlo;
@@ -340,6 +380,7 @@ BuildStats RunShardedBuild(const Database& db, const SchemaGraph& graph,
     // thread, never under a mutex in completion order — so the merged
     // counts are deterministic at any thread count.
     stats.exact += sstats.exact;
+    stats.stratified += sstats.stratified;
     stats.monte_carlo += sstats.monte_carlo;
     stats.cnf_proxy += sstats.cnf_proxy;
     stats.skipped += sstats.skipped;
@@ -351,6 +392,8 @@ BuildStats RunShardedBuild(const Database& db, const SchemaGraph& graph,
       const std::string prefix = StrFormat("corpus.shard%03zu.", s);
       CounterFor(config.metrics, prefix + "entries").Inc(sstats.entries);
       CounterFor(config.metrics, prefix + "rung_exact").Inc(sstats.exact);
+      CounterFor(config.metrics, prefix + "rung_stratified")
+          .Inc(sstats.stratified);
       CounterFor(config.metrics, prefix + "rung_monte_carlo")
           .Inc(sstats.monte_carlo);
       CounterFor(config.metrics, prefix + "rung_cnf_proxy")
@@ -387,6 +430,7 @@ BuildStats RunShardedBuild(const Database& db, const SchemaGraph& graph,
   // Mirror the merged BuildStats into the registry (rung counts are
   // deterministic; see the shard-order merge above).
   metrics.rung_exact.Inc(stats.exact);
+  metrics.rung_stratified.Inc(stats.stratified);
   metrics.rung_monte_carlo.Inc(stats.monte_carlo);
   metrics.rung_cnf_proxy.Inc(stats.cnf_proxy);
   metrics.rung_skipped.Inc(stats.skipped);

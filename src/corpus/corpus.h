@@ -41,6 +41,7 @@ struct ShardBuildStats {
   uint32_t shard_index = 0;
   size_t entries = 0;      // corpus entries this shard contributed
   size_t exact = 0;
+  size_t stratified = 0;
   size_t monte_carlo = 0;
   size_t cnf_proxy = 0;
   size_t skipped = 0;
@@ -48,21 +49,24 @@ struct ShardBuildStats {
   std::map<std::string, size_t> budget_trips;
 
   size_t attempted() const {
-    return exact + monte_carlo + cnf_proxy + skipped;
+    return exact + stratified + monte_carlo + cnf_proxy + skipped;
   }
 };
 
 // What the graceful-degradation ladder did during one BuildCorpus run. Each
 // sampled output tuple lands on exactly one rung:
-//   exact -> monte_carlo -> cnf_proxy -> skipped.
-// The invariant `exact + monte_carlo + cnf_proxy + skipped == attempted()`
-// means no tuple is ever silently lost: a tuple without ground truth always
-// leaves a skip record with a trip site explaining why.
+//   exact -> stratified -> monte_carlo -> cnf_proxy -> skipped
+// (the stratified rung only exists when stratified_fallback_samples > 0;
+// the historical ladder goes straight from exact to monte_carlo). The
+// invariant `exact + stratified + monte_carlo + cnf_proxy + skipped ==
+// attempted()` means no tuple is ever silently lost: a tuple without
+// ground truth always leaves a skip record with a trip site explaining why.
 struct BuildStats {
   size_t exact = 0;        // rung 1: exact circuit Shapley
-  size_t monte_carlo = 0;  // rung 2: permutation-sampling estimate
-  size_t cnf_proxy = 0;    // rung 3: CNF-proxy ranking scores
-  // rung 4: dropped — pre-filtered (max_lineage / max_clauses), every
+  size_t stratified = 0;   // rung 2: relation-stratified MC (opt-in)
+  size_t monte_carlo = 0;  // rung 3: permutation-sampling estimate
+  size_t cnf_proxy = 0;    // rung 4: CNF-proxy ranking scores
+  // rung 5: dropped — pre-filtered (max_lineage / max_clauses), every
   // computing rung tripped its budget, or the build was cancelled before
   // the tuple was processed.
   size_t skipped = 0;
@@ -77,7 +81,7 @@ struct BuildStats {
   std::vector<ShardBuildStats> per_shard;
 
   size_t attempted() const {
-    return exact + monte_carlo + cnf_proxy + skipped;
+    return exact + stratified + monte_carlo + cnf_proxy + skipped;
   }
 };
 
@@ -127,6 +131,14 @@ struct CorpusConfig {
   size_t max_circuit_nodes = 0;
   // Sample budget of the Monte-Carlo fallback rung.
   size_t mc_fallback_samples = 20000;
+  // Per-fact sample budget of the relation-stratified MC rung, tried
+  // between exact and plain MC (DESIGN.md §13). 0 (the default) disables
+  // the rung, reproducing the historical exact -> MC ladder bit-for-bit.
+  // Because stratification cuts variance at equal budget, a useful setting
+  // is below mc_fallback_samples — equal estimator quality for less work,
+  // so more tuples finish above the CNF-proxy rung under a tight
+  // tuple deadline.
+  size_t stratified_fallback_samples = 0;
   // Whole-build wall-clock allowance; 0 = none. On expiry the parallel
   // ground-truth wave is cancelled cooperatively and every unprocessed
   // tuple is recorded as skipped (site corpus.build_deadline).
@@ -180,6 +192,10 @@ struct CorpusConfig {
     mc_fallback_samples = n;
     return *this;
   }
+  CorpusConfig& WithStratifiedFallbackSamples(size_t n) {
+    stratified_fallback_samples = n;
+    return *this;
+  }
   CorpusConfig& WithBuildDeadlineSeconds(double s) {
     build_deadline_seconds = s;
     return *this;
@@ -199,8 +215,9 @@ struct CorpusConfig {
 // Shapley ground truth for sampled outputs (in parallel over `pool`), and
 // splits queries into train/dev/test. Each tuple's ground truth descends a
 // graceful-degradation ladder under the configured budgets — exact circuit
-// Shapley, then a Monte-Carlo estimate, then the CNF proxy, then skip —
-// with per-rung counts and budget-trip sites recorded in Corpus::stats.
+// Shapley, then (when enabled) a relation-stratified MC estimate, then a
+// plain Monte-Carlo estimate, then the CNF proxy, then skip — with
+// per-rung counts and budget-trip sites recorded in Corpus::stats.
 // Deterministic for a fixed config whenever no deadline fires (budget trips
 // caused by wall-clock deadlines depend on machine speed; node budgets and
 // fault injection are exactly reproducible).

@@ -148,6 +148,12 @@ Status SaveCorpus(const Corpus& corpus, const std::string& path) {
   for (const auto& [site, count] : corpus.stats.budget_trips) {
     out << ' ' << site << ':' << count;
   }
+  // The stratified rung postdates the fixed-position fields, so it rides as
+  // a trailing key:value token — and only when nonzero, keeping files from
+  // default (rung-off) builds byte-identical to the historical format.
+  if (corpus.stats.stratified > 0) {
+    out << " strat:" << corpus.stats.stratified;
+  }
   out << '\n';
   out << "entries " << corpus.entries.size() << '\n';
   for (const auto& e : corpus.entries) {
@@ -250,6 +256,14 @@ Result<Corpus> LoadCorpus(const Database* db, const std::string& path) {
       if (colon == std::string::npos) return bad("malformed stats trip");
       corpus.stats.budget_trips[pair.substr(0, colon)] =
           std::stoul(pair.substr(colon + 1));
+    }
+    // Optional trailing tokens (absent in older files): currently only the
+    // stratified-rung count.
+    std::string extra;
+    while (ls >> extra) {
+      if (StartsWith(extra, "strat:")) {
+        corpus.stats.stratified = std::stoul(extra.substr(6));
+      }
     }
     if (!std::getline(in, line)) return bad("missing entries line");
   }

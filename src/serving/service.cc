@@ -4,8 +4,10 @@
 #include <optional>
 #include <utility>
 
+#include "common/rng.h"
 #include "common/strings.h"
 #include "eval/evaluator.h"
+#include "shapley/shapley.h"
 
 namespace lshap {
 
@@ -18,6 +20,17 @@ std::chrono::steady_clock::duration ToDuration(double seconds) {
 
 double Seconds(std::chrono::steady_clock::duration d) {
   return std::chrono::duration<double>(d).count();
+}
+
+// FNV-1a over a string: the query-identity component of the stratified
+// rung's deterministic per-request seed.
+uint64_t FnvOf(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
 }
 
 RankedTuple MakeRanked(const OutputTuple& t, const ShapleyValues& scores) {
@@ -37,6 +50,8 @@ const char* ServeRungName(ServeRung rung) {
       return "model";
     case ServeRung::kCached:
       return "cached";
+    case ServeRung::kStratified:
+      return "stratified";
     case ServeRung::kCnfProxy:
       return "cnf_proxy";
     case ServeRung::kDegraded:
@@ -65,6 +80,7 @@ RankingService::RankingService(ServiceConfig config)
   rejected_shutdown_ = CounterFor(m, "serve.rejected.shutdown");
   rung_model_ = CounterFor(m, "serve.rung.model");
   rung_cached_ = CounterFor(m, "serve.rung.cached");
+  rung_stratified_ = CounterFor(m, "serve.rung.stratified");
   rung_proxy_ = CounterFor(m, "serve.rung.cnf_proxy");
   rung_degraded_ = CounterFor(m, "serve.rung.degraded");
   queue_seconds_ =
@@ -419,7 +435,58 @@ RankResponse RankingService::Process(Pending& pending,
     }
   }
 
-  // Rung 3: CNF-proxy heuristic over provenance already in hand (a model
+  // Rung 3 (opt-in): relation-stratified MC Shapley over the tuple's
+  // provenance — the serving twin of the corpus builder's stratified rung
+  // (DESIGN.md §13), for deployments that want estimator-grade scores when
+  // the model is unavailable but real sampling still fits the deadline.
+  // Off by default (stratified_samples == 0), so the historical ladder is
+  // unchanged. The samples charge the request's budget; a mid-rung trip
+  // falls through to the proxy below. Seeded per (snapshot, query, tuple
+  // index), so a given request is scored identically on every replay.
+  if (config_.stratified_samples > 0 && !budget.tripped() &&
+      budget.RemainingSeconds() >= config_.est_stratified_seconds) {
+    const bool stratified_usable =
+        config_.fault == nullptr ||
+        config_.fault->OnSite(kSiteServeStratified).ok();
+    if (stratified_usable && ensure_eval()) {
+      auto tgt = targets();
+      if (!tgt.ok()) {
+        response.status = tgt.status();
+        return response;
+      }
+      std::vector<RankedTuple> results;
+      results.reserve(tgt->size());
+      bool scored_all = true;
+      for (size_t i : *tgt) {
+        const Dnf& prov = eval->ProvenanceOf(i);
+        const std::vector<FactId> lineage = prov.Variables();
+        std::vector<uint32_t> strata(lineage.size());
+        for (size_t j = 0; j < lineage.size(); ++j) {
+          strata[j] = snapshot.db->FactTableIndex(lineage[j]);
+        }
+        Rng rng(snapshot.db_fingerprint ^ FnvOf(request.query.id) ^
+                (0xda942042e4dd58b5ULL * (i + 1)));
+        auto scores = ComputeShapleyStratified(
+            prov, strata, config_.stratified_samples, rng, budget);
+        if (!scores.ok()) {
+          scored_all = false;  // budget tripped mid-estimate: degrade
+          break;
+        }
+        results.push_back(MakeRanked(eval->tuples[i], *scores));
+      }
+      if (scored_all) {
+        response.rung = ServeRung::kStratified;
+        response.results = std::move(results);
+        return response;
+      }
+    }
+  }
+  if (!eval_fatal.ok()) {
+    response.status = eval_fatal;
+    return response;
+  }
+
+  // Rung 4: CNF-proxy heuristic over provenance already in hand (a model
   // rung that tripped mid-scoring left a usable eval), or computed now if
   // the deadline has not yet passed.
   const bool proxy_usable =
@@ -452,7 +519,7 @@ RankResponse RankingService::Process(Pending& pending,
     }
   }
 
-  // Rung 4: explicit degradation — an honest empty answer instead of a
+  // Rung 5: explicit degradation — an honest empty answer instead of a
   // timeout, unless the client opted out.
   if (request.allow_degraded) {
     response.rung = ServeRung::kDegraded;
@@ -482,6 +549,9 @@ void RankingService::FinishResponse(Pending& pending, RankResponse response,
         break;
       case ServeRung::kCached:
         rung_cached_.Inc();
+        break;
+      case ServeRung::kStratified:
+        rung_stratified_.Inc();
         break;
       case ServeRung::kCnfProxy:
         rung_proxy_.Inc();

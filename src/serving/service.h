@@ -6,10 +6,12 @@
 // with admission control, per-request deadline propagation, micro-batched
 // scoring, and a per-request graceful-degradation ladder
 //
-//   kModel     full ranker forward pass over the tuple's lineage
-//   kCached    interned-key sharded LRU of (snapshot, query, tuple) results
-//   kCnfProxy  CNF clause-counting heuristic over the tuple's provenance
-//   kDegraded  explicit "no ranking computed" response — never a timeout
+//   kModel       full ranker forward pass over the tuple's lineage
+//   kCached      interned-key sharded LRU of (snapshot, query, tuple) results
+//   kStratified  relation-stratified MC Shapley over the tuple's provenance
+//                (opt-in via stratified_samples; off by default)
+//   kCnfProxy    CNF clause-counting heuristic over the tuple's provenance
+//   kDegraded    explicit "no ranking computed" response — never a timeout
 //
 // Every terminal outcome is accounted: a submitted request is either
 // rejected at admission (kResourceExhausted, caller never blocked),
@@ -43,14 +45,16 @@ inline constexpr char kSiteServeAdmission[] = "serve.admission";
 inline constexpr char kSiteServeSnapshot[] = "serve.snapshot";
 inline constexpr char kSiteServeEval[] = "serve.eval";
 inline constexpr char kSiteServeCache[] = "serve.cache";
+inline constexpr char kSiteServeStratified[] = "serve.stratified";
 inline constexpr char kSiteServeProxy[] = "serve.proxy";
 
 // Degradation-ladder rung recorded in every OK response.
 enum class ServeRung {
   kModel = 0,
   kCached = 1,
-  kCnfProxy = 2,
-  kDegraded = 3,
+  kStratified = 2,
+  kCnfProxy = 3,
+  kDegraded = 4,
 };
 const char* ServeRungName(ServeRung rung);
 
@@ -117,6 +121,14 @@ struct ServiceConfig {
   // kCached rung: total entries across shards; 0 disables the cache.
   size_t cache_capacity = 4096;
   size_t cache_shards = 8;
+  // kStratified rung: per-fact sample budget for the relation-stratified
+  // MC estimate tried between the cache and the CNF proxy. 0 (the
+  // default) disables the rung, preserving the historical ladder. Only
+  // attempted with an untripped budget and at least est_stratified_seconds
+  // of deadline remaining; its samples charge the request's budget, so a
+  // mid-rung trip degrades to the proxy.
+  size_t stratified_samples = 0;
+  double est_stratified_seconds = 2e-3;
   // kExplainQuery ranks at most this many output tuples.
   size_t max_explain_outputs = 16;
   FaultInjector* fault = nullptr;     // chaos hooks at every serve.* site
@@ -131,6 +143,8 @@ struct ServiceConfig {
   ServiceConfig& WithBatchWindowSeconds(double s) { batch_window_seconds = s; return *this; }
   ServiceConfig& WithCacheCapacity(size_t n) { cache_capacity = n; return *this; }
   ServiceConfig& WithCacheShards(size_t n) { cache_shards = n; return *this; }
+  ServiceConfig& WithStratifiedSamples(size_t n) { stratified_samples = n; return *this; }
+  ServiceConfig& WithEstStratifiedSeconds(double s) { est_stratified_seconds = s; return *this; }
   ServiceConfig& WithMaxExplainOutputs(size_t n) { max_explain_outputs = n; return *this; }
   ServiceConfig& WithFault(FaultInjector* f) { fault = f; return *this; }
   ServiceConfig& WithMetrics(MetricsRegistry* m) { metrics = m; return *this; }
@@ -220,7 +234,8 @@ class RankingService {
   Counter submitted_, admitted_, completed_, errors_, cancelled_;
   Counter rejected_queue_full_, rejected_backlog_, rejected_deadline_,
       rejected_no_snapshot_, rejected_fault_, rejected_shutdown_;
-  Counter rung_model_, rung_cached_, rung_proxy_, rung_degraded_;
+  Counter rung_model_, rung_cached_, rung_stratified_, rung_proxy_,
+      rung_degraded_;
   Histogram queue_seconds_, latency_seconds_, batch_size_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <map>
 #include <utility>
 
 #include "common/check.h"
@@ -163,6 +165,194 @@ Result<ShapleyValues> ComputeShapleyMonteCarlo(const Dnf& provenance,
   return out;
 }
 
+Result<ShapleyValues> ComputeShapleyStratified(const Dnf& provenance,
+                                               const std::vector<uint32_t>& strata,
+                                               size_t num_samples, Rng& rng,
+                                               ExecutionBudget& budget,
+                                               const StratifiedMcOptions& options) {
+  ShapleyValues out;
+  const std::vector<FactId> lineage = provenance.Variables();
+  const size_t n = lineage.size();
+  if (strata.size() != n) {
+    return Status::InvalidArgument(
+        StrFormat("stratified Shapley: %zu strata for %zu lineage facts",
+                  strata.size(), n));
+  }
+  if (n == 0) return out;
+  if (num_samples == 0) {
+    return Status::InvalidArgument(
+        "stratified Shapley requires num_samples >= 1");
+  }
+  for (FactId f : lineage) out[f] = 0.0;
+
+  const bool budgeted = !budget.unlimited();
+
+  // Group lineage positions by stratum, iterated in ascending stratum id so
+  // the allocation (and therefore every subsequent rng draw) is
+  // deterministic regardless of how the caller discovered the strata.
+  std::map<uint32_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < n; ++i) groups[strata[i]].push_back(i);
+
+  // Pilot pass: plain permutation walks whose per-fact pivot counts feed the
+  // per-stratum variance proxy. Used for allocation only — pilot pivots are
+  // not folded into the estimate, keeping it a pure position-stratified
+  // marginal-sample average.
+  size_t pilot = options.pilot_permutations;
+  if (groups.size() < 2 || num_samples < 2 * pilot) pilot = 0;
+  std::vector<double> pivot_rate;
+  if (pilot > 0) {
+    std::vector<size_t> pivots(n, 0);
+    std::vector<FactId> order = lineage;
+    std::vector<FactId> present;
+    present.reserve(n);
+    for (size_t s = 0; s < pilot; ++s) {
+      if (budgeted) {
+        Status status = budget.Charge(1, kSiteShapleyStratPilot);
+        if (!status.ok()) return status;
+      }
+      rng.Shuffle(order);
+      present.clear();
+      bool prev = provenance.Evaluate(present);
+      for (FactId f : order) {
+        present.insert(std::upper_bound(present.begin(), present.end(), f),
+                       f);
+        const bool now = prev || provenance.Evaluate(present);
+        if (now && !prev) {
+          const size_t idx = static_cast<size_t>(
+              std::lower_bound(lineage.begin(), lineage.end(), f) -
+              lineage.begin());
+          ++pivots[idx];
+        }
+        prev = now;
+        if (prev) break;
+      }
+    }
+    // Smoothed pivot-rate estimate: strata that never pivoted in the pilot
+    // keep a small floor so they are never starved to the 1-sample minimum
+    // on pilot noise alone.
+    pivot_rate.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      pivot_rate[i] = (static_cast<double>(pivots[i]) + 0.5) /
+                      (static_cast<double>(pilot) + 1.0);
+    }
+  }
+
+  // Per-fact sample allocation. The pool is n * num_samples marginal
+  // samples; every fact is guaranteed one, and the surplus is split across
+  // strata by Neyman weight w_r = sqrt(N_r * V_r) (proportional-to-size
+  // when the pilot was skipped) with deterministic largest-remainder
+  // rounding, then spread evenly inside each stratum (remainder to the
+  // earliest lineage positions). Sums to the pool exactly.
+  std::vector<size_t> alloc(n, num_samples);
+  if (pilot > 0) {
+    const size_t surplus = n * num_samples - n;
+    std::vector<double> weight;
+    double total_weight = 0.0;
+    weight.reserve(groups.size());
+    for (const auto& [sid, members] : groups) {
+      double variance = 0.0;
+      for (size_t i : members) {
+        variance += pivot_rate[i] * (1.0 - pivot_rate[i]);
+      }
+      const double w =
+          std::sqrt(static_cast<double>(members.size()) * variance);
+      weight.push_back(w);
+      total_weight += w;
+    }
+    size_t g = 0;
+    size_t assigned = 0;
+    std::vector<std::pair<double, size_t>> remainders;  // (frac, group idx)
+    std::vector<size_t> group_share(groups.size(), 0);
+    for (const auto& [sid, members] : groups) {
+      const double share = total_weight > 0.0
+                               ? static_cast<double>(surplus) * weight[g] /
+                                     total_weight
+                               : static_cast<double>(surplus) *
+                                     static_cast<double>(members.size()) /
+                                     static_cast<double>(n);
+      const size_t whole = static_cast<size_t>(share);
+      group_share[g] = whole;
+      assigned += whole;
+      remainders.emplace_back(share - static_cast<double>(whole), g);
+      ++g;
+    }
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    for (size_t leftover = surplus - assigned, r = 0; leftover > 0;
+         --leftover, ++r) {
+      ++group_share[remainders[r % remainders.size()].second];
+    }
+    g = 0;
+    for (const auto& [sid, members] : groups) {
+      const size_t base = group_share[g] / members.size();
+      const size_t extra = group_share[g] % members.size();
+      for (size_t j = 0; j < members.size(); ++j) {
+        alloc[members[j]] = 1 + base + (j < extra ? 1 : 0);
+      }
+      ++g;
+    }
+  }
+
+  // Main pass: per-fact marginal samples, coalition sizes stratified over
+  // contiguous position bins (with m_f >= n every size is hit; below n the
+  // bins tile [0, n) so the size axis is still covered systematically).
+  std::vector<FactId> others(n > 0 ? n - 1 : 0);
+  std::vector<FactId> coalition;
+  coalition.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    others.clear();
+    for (size_t j = 0; j < n; ++j) {
+      if (j != i) others.push_back(lineage[j]);
+    }
+    const size_t mi = alloc[i];
+    const size_t bins = std::min(n, mi);
+    const size_t per_bin = mi / bins;
+    const size_t extra = mi % bins;
+    long double phi = 0.0L;
+    for (size_t b = 0; b < bins; ++b) {
+      const size_t lo = b * n / bins;
+      const size_t hi = (b + 1) * n / bins;
+      const size_t width = hi - lo;
+      const size_t mb = per_bin + (b < extra ? 1 : 0);
+      size_t hits = 0;
+      for (size_t t = 0; t < mb; ++t) {
+        if (budgeted) {
+          Status status = budget.Charge(1, kSiteShapleyStratSample);
+          if (!status.ok()) return status;
+        }
+        const size_t k =
+            lo + (width > 1 ? rng.NextBounded(width) : 0);
+        // Uniform k-subset of lineage \ {f} by partial Fisher-Yates; the
+        // scratch stays permuted across samples, which preserves
+        // uniformity.
+        for (size_t j = 0; j < k; ++j) {
+          const size_t swap_with =
+              j + static_cast<size_t>(rng.NextBounded(others.size() - j));
+          std::swap(others[j], others[swap_with]);
+        }
+        coalition.assign(others.begin(),
+                         others.begin() + static_cast<ptrdiff_t>(k));
+        std::sort(coalition.begin(), coalition.end());
+        if (!provenance.Evaluate(coalition)) {
+          coalition.insert(std::upper_bound(coalition.begin(),
+                                            coalition.end(), lineage[i]),
+                           lineage[i]);
+          // Monotone, so Δ ∈ {0, 1} and Φ(S) true implies Φ(S∪{f}) true —
+          // the second evaluation only matters when the first failed.
+          if (provenance.Evaluate(coalition)) ++hits;
+        }
+      }
+      phi += (static_cast<long double>(width) / static_cast<long double>(n)) *
+             (static_cast<long double>(hits) / static_cast<long double>(mb));
+    }
+    out[lineage[i]] = static_cast<double>(phi);
+  }
+  return out;
+}
+
 Result<ShapleyValues> ComputeCnfProxy(const Dnf& provenance,
                                       ExecutionBudget& budget) {
   ShapleyValues out;
@@ -240,6 +430,16 @@ ShapleyValues ComputeShapleyMonteCarloUnlimited(const Dnf& provenance,
   ExecutionBudget unlimited = ExecutionBudget::Unlimited();
   Result<ShapleyValues> result =
       ComputeShapleyMonteCarlo(provenance, num_samples, rng, unlimited);
+  LSHAP_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+ShapleyValues ComputeShapleyStratifiedUnlimited(
+    const Dnf& provenance, const std::vector<uint32_t>& strata,
+    size_t num_samples, Rng& rng, const StratifiedMcOptions& options) {
+  ExecutionBudget unlimited = ExecutionBudget::Unlimited();
+  Result<ShapleyValues> result = ComputeShapleyStratified(
+      provenance, strata, num_samples, rng, unlimited, options);
   LSHAP_CHECK(result.ok());
   return std::move(result).value();
 }

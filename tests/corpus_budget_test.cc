@@ -1,10 +1,13 @@
 // Fault-injection and budget tests for the BuildCorpus graceful-degradation
-// ladder: each rung (exact -> Monte-Carlo -> CNF proxy -> skip) must engage
-// deterministically, BuildStats must account for every sampled tuple, and a
-// starved build must still terminate with a valid corpus.
+// ladder: each rung (exact -> stratified -> Monte-Carlo -> CNF proxy ->
+// skip) must engage deterministically, BuildStats must account for every
+// sampled tuple, and a starved build must still terminate with a valid
+// corpus.
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <map>
 #include <set>
 #include <string>
@@ -50,7 +53,8 @@ void ExpectValidSplit(const Corpus& c) {
 // record.
 void ExpectLadderAccounting(const Corpus& c) {
   const BuildStats& s = c.stats;
-  EXPECT_EQ(TotalContributions(c), s.exact + s.monte_carlo + s.cnf_proxy);
+  EXPECT_EQ(TotalContributions(c),
+            s.exact + s.stratified + s.monte_carlo + s.cnf_proxy);
   EXPECT_EQ(s.attempted(), TotalContributions(c) + s.skipped);
 }
 
@@ -233,6 +237,70 @@ TEST_F(CorpusBudgetTest, BuildStatsRoundTripThroughCorpusIo) {
   EXPECT_EQ(loaded->stats.budget_trips, c.stats.budget_trips);
 }
 
+// --- The stratified rung (stratified_fallback_samples > 0). ---
+
+TEST_F(CorpusBudgetTest, StratifiedRungCatchesTuplesExactDrops) {
+  CorpusConfig mc_cfg = SmallConfig();
+  mc_cfg.max_circuit_nodes = 1;  // force every tuple off the exact rung
+  const Corpus mc = Build(mc_cfg);
+
+  CorpusConfig cfg = mc_cfg;
+  cfg.stratified_fallback_samples = 64;
+  const Corpus c = Build(cfg);
+
+  // Every tuple the rung-off build degraded to Monte-Carlo lands on the
+  // stratified rung instead, and the rung counts still sum to the total.
+  EXPECT_EQ(c.stats.exact, 0u);
+  EXPECT_EQ(c.stats.stratified, mc.stats.monte_carlo);
+  EXPECT_EQ(c.stats.monte_carlo, 0u);
+  EXPECT_EQ(c.stats.attempted(), mc.stats.attempted());
+  ExpectLadderAccounting(c);
+  ExpectValidSplit(c);
+
+  // Stratified ground truth is still a (approximately efficient) Shapley
+  // distribution over each tuple's lineage.
+  for (const auto& e : c.entries) {
+    for (const auto& contrib : e.contributions) {
+      double sum = 0.0;
+      for (const auto& [f, v] : contrib.shapley) sum += v;
+      EXPECT_NEAR(sum, 1.0, 0.35);
+    }
+  }
+}
+
+TEST_F(CorpusBudgetTest, RungOffDefaultsLeaveTextOutputUnchanged) {
+  // stratified_fallback_samples = 0 is the historical configuration: the
+  // text serialization must carry no trace of the new rung, so pre-rung
+  // builds reproduce their output bit for bit.
+  const Corpus c = Build(SmallConfig());
+  EXPECT_EQ(c.stats.stratified, 0u);
+  const std::string path = ::testing::TempDir() + "/corpus_rung_off.lshap";
+  ASSERT_TRUE(SaveCorpus(c, path).ok());
+  std::ifstream in(path);
+  const std::string contents((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  std::remove(path.c_str());
+  EXPECT_EQ(contents.find("strat:"), std::string::npos);
+}
+
+TEST_F(CorpusBudgetTest, StratifiedStatsRoundTripThroughTextIo) {
+  CorpusConfig cfg = SmallConfig();
+  cfg.max_circuit_nodes = 1;
+  cfg.stratified_fallback_samples = 64;
+  const Corpus c = Build(cfg);
+  ASSERT_GT(c.stats.stratified, 0u);
+
+  const std::string path = ::testing::TempDir() + "/corpus_strat.lshap";
+  ASSERT_TRUE(SaveCorpus(c, path).ok());
+  auto loaded = LoadCorpus(data_.db.get(), path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->stats.stratified, c.stats.stratified);
+  EXPECT_EQ(loaded->stats.exact, c.stats.exact);
+  EXPECT_EQ(loaded->stats.monte_carlo, c.stats.monte_carlo);
+  EXPECT_EQ(loaded->stats.skipped, c.stats.skipped);
+}
+
 // --- Sharded builds (num_shards > 1). ---
 
 void ExpectSameCorpusContent(const Corpus& a, const Corpus& b) {
@@ -262,16 +330,18 @@ void ExpectSameCorpusContent(const Corpus& a, const Corpus& b) {
 void ExpectPerShardStatsMergeToTotals(const BuildStats& s,
                                       size_t num_shards) {
   ASSERT_EQ(s.per_shard.size(), num_shards);
-  size_t exact = 0, mc = 0, cnf = 0, skipped = 0;
+  size_t exact = 0, strat = 0, mc = 0, cnf = 0, skipped = 0;
   std::map<std::string, size_t> trips;
   for (const ShardBuildStats& ss : s.per_shard) {
     exact += ss.exact;
+    strat += ss.stratified;
     mc += ss.monte_carlo;
     cnf += ss.cnf_proxy;
     skipped += ss.skipped;
     for (const auto& [site, n] : ss.budget_trips) trips[site] += n;
   }
   EXPECT_EQ(exact, s.exact);
+  EXPECT_EQ(strat, s.stratified);
   EXPECT_EQ(mc, s.monte_carlo);
   EXPECT_EQ(cnf, s.cnf_proxy);
   EXPECT_EQ(skipped, s.skipped);
@@ -321,6 +391,61 @@ TEST_F(CorpusBudgetTest, ShardedBuildMatchesUnderDegradation) {
   ExpectSameCorpusContent(k1, k4);
   EXPECT_EQ(k4.stats.budget_trips, k1.stats.budget_trips);
   ExpectPerShardStatsMergeToTotals(k4.stats, 4);
+}
+
+// The stratified rung is seeded by global job index exactly like the MC
+// rung, so the merged corpus must stay a pure function of the config —
+// identical for every shard count and thread count.
+TEST_F(CorpusBudgetTest, StratifiedRungIsShardAndThreadCountInvariant) {
+  CorpusConfig cfg = SmallConfig();
+  cfg.max_circuit_nodes = 1;  // every tuple lands on the stratified rung
+  cfg.stratified_fallback_samples = 64;
+  const Corpus k1 = Build(cfg);
+  EXPECT_GT(k1.stats.stratified, 0u);
+  for (size_t k : {2u, 8u}) {
+    CorpusConfig cfgk = cfg;
+    cfgk.num_shards = k;
+    const Corpus ck = Build(cfgk);
+    ExpectSameCorpusContent(k1, ck);
+    EXPECT_EQ(ck.stats.stratified, k1.stats.stratified);
+    EXPECT_EQ(ck.stats.budget_trips, k1.stats.budget_trips);
+    ExpectPerShardStatsMergeToTotals(ck.stats, k);
+    ExpectLadderAccounting(ck);
+  }
+  ThreadPool serial(1);
+  CorpusConfig cfg8 = cfg;
+  cfg8.num_shards = 8;
+  const Corpus serial8 = BuildCorpus(*data_.db, data_.graph, cfg8, serial);
+  const Corpus pooled8 = Build(cfg8);
+  ExpectSameCorpusContent(serial8, pooled8);
+  EXPECT_EQ(serial8.stats.stratified, pooled8.stats.stratified);
+}
+
+TEST_F(CorpusBudgetTest, StratifiedStatsRoundTripThroughBinaryShards) {
+  const std::string path =
+      ::testing::TempDir() + "/corpus_strat_shards.lshapc";
+  CorpusConfig cfg = SmallConfig();
+  cfg.max_circuit_nodes = 1;
+  cfg.stratified_fallback_samples = 64;
+  cfg.num_shards = 2;
+  auto stats = BuildCorpusToShards(*data_.db, data_.graph, cfg, pool_, path);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_GT(stats->stratified, 0u);
+
+  auto loaded = LoadCorpusShards(data_.db.get(), path);
+  for (size_t s = 0; s < 2; ++s) {
+    std::remove((path + (s == 0 ? ".shard000" : ".shard001")).c_str());
+  }
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->stats.stratified, stats->stratified);
+  ExpectPerShardStatsMergeToTotals(loaded->stats, 2);
+
+  // The binary path agrees tuple for tuple with the in-memory build.
+  CorpusConfig mem_cfg = cfg;
+  mem_cfg.num_shards = 1;
+  const Corpus mem = BuildCorpus(*data_.db, data_.graph, mem_cfg, pool_);
+  ExpectSameCorpusContent(mem, *loaded);
 }
 
 TEST_F(CorpusBudgetTest, BuildToShardsMatchesInMemoryBuild) {

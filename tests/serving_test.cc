@@ -170,6 +170,49 @@ TEST_F(ServingTest, CnfProxyFallbackWithoutRanker) {
   EXPECT_EQ(metrics.CounterValue("serve.rung.cnf_proxy"), 1u);
 }
 
+TEST_F(ServingTest, StratifiedRungServesWhenConfiguredWithoutRanker) {
+  MetricsRegistry metrics;
+  RankingService svc{
+      ServiceConfig{}.WithStratifiedSamples(64).WithMetrics(&metrics)};
+  ASSERT_TRUE(svc.Publish(db_, /*ranker=*/nullptr).ok());
+
+  // No ranker published: with the rung enabled the ladder stops at the
+  // stratified estimate instead of falling all the way to the CNF proxy.
+  RankResponse resp = svc.Rank(AliceRequest());
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  EXPECT_EQ(resp.rung, ServeRung::kStratified);
+  ASSERT_EQ(resp.results.size(), 1u);
+  EXPECT_EQ(resp.results[0].ranking.size(), 9u);
+  EXPECT_EQ(metrics.CounterValue("serve.rung.stratified"), 1u);
+  EXPECT_EQ(metrics.CounterValue("serve.rung.cnf_proxy"), 0u);
+
+  // Seeded per (snapshot, query, tuple index): a replay scores identically.
+  RankResponse again = svc.Rank(AliceRequest());
+  ASSERT_TRUE(again.status.ok());
+  EXPECT_EQ(again.rung, ServeRung::kStratified);
+  EXPECT_EQ(again.results[0].ranking, resp.results[0].ranking);
+  EXPECT_EQ(again.results[0].scores, resp.results[0].scores);
+}
+
+TEST_F(ServingTest, StratifiedFaultFallsThroughToProxy) {
+  FaultInjector fault;
+  fault.FailAt(kSiteServeStratified, 0);
+  MetricsRegistry metrics;
+  RankingService svc{ServiceConfig{}
+                         .WithStratifiedSamples(64)
+                         .WithFault(&fault)
+                         .WithMetrics(&metrics)};
+  ASSERT_TRUE(svc.Publish(db_, /*ranker=*/nullptr).ok());
+
+  // The stratified site is polled directly on the injector: a fault there
+  // skips the rung without tripping the budget, so the proxy still answers.
+  RankResponse resp = svc.Rank(AliceRequest());
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  EXPECT_EQ(resp.rung, ServeRung::kCnfProxy);
+  EXPECT_EQ(metrics.CounterValue("serve.rung.stratified"), 0u);
+  EXPECT_EQ(metrics.CounterValue("serve.rung.cnf_proxy"), 1u);
+}
+
 TEST_F(ServingTest, DegradedResponseWhenBudgetTripsBeforeEval) {
   FaultInjector fault;
   fault.FailAt(kSiteServeSnapshot, 0);
@@ -491,6 +534,7 @@ TEST(RankingCacheTest, KeysSeparateSnapshotFingerprints) {
 TEST(ServeRungTest, NamesAreStable) {
   EXPECT_STREQ(ServeRungName(ServeRung::kModel), "model");
   EXPECT_STREQ(ServeRungName(ServeRung::kCached), "cached");
+  EXPECT_STREQ(ServeRungName(ServeRung::kStratified), "stratified");
   EXPECT_STREQ(ServeRungName(ServeRung::kCnfProxy), "cnf_proxy");
   EXPECT_STREQ(ServeRungName(ServeRung::kDegraded), "degraded");
 }

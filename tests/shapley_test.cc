@@ -155,6 +155,117 @@ TEST(ShapleyMonteCarloTest, ConvergesToExact) {
   }
 }
 
+// ---- Relation-stratified Monte Carlo (ComputeShapleyStratified) ----
+
+// Strata by fact-id parity: a cheap stand-in for "relation of origin" that
+// still yields at least two non-trivial groups on random DNFs.
+std::vector<uint32_t> ParityStrata(const Dnf& d) {
+  const std::vector<FactId> vars = d.Variables();
+  std::vector<uint32_t> strata(vars.size());
+  for (size_t i = 0; i < vars.size(); ++i) {
+    strata[i] = static_cast<uint32_t>(vars[i] % 2);
+  }
+  return strata;
+}
+
+TEST(StratifiedMcTest, DeterministicUnderFixedSeed) {
+  Rng data_rng(41);
+  const Dnf d = RandomDnf(data_rng, 10, 5, 3);
+  const auto strata = ParityStrata(d);
+  // 256 samples with the default 64-permutation pilot: both the pilot and
+  // the main pass run, so determinism covers the whole allocation path.
+  Rng a(7);
+  const auto va = ComputeShapleyStratifiedUnlimited(d, strata, 256, a);
+  Rng b(7);
+  const auto vb = ComputeShapleyStratifiedUnlimited(d, strata, 256, b);
+  ASSERT_EQ(va.size(), vb.size());
+  for (const auto& [f, val] : va) {
+    EXPECT_DOUBLE_EQ(vb.at(f), val) << "var " << f;
+  }
+}
+
+TEST(StratifiedMcTest, ConvergesToExact) {
+  Rng data_rng(31);
+  const Dnf d = RandomDnf(data_rng, 8, 4, 3);
+  const auto exact = ComputeShapleyExactUnlimited(d);
+  Rng rng(33);
+  const auto strat =
+      ComputeShapleyStratifiedUnlimited(d, ParityStrata(d), 20000, rng);
+  double sum = 0.0;
+  for (const auto& [f, val] : exact) {
+    EXPECT_NEAR(strat.at(f), val, 0.02) << "var " << f;
+  }
+  for (const auto& [f, val] : strat) sum += val;
+  // The estimator is per-fact (not permutation-walk), so efficiency holds
+  // only in expectation — but it must hold tightly at this sample count.
+  EXPECT_NEAR(sum, 1.0, 0.05);
+}
+
+TEST(StratifiedMcTest, BudgetExhaustionLeaksNoPartialState) {
+  Rng data_rng(41);
+  const Dnf d = RandomDnf(data_rng, 10, 5, 3);
+  const auto strata = ParityStrata(d);
+  // 10 work units cannot cover the 64-permutation pilot, let alone the
+  // main pass: the call must fail sticky with no values returned.
+  ExecutionBudget budget({0.0, 10});
+  Rng rng(7);
+  const auto r = ComputeShapleyStratified(d, strata, 256, rng, budget);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(budget.tripped());
+  EXPECT_EQ(budget.trip_site(), kSiteShapleyStratPilot);
+}
+
+TEST(StratifiedMcTest, FaultInMainPassTripsCleanly) {
+  Rng data_rng(41);
+  const Dnf d = RandomDnf(data_rng, 10, 5, 3);
+  const auto strata = ParityStrata(d);
+  FaultInjector fault;
+  fault.FailAt(kSiteShapleyStratSample, 3);
+  ExecutionBudget budget({0.0, 0}, nullptr, &fault);
+  Rng rng(7);
+  const auto r = ComputeShapleyStratified(d, strata, 256, rng, budget);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(budget.trip_site(), kSiteShapleyStratSample);
+}
+
+TEST(StratifiedMcTest, MatchesProportionalWhenPilotSkipped) {
+  Rng data_rng(41);
+  const Dnf d = RandomDnf(data_rng, 10, 5, 3);
+  const auto strata = ParityStrata(d);
+  // num_samples below 2x the default pilot budget auto-skips the pilot; the
+  // result must be bit-identical to explicitly requesting no pilot, i.e.
+  // the fallback is plain proportional allocation, not a degraded hybrid.
+  StratifiedMcOptions no_pilot;
+  no_pilot.pilot_permutations = 0;
+  Rng a(9);
+  const auto auto_skipped = ComputeShapleyStratifiedUnlimited(d, strata, 100, a);
+  Rng b(9);
+  const auto explicit_off =
+      ComputeShapleyStratifiedUnlimited(d, strata, 100, b, no_pilot);
+  ASSERT_EQ(auto_skipped.size(), explicit_off.size());
+  for (const auto& [f, val] : auto_skipped) {
+    EXPECT_DOUBLE_EQ(explicit_off.at(f), val) << "var " << f;
+  }
+}
+
+TEST(StratifiedMcTest, RejectsMalformedArguments) {
+  Rng data_rng(41);
+  const Dnf d = RandomDnf(data_rng, 6, 3, 3);
+  ExecutionBudget budget = ExecutionBudget::Unlimited();
+  Rng rng(1);
+  // Strata not aligned with the variable list.
+  std::vector<uint32_t> short_strata(d.Variables().size() - 1, 0);
+  auto r = ComputeShapleyStratified(d, short_strata, 64, rng, budget);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // Zero samples.
+  const std::vector<uint32_t> strata(d.Variables().size(), 0);
+  r = ComputeShapleyStratified(d, strata, 0, rng, budget);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(CnfProxyTest, TopFactMatchesExactOnSimpleProvenance) {
   // c1 supports two clauses, c2 one: the proxy must rank c1 above c2, and
   // the all-clause variable a1 on top.

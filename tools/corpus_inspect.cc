@@ -79,15 +79,16 @@ int Inspect(const std::string& path, size_t sample_records) {
               static_cast<unsigned long long>(m.total_entries()));
   std::printf("  splits: train %zu / dev %zu / test %zu\n",
               m.train_idx.size(), m.dev_idx.size(), m.test_idx.size());
-  std::printf("  build: attempted %zu = exact %zu + mc %zu + cnf %zu + "
-              "skipped %zu (%.2fs)\n",
-              m.stats.attempted(), m.stats.exact, m.stats.monte_carlo,
-              m.stats.cnf_proxy, m.stats.skipped, m.stats.wall_seconds);
+  std::printf("  build: attempted %zu = exact %zu + strat %zu + mc %zu + "
+              "cnf %zu + skipped %zu (%.2fs)\n",
+              m.stats.attempted(), m.stats.exact, m.stats.stratified,
+              m.stats.monte_carlo, m.stats.cnf_proxy, m.stats.skipped,
+              m.stats.wall_seconds);
   for (const ShardBuildStats& s : m.stats.per_shard) {
-    std::printf("    built shard %zu: %zu entries, rungs %zu/%zu/%zu/%zu "
+    std::printf("    built shard %zu: %zu entries, rungs %zu/%zu/%zu/%zu/%zu "
                 "(%.2fs)\n",
                 static_cast<size_t>(s.shard_index), s.entries, s.exact,
-                s.monte_carlo, s.cnf_proxy,
+                s.stratified, s.monte_carlo, s.cnf_proxy,
                 s.skipped, s.wall_seconds);
   }
 
@@ -114,8 +115,9 @@ int Inspect(const std::string& path, size_t sample_records) {
                 static_cast<unsigned long long>(f.base_entry),
                 static_cast<unsigned long long>(reader->file_bytes()),
                 per_record, static_cast<unsigned long long>(f.checksum));
-    std::printf("    rungs: exact %zu, mc %zu, cnf %zu, skipped %zu\n",
-                f.exact, f.monte_carlo, f.cnf_proxy, f.skipped);
+    std::printf("    rungs: exact %zu, strat %zu, mc %zu, cnf %zu, "
+                "skipped %zu\n",
+                f.exact, f.stratified, f.monte_carlo, f.cnf_proxy, f.skipped);
     for (size_t i = 0; i < reader->num_records() && i < sample_records; ++i) {
       auto rec = reader->ReadRawRecord(i, static_cast<size_t>(m.db_facts));
       if (!rec.ok()) {

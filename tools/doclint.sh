@@ -9,6 +9,14 @@
 #      is ${DOCLINT_BASE:-HEAD~1}..HEAD; the check is skipped (with a
 #      notice) when the base cannot be resolved (shallow clone, first
 #      commit) or when the range is empty.
+#   3. Every `BENCH_pr<N>.json` named in README.md or EXPERIMENTS.md must
+#      exist at the repo root — the docs routinely point readers at these
+#      files, and a dangling pointer means a PR forgot to commit its
+#      numbers.
+#   4. Intra-repo `#anchor` fragments (same-file or cross-file into a
+#      markdown target) must match a heading in the target file, using
+#      GitHub's slugification (lowercase, punctuation stripped, spaces to
+#      hyphens).
 #
 # Exit code 0 = clean, 1 = lint errors.
 set -uo pipefail
@@ -42,6 +50,55 @@ for f in "${md_files[@]}"; do
     fi
   done < <(grep -o '\[[^]]*\]([^)]*)' "$f" 2>/dev/null |
            sed 's/.*(\([^)]*\))/\1/')
+done
+
+# --- 1b. #anchor fragments resolve to headings --------------------------
+
+# GitHub-style heading slugs of a markdown file, one per line: lowercase,
+# everything but [a-z0-9 _-] removed, spaces (not collapsed) to hyphens.
+# Duplicate-heading "-1" suffixes are out of scope (none in this repo).
+slugs_of() {
+  grep -E '^#{1,6} ' "$1" 2>/dev/null | sed -E 's/^#{1,6} +//' |
+    tr '[:upper:]' '[:lower:]' |
+    sed -E 's/[^a-z0-9 _-]//g; s/ /-/g'
+}
+
+for f in "${md_files[@]}"; do
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    [[ "$target" == *'#'* ]] || continue
+    path="${target%%#*}"
+    anchor="${target#*#}"
+    [[ -n "$anchor" ]] || continue
+    if [[ -z "$path" ]]; then
+      anchor_file="$f"                 # same-file anchor
+    else
+      [[ "$path" == *.md ]] || continue
+      dir=$(dirname "$f")
+      if [[ -e "$dir/$path" ]]; then anchor_file="$dir/$path"
+      elif [[ -e "$path" ]]; then anchor_file="$path"
+      else continue; fi                # missing file already reported above
+    fi
+    if ! slugs_of "$anchor_file" | grep -qx "$anchor"; then
+      echo "doclint: $f: anchor #$anchor not found in $anchor_file"
+      errors=1
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$f" 2>/dev/null |
+           sed 's/.*(\([^)]*\))/\1/')
+done
+
+# --- 1c. BENCH_pr*.json pointers exist ----------------------------------
+
+for doc in README.md EXPERIMENTS.md; do
+  [[ -e "$doc" ]] || continue
+  while IFS= read -r bench; do
+    if [[ ! -e "$bench" ]]; then
+      echo "doclint: $doc: mentions $bench but the file does not exist"
+      errors=1
+    fi
+  done < <(grep -o 'BENCH_pr[0-9]*\.json' "$doc" | sort -u)
 done
 
 # --- 2. CHANGES.md gained a line in the diff ----------------------------
