@@ -1,0 +1,155 @@
+// Cost of the validity-bitmap machinery on the evaluation hot path, in
+// three arms over the bench_micro_eval database/log shape:
+//
+//   all_valid   — default generator output: no column carries a bitmap, so
+//                 every scan/probe runs the pre-null flat loops. This arm
+//                 against the pre-PR bench_micro_eval numbers is the
+//                 acceptance gate (<2% regression; see BENCH_pr10.json).
+//   bitmap_on   — the same cells plus one all-NULL row appended to every
+//                 table: every column now carries a bitmap, so scans pay
+//                 the valid(r) branch and joins pay the null-key checks,
+//                 while the data volume is within 4 rows of arm one. This
+//                 isolates the bitmap-branch cost at ~0% actual nulls.
+//   nulls_5pct  — regenerated with null_prob = 0.05: nullable cells go
+//                 NULL at 5%, the realistic dirty-data arm. Cell contents
+//                 differ from the other arms (the null draws shift the RNG
+//                 stream), so compare throughput only coarsely.
+//
+// Timing is min-of-3 with the arms interleaved inside each repetition, so
+// clock drift hits all arms equally. The same query log (generated once,
+// against the all-valid database) runs in every arm — the schemas are
+// identical, so the queries are valid everywhere.
+//
+// Usage: bench_null_overhead [--smoke]
+//
+// --smoke shrinks the database and log so CI can cover the full code path
+// in a couple of seconds.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "datasets/imdb.h"
+#include "eval/evaluator.h"
+#include "query/generator.h"
+#include "relational/database.h"
+
+using namespace lshap;
+
+namespace {
+
+struct Arm {
+  std::string name;
+  std::unique_ptr<Database> db;
+  double best_ms = 1e300;
+  size_t tuples = 0;
+};
+
+// Clones `src` and appends one row of all NULLs to every table: cell-wise
+// identical data, but every column crosses onto the bitmap-aware paths.
+std::unique_ptr<Database> WithBitmapsForced(const Database& src) {
+  auto db = std::make_unique<Database>(src.name());
+  for (size_t t = 0; t < src.num_tables(); ++t) {
+    const Table& table = src.table(t);
+    LSHAP_CHECK(db->AddTable(table.schema()).ok());
+    TableAppender app = db->AppenderFor(table.schema().table_name());
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      app.Begin();
+      for (size_t c = 0; c < table.num_columns(); ++c) {
+        const Value v = table.GetValue(r, c);
+        if (v.is_int()) {
+          app.Int(v.AsInt());
+        } else if (v.is_string()) {
+          app.Str(v.AsString());
+        } else {
+          app.Real(v.AsDouble());
+        }
+      }
+      app.Commit();
+    }
+    app.Begin();
+    for (size_t c = 0; c < table.num_columns(); ++c) app.Null();
+    app.Commit();
+  }
+  db->FreezeStringOrder();
+  for (size_t t = 0; t < db->num_tables(); ++t) {
+    for (size_t c = 0; c < db->table(t).num_columns(); ++c) {
+      LSHAP_CHECK(db->table(t).column(c).has_nulls());
+    }
+  }
+  return db;
+}
+
+size_t RunLog(const Database& db, const std::vector<Query>& log) {
+  size_t tuples = 0;
+  for (const Query& q : log) {
+    auto result = Evaluate(db, q);
+    LSHAP_CHECK(result.ok());
+    tuples += result->tuples.size();
+  }
+  return tuples;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  ImdbConfig cfg;
+  cfg.seed = 7;
+  cfg.num_companies = smoke ? 20 : 120;
+  cfg.num_actors = smoke ? 120 : 1200;
+  cfg.num_movies = smoke ? 220 : 2200;
+  cfg.num_roles = smoke ? 700 : 7000;
+  GeneratedDb base = MakeImdbDatabase(cfg);
+
+  ImdbConfig dirty_cfg = cfg;
+  dirty_cfg.null_prob = 0.05;
+
+  std::vector<Arm> arms;
+  arms.push_back({"all_valid", nullptr});
+  arms.push_back({"bitmap_on", WithBitmapsForced(*base.db)});
+  arms.push_back({"nulls_5pct", std::move(MakeImdbDatabase(dirty_cfg).db)});
+
+  QueryGenConfig gen_cfg;
+  gen_cfg.min_tables = 2;
+  gen_cfg.max_tables = 4;
+  QueryGenerator gen(base.db.get(), base.graph, gen_cfg, 4242);
+  const std::vector<Query> log = gen.GenerateLog(smoke ? 5 : 25, "nullbench");
+
+  const int reps = smoke ? 1 : 3;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (Arm& arm : arms) {
+      const Database& db = arm.db ? *arm.db : *base.db;
+      WallTimer timer;
+      const size_t tuples = RunLog(db, log);
+      const double ms = timer.ElapsedMillis();
+      if (ms < arm.best_ms) arm.best_ms = ms;
+      if (rep == 0) {
+        arm.tuples = tuples;
+      } else {
+        LSHAP_CHECK_EQ(arm.tuples, tuples);  // determinism across reps
+      }
+    }
+  }
+
+  // The forced-bitmap arm evaluates the same cells as all_valid plus one
+  // null row per table; nulls never join and never pass a selection, so
+  // only project-everything blocks can add tuples. Large divergence would
+  // mean the arms are not comparable.
+  std::printf("bench_null_overhead%s  queries=%zu  reps=%d (min)\n",
+              smoke ? " [smoke]" : "", log.size(), reps);
+  const double base_ms = arms[0].best_ms;
+  for (const Arm& arm : arms) {
+    std::printf("  %-11s %9.2f ms  tuples=%-7zu  vs all_valid %+6.1f%%\n",
+                arm.name.c_str(), arm.best_ms, arm.tuples,
+                (arm.best_ms / base_ms - 1.0) * 100.0);
+  }
+  return 0;
+}

@@ -67,6 +67,12 @@ const char* const kAuthorLast[] = {
 GeneratedDb MakeAcademicDatabase(const AcademicConfig& config) {
   Rng rng(config.seed);
   auto db = std::make_unique<Database>("academic");
+  LSHAP_CHECK(config.null_prob >= 0.0 && config.null_prob <= 1.0);
+  // Guarded null draw (see AcademicConfig::null_prob): at the default of 0
+  // this never touches the RNG, preserving the pre-null draw interleaving.
+  const auto draw_null = [&rng, &config]() {
+    return config.null_prob > 0.0 && rng.NextDouble() < config.null_prob;
+  };
 
   LSHAP_CHECK(db->AddTable(Schema("organization",
                                   {{"id", ColumnType::kInt},
@@ -137,13 +143,18 @@ GeneratedDb MakeAcademicDatabase(const AcademicConfig& config) {
           static_cast<int64_t>(rng.NextBounded(config.num_organizations));
       const int64_t papers = rng.NextInt(1, 160);
       const int64_t citations = papers * rng.NextInt(2, 90);
-      batch.Begin()
-          .Int(static_cast<int64_t>(i))
-          .Str(name)
-          .Int(org)
-          .Int(papers)
-          .Int(citations)
-          .End();
+      batch.Begin().Int(static_cast<int64_t>(i)).Str(name).Int(org);
+      if (draw_null()) {
+        batch.Null();
+      } else {
+        batch.Int(papers);
+      }
+      if (draw_null()) {
+        batch.Null();
+      } else {
+        batch.Int(citations);
+      }
+      batch.End();
     }
     authors.Append(batch);
   }
@@ -212,13 +223,19 @@ GeneratedDb MakeAcademicDatabase(const AcademicConfig& config) {
       const int64_t year = rng.NextInt(2000, 2023);
       const int64_t cid = static_cast<int64_t>(conf_sampler.Sample(rng));
       const int64_t citations = rng.NextInt(0, 400);
-      batch.Begin()
-          .Int(static_cast<int64_t>(i))
-          .Str(title)
-          .Int(year)
-          .Int(cid)
-          .Int(citations)
-          .End();
+      batch.Begin().Int(static_cast<int64_t>(i)).Str(title);
+      if (draw_null()) {
+        batch.Null();
+      } else {
+        batch.Int(year);
+      }
+      batch.Int(cid);
+      if (draw_null()) {
+        batch.Null();
+      } else {
+        batch.Int(citations);
+      }
+      batch.End();
     }
     publications.Append(batch);
   }

@@ -21,6 +21,12 @@ struct AcademicConfig {
   size_t num_domain_conference = 48;
   double author_zipf = 0.9;
   double conference_zipf = 0.7;
+  // Probability that a nullable non-key cell (author.paper_count,
+  // author.citation_count, publication.year, publication.citations) is NULL.
+  // Ids and FK columns never go null. Guarded draw — the default of 0
+  // consumes no RNG and keeps default databases byte-identical to the
+  // pre-null generator (see ImdbConfig::null_prob).
+  double null_prob = 0.0;
 };
 
 // Schema mirrors the Academic examples in the paper (Figure 8):

@@ -48,6 +48,13 @@ const char* const kLastNames[] = {
 GeneratedDb MakeImdbDatabase(const ImdbConfig& config) {
   Rng rng(config.seed);
   auto db = std::make_unique<Database>("imdb");
+  LSHAP_CHECK(config.null_prob >= 0.0 && config.null_prob <= 1.0);
+  // Guarded null draw (see ImdbConfig::null_prob): at the default of 0 this
+  // never touches the RNG, so the draw interleaving — and therefore every
+  // generated cell — matches the pre-null generator exactly.
+  const auto draw_null = [&rng, &config]() {
+    return config.null_prob > 0.0 && rng.NextDouble() < config.null_prob;
+  };
 
   LSHAP_CHECK(db->AddTable(Schema("companies",
                                   {{"name", ColumnType::kString},
@@ -78,8 +85,13 @@ GeneratedDb MakeImdbDatabase(const ImdbConfig& config) {
     for (size_t i = 0; i < config.num_companies; ++i) {
       std::string name = kCompanyStems[i % kNumStems];
       if (i >= kNumStems) name += StrFormat(" %zu", i / kNumStems + 1);
-      const char* country = kCountries[rng.NextBounded(std::size(kCountries))];
-      batch.Begin().Str(name).Str(country).End();
+      batch.Begin().Str(name);
+      if (draw_null()) {
+        batch.Null();
+      } else {
+        batch.Str(kCountries[rng.NextBounded(std::size(kCountries))]);
+      }
+      batch.End();
       company_names.push_back(std::move(name));
     }
     companies.Append(batch);
@@ -96,7 +108,13 @@ GeneratedDb MakeImdbDatabase(const ImdbConfig& config) {
           std::string(kFirstNames[rng.NextBounded(std::size(kFirstNames))]) +
           " " + kLastNames[rng.NextBounded(std::size(kLastNames))];
       name += StrFormat(" #%zu", i);  // ensure uniqueness
-      batch.Begin().Str(name).Int(rng.NextInt(18, 80)).End();
+      batch.Begin().Str(name);
+      if (draw_null()) {
+        batch.Null();
+      } else {
+        batch.Int(rng.NextInt(18, 80));
+      }
+      batch.End();
       actor_names.push_back(std::move(name));
     }
     actors.Append(batch);
@@ -115,9 +133,16 @@ GeneratedDb MakeImdbDatabase(const ImdbConfig& config) {
               kTitleAdjectives[rng.NextBounded(std::size(kTitleAdjectives))]) +
           " " + kTitleNouns[rng.NextBounded(std::size(kTitleNouns))];
       title += StrFormat(" (%zu)", i);  // ensure uniqueness
-      const int64_t year = rng.NextInt(1990, 2023);
+      const bool year_null = draw_null();
+      const int64_t year = year_null ? 0 : rng.NextInt(1990, 2023);
       const std::string& company = company_names[company_sampler.Sample(rng)];
-      batch.Begin().Str(title).Int(year).Str(company).End();
+      batch.Begin().Str(title);
+      if (year_null) {
+        batch.Null();
+      } else {
+        batch.Int(year);
+      }
+      batch.Str(company).End();
       movie_titles.push_back(std::move(title));
     }
     movies.Append(batch);

@@ -23,6 +23,13 @@ struct ImdbConfig {
   // movies, popular actors play many roles.
   double company_zipf = 0.9;
   double actor_zipf = 0.8;
+  // Probability that a nullable non-key cell (companies.country, actors.age,
+  // movies.year) is NULL instead of a drawn value. Join-key columns never go
+  // null, so the join graph's FK structure is preserved. The per-cell draw
+  // is guarded: the default of 0 consumes NO RNG draws, keeping default
+  // databases byte-identical to the pre-null generator (pinned by the
+  // fact-table fingerprints in null_semantics_test).
+  double null_prob = 0.0;
 };
 
 // The generated database together with its join graph (which the query

@@ -177,7 +177,9 @@ CompiledSel CompileSel(const Selection& sel, const ColumnData& col,
   c.col = &col;
   c.op = sel.op;
   const Value& lit = sel.literal;
-  if (lit.is_null()) return c;  // kNever
+  // A NULL literal compares unknown to every cell (even another NULL), and
+  // only true survives a selection — so the whole scan compiles to kNever.
+  if (lit.is_null()) return c;
   const bool col_is_string = col.type() == ColumnType::kString;
   // Ordered and prefix predicates on a fresh pool compile to one rank
   // interval; degenerate intervals collapse to kNever/kAlways so the scan
@@ -300,33 +302,51 @@ void ScanRows(const EvalContext& ctx, size_t n, bool first,
   rows = std::move(merged);
 }
 
+// ScanRows with three-valued null handling: a predicate on a NULL cell is
+// unknown, and only true survives, so null rows never pass. The all-valid
+// case (the overwhelmingly common one) dispatches to the exact pre-null flat
+// loop — the has_nulls() test is once per scan, not per row. The validity
+// test short-circuits BEFORE `pred` runs, which is load-bearing: predicates
+// like the rank-interval scan dereference per-cell payloads (ranks[ids[r]])
+// that are placeholder garbage on null rows.
+template <typename Pred>
+void ScanRowsNullable(const EvalContext& ctx, const ColumnData& col, size_t n,
+                      bool first, std::vector<uint32_t>& rows, Pred pred) {
+  if (!col.has_nulls()) {
+    ScanRows(ctx, n, first, rows, pred);
+    return;
+  }
+  ScanRows(ctx, n, first, rows,
+           [&](uint32_t r) { return col.valid(r) && pred(r); });
+}
+
 template <typename T>
-void NumericScan(const EvalContext& ctx, const std::vector<T>& data,
-                 CompareOp op, double lit, bool first,
-                 std::vector<uint32_t>& rows) {
+void NumericScan(const EvalContext& ctx, const ColumnData& col,
+                 const std::vector<T>& data, CompareOp op, double lit,
+                 bool first, std::vector<uint32_t>& rows) {
   switch (op) {
     case CompareOp::kEq:
-      ScanRows(ctx, data.size(), first, rows,
+      ScanRowsNullable(ctx, col, data.size(), first, rows,
                [&](uint32_t r) { return static_cast<double>(data[r]) == lit; });
       break;
     case CompareOp::kNe:
-      ScanRows(ctx, data.size(), first, rows,
+      ScanRowsNullable(ctx, col, data.size(), first, rows,
                [&](uint32_t r) { return static_cast<double>(data[r]) != lit; });
       break;
     case CompareOp::kLt:
-      ScanRows(ctx, data.size(), first, rows,
+      ScanRowsNullable(ctx, col, data.size(), first, rows,
                [&](uint32_t r) { return static_cast<double>(data[r]) < lit; });
       break;
     case CompareOp::kLe:
-      ScanRows(ctx, data.size(), first, rows,
+      ScanRowsNullable(ctx, col, data.size(), first, rows,
                [&](uint32_t r) { return static_cast<double>(data[r]) <= lit; });
       break;
     case CompareOp::kGt:
-      ScanRows(ctx, data.size(), first, rows,
+      ScanRowsNullable(ctx, col, data.size(), first, rows,
                [&](uint32_t r) { return static_cast<double>(data[r]) > lit; });
       break;
     case CompareOp::kGe:
-      ScanRows(ctx, data.size(), first, rows,
+      ScanRowsNullable(ctx, col, data.size(), first, rows,
                [&](uint32_t r) { return static_cast<double>(data[r]) >= lit; });
       break;
     case CompareOp::kStartsWith:
@@ -348,25 +368,31 @@ void ApplySel(const EvalContext& ctx, const CompiledSel& sel,
       if (first) rows.shrink_to_fit();
       break;
     case CompiledSel::Kind::kAlways:
-      if (first) {
+      // "Always" means "true for every possible cell VALUE" (kNe against an
+      // absent string, a full rank interval) — a NULL cell still compares
+      // unknown, so null rows must be filtered even here.
+      if (col.has_nulls()) {
+        ScanRows(ctx, n, first, rows,
+                 [&](uint32_t r) { return col.valid(r); });
+      } else if (first) {
         rows.resize(n);
         for (uint32_t r = 0; r < n; ++r) rows[r] = r;
       }
       break;
     case CompiledSel::Kind::kNumeric:
       if (col.type() == ColumnType::kInt) {
-        NumericScan(ctx, col.ints(), sel.op, sel.num, first, rows);
+        NumericScan(ctx, col, col.ints(), sel.op, sel.num, first, rows);
       } else {
-        NumericScan(ctx, col.doubles(), sel.op, sel.num, first, rows);
+        NumericScan(ctx, col, col.doubles(), sel.op, sel.num, first, rows);
       }
       break;
     case CompiledSel::Kind::kStringId: {
       const auto& ids = col.string_ids();
       if (sel.op == CompareOp::kEq) {
-        ScanRows(ctx, n, first, rows,
+        ScanRowsNullable(ctx, col, n, first, rows,
                  [&](uint32_t r) { return ids[r] == sel.id; });
       } else {
-        ScanRows(ctx, n, first, rows,
+        ScanRowsNullable(ctx, col, n, first, rows,
                  [&](uint32_t r) { return ids[r] != sel.id; });
       }
       break;
@@ -374,12 +400,15 @@ void ApplySel(const EvalContext& ctx, const CompiledSel& sel,
     case CompiledSel::Kind::kStringRank: {
       // One load + one unsigned compare per cell: rank in [lo, hi) iff
       // (rank - lo) < (hi - lo) with wraparound doing the lower-bound test.
+      // Null rows must short-circuit before the ranks[ids[r]] load — the
+      // placeholder id does not name a pooled string (ScanRowsNullable
+      // guarantees the ordering).
       ctx.metrics.sel_rank_path.Inc();
       const auto& ids = col.string_ids();
       const uint32_t* ranks = sel.ranks;
       const uint32_t lo = sel.rank_lo;
       const uint32_t width = sel.rank_hi - sel.rank_lo;
-      ScanRows(ctx, n, first, rows, [&](uint32_t r) {
+      ScanRowsNullable(ctx, col, n, first, rows, [&](uint32_t r) {
         return static_cast<uint32_t>(ranks[ids[r]] - lo) < width;
       });
       break;
@@ -387,7 +416,7 @@ void ApplySel(const EvalContext& ctx, const CompiledSel& sel,
     case CompiledSel::Kind::kStringOrder: {
       ctx.metrics.sel_text_fallback.Inc();
       const auto& ids = col.string_ids();
-      ScanRows(ctx, n, first, rows, [&](uint32_t r) {
+      ScanRowsNullable(ctx, col, n, first, rows, [&](uint32_t r) {
         return CompareMatches(pool.Get(ids[r]).compare(*sel.text), sel.op);
       });
       break;
@@ -395,7 +424,7 @@ void ApplySel(const EvalContext& ctx, const CompiledSel& sel,
     case CompiledSel::Kind::kStringPrefix: {
       ctx.metrics.sel_text_fallback.Inc();
       const auto& ids = col.string_ids();
-      ScanRows(ctx, n, first, rows, [&](uint32_t r) {
+      ScanRowsNullable(ctx, col, n, first, rows, [&](uint32_t r) {
         return StartsWith(pool.Get(ids[r]), *sel.text);
       });
       break;
@@ -443,11 +472,15 @@ void MergeJoinParts(std::vector<std::vector<PartialRow>>& parts,
 
 }  // namespace
 
-bool MatchesPredicate(const Value& value, CompareOp op, const Value& literal) {
-  if (value.is_null() || literal.is_null()) return false;
+TriBool MatchesPredicate3(const Value& value, CompareOp op,
+                          const Value& literal) {
+  // SQL comparison semantics: NULL on either side makes the comparison
+  // unknown, for every operator — notably kNe (NULL != x is NOT true).
+  if (value.is_null() || literal.is_null()) return TriBool::kUnknown;
   if (op == CompareOp::kStartsWith) {
-    if (!value.is_string() || !literal.is_string()) return false;
-    return StartsWith(value.AsString(), literal.AsString());
+    if (!value.is_string() || !literal.is_string()) return TriBool::kFalse;
+    return StartsWith(value.AsString(), literal.AsString()) ? TriBool::kTrue
+                                                            : TriBool::kFalse;
   }
   int cmp;
   if (value.is_string() && literal.is_string()) {
@@ -457,9 +490,11 @@ bool MatchesPredicate(const Value& value, CompareOp op, const Value& literal) {
     const double b = literal.AsDouble();
     cmp = a < b ? -1 : (a > b ? 1 : 0);
   } else {
-    return false;  // type mismatch never matches
+    // A definite type mismatch between two non-null cells is definitely
+    // false, not unknown — there is no missing information.
+    return TriBool::kFalse;
   }
-  return CompareMatches(cmp, op);
+  return CompareMatches(cmp, op) ? TriBool::kTrue : TriBool::kFalse;
 }
 
 namespace {
@@ -608,10 +643,16 @@ Status EvaluateBlock(const Database& db, const SpjBlock& block,
     // Join predicates between the new table and already-placed tables,
     // resolved to column slices. Columns of different types can never be
     // equal as Values, so one mismatched key part empties the whole block.
+    // `*_nullable` caches MayHaveJoinNulls per side: false means no cell of
+    // that column can be join-null (NULL, or NaN in a double column), so the
+    // hot loops skip the per-row null tests entirely — the all-valid
+    // int/string paths are byte-for-byte the pre-null loops.
     struct JoinKeyPart {
       size_t placed_order_pos;       // which earlier table
       const ColumnData* placed_col;  // its column slice
       const ColumnData* new_col;     // new table's column slice
+      bool placed_nullable;          // placed_col->MayHaveJoinNulls()
+      bool new_nullable;             // new_col->MayHaveJoinNulls()
     };
     std::vector<JoinKeyPart> key_parts;
     bool type_mismatch = false;
@@ -640,7 +681,9 @@ Status EvaluateBlock(const Database& db, const SpjBlock& block,
         type_mismatch = true;
         break;
       }
-      key_parts.push_back({order_pos[other], &placed_col, &new_col});
+      key_parts.push_back({order_pos[other], &placed_col, &new_col,
+                           placed_col.MayHaveJoinNulls(),
+                           new_col.MayHaveJoinNulls()});
     }
     if (type_mismatch) return Status::Ok();  // no pair can match
 
@@ -674,8 +717,34 @@ Status EvaluateBlock(const Database& db, const SpjBlock& block,
       // batch accessor, prefetch every batch's bucket heads, then walk the
       // payload slices — by which point the buckets are in cache.
       constexpr size_t kProbeBatch = 64;
+      // SQL join semantics: a join-null key cell (NULL, or NaN in a double
+      // column — NaN != NaN under double equality, but identical NaN bit
+      // patterns would compare equal as key words) matches nothing, not even
+      // another null. Rows whose key is join-null in ANY part are dropped
+      // from the build side before indexing; all-valid int/string builds
+      // take the unfiltered pre-null path.
+      const std::vector<uint32_t>* build_rows = &bt.surviving_rows;
+      std::vector<uint32_t> nonnull_build;
+      bool new_side_nullable = false;
+      for (const auto& part : key_parts) {
+        new_side_nullable = new_side_nullable || part.new_nullable;
+      }
+      if (new_side_nullable) {
+        nonnull_build.reserve(bt.surviving_rows.size());
+        for (uint32_t r : bt.surviving_rows) {
+          bool join_null = false;
+          for (const auto& part : key_parts) {
+            if (part.new_nullable && part.new_col->JoinKeyIsNull(r)) {
+              join_null = true;
+              break;
+            }
+          }
+          if (!join_null) nonnull_build.push_back(r);
+        }
+        build_rows = &nonnull_build;
+      }
       FlatJoinIndex index;
-      index.Build(*key_parts[0].new_col, bt.surviving_rows);
+      index.Build(*key_parts[0].new_col, *build_rows);
       ctx.metrics.index_builds.Inc();
       if (ctx.metrics.index_occupancy.enabled() && index.num_buckets() > 0) {
         ctx.metrics.index_occupancy.Observe(
@@ -695,6 +764,7 @@ Status EvaluateBlock(const Database& db, const SpjBlock& block,
       }
       const ColumnData& probe_col = *key_parts[0].placed_col;
       const size_t probe_pos = key_parts[0].placed_order_pos;
+      const bool probe_nullable = key_parts[0].placed_nullable;
       ctx.Run(current.size(), plan, [&](size_t m, size_t lo, size_t hi) {
         std::vector<PartialRow>& out = parts[m];
         uint32_t probe_rows[kProbeBatch];
@@ -711,6 +781,12 @@ Status EvaluateBlock(const Database& db, const SpjBlock& block,
             index.Prefetch(start[j]);
           }
           for (size_t j = 0; j < bn; ++j) {
+            // A join-null probe key matches nothing: its gathered key word
+            // is a placeholder (NULL) or a raw NaN pattern, either of which
+            // could spuriously hit a real build key by word equality.
+            if (probe_nullable && probe_col.JoinKeyIsNull(probe_rows[j])) {
+              continue;
+            }
             const FlatJoinIndex::Range range =
                 index.ProbeFrom(start[j], keys[j]);
             if (range.begin == range.end) continue;
@@ -720,9 +796,18 @@ Status EvaluateBlock(const Database& db, const SpjBlock& block,
               bool all_match = true;
               for (size_t kp = 1; kp < key_parts.size(); ++kp) {
                 const auto& part = key_parts[kp];
+                const uint32_t placed_row =
+                    pr.row_indices[part.placed_order_pos];
+                // Secondary key parts verify by word equality, so the same
+                // join-null exclusion applies on the placed side (the build
+                // side was pre-filtered for every part).
+                if (part.placed_nullable &&
+                    part.placed_col->JoinKeyIsNull(placed_row)) {
+                  all_match = false;
+                  break;
+                }
                 if (part.new_col->KeyWord(r) !=
-                    part.placed_col->KeyWord(
-                        pr.row_indices[part.placed_order_pos])) {
+                    part.placed_col->KeyWord(placed_row)) {
                   all_match = false;
                   break;
                 }
@@ -759,6 +844,20 @@ Status EvaluateBlock(const Database& db, const SpjBlock& block,
   // its own row range into a morsel-local distinct state (encoded keys in
   // first-seen order, per-slot provenance); Values are NOT materialized
   // here — only once per block-distinct tuple, at merge time.
+  //
+  // When a projected column holds NULLs, a null cell's key word is its
+  // placeholder (0 / 0.0 / id 0), which would collide with real zero cells
+  // under DISTINCT. One extra null-mask word per encoded tuple (bit c set =
+  // projected cell c is NULL) disambiguates; all-valid projections keep the
+  // exact pre-null encoding. DISTINCT deliberately treats NULL as equal to
+  // NULL (SQL's "not distinct" rule), which the mask preserves — two rows
+  // null in the same cells encode identically.
+  bool proj_has_nulls = false;
+  for (const auto& pc : proj_cols) {
+    proj_has_nulls = proj_has_nulls || pc.col->has_nulls();
+  }
+  if (proj_has_nulls) LSHAP_CHECK_LE(proj_cols.size(), size_t{64});
+  const size_t enc_width = proj_cols.size() + (proj_has_nulls ? 1 : 0);
   struct ProjLocal {
     std::unordered_map<EncodedTuple, size_t, EncodedTupleHash> index;
     std::vector<EncodedTuple> keys;  // slot -> encoded tuple, first-seen order
@@ -771,12 +870,22 @@ Status EvaluateBlock(const Database& db, const SpjBlock& block,
   std::vector<ProjLocal> proj_parts(proj_plan.count);
   ctx.Run(current.size(), proj_plan, [&](size_t m, size_t lo, size_t hi) {
     ProjLocal& loc = proj_parts[m];
-    EncodedTuple scratch(proj_cols.size());
+    EncodedTuple scratch(enc_width);
     for (size_t i = lo; i < hi; ++i) {
       const PartialRow& pr = current[i];
       for (size_t c = 0; c < proj_cols.size(); ++c) {
         scratch[c] =
             proj_cols[c].col->KeyWord(pr.row_indices[proj_cols[c].order_pos]);
+      }
+      if (proj_has_nulls) {
+        uint64_t null_mask = 0;
+        for (size_t c = 0; c < proj_cols.size(); ++c) {
+          if (!proj_cols[c].col->valid(
+                  pr.row_indices[proj_cols[c].order_pos])) {
+            null_mask |= uint64_t{1} << c;
+          }
+        }
+        scratch[proj_cols.size()] = null_mask;
       }
       auto [it, inserted] = loc.index.emplace(scratch, loc.keys.size());
       const size_t slot = it->second;

@@ -108,11 +108,31 @@ Result<EvalResult> Evaluate(const Database& db, const Query& q,
 Result<EvalResult> Evaluate(const Database& db, const Query& q,
                             ProvenanceCapture capture = ProvenanceCapture::kFull);
 
-// True if `value` satisfies `op literal` (numeric comparisons promote ints
-// to doubles; kStartsWith applies to strings only). Boundary helper over
-// Values — the evaluator itself uses the compiled columnar predicates; the
-// row-at-a-time reference evaluator in the test tree uses this directly.
-bool MatchesPredicate(const Value& value, CompareOp op, const Value& literal);
+// SQL three-valued truth value. Ordered so that kTrue > kUnknown > kFalse,
+// matching the standard's AND/OR min/max formulation should combinators ever
+// be needed; predicates only ever *pass* on kTrue (DESIGN.md §14).
+enum class TriBool { kFalse = 0, kUnknown = 1, kTrue = 2 };
+
+// Three-valued predicate evaluation: the truth value of `value op literal`.
+// A NULL on either side yields kUnknown for every CompareOp — including kNe
+// (NULL != x is unknown, not true) — per SQL comparison semantics. Non-null
+// operands compare exactly as before (numeric comparisons promote ints to
+// doubles; kStartsWith applies to strings only; a type mismatch between
+// non-null operands is kFalse, never unknown). Boundary helper over Values —
+// the evaluator itself compiles predicates against columnar storage and
+// filters null cells via validity bits; the row-at-a-time reference
+// evaluator in the test tree uses this directly.
+TriBool MatchesPredicate3(const Value& value, CompareOp op,
+                          const Value& literal);
+
+// Two-valued wrapper: true iff the predicate is *definitely* true. This is
+// exactly the "only true survives a selection" rule, so the reference
+// evaluator keeps its boolean shape and stays line-for-line comparable with
+// the compiled path.
+inline bool MatchesPredicate(const Value& value, CompareOp op,
+                             const Value& literal) {
+  return MatchesPredicate3(value, op, literal) == TriBool::kTrue;
+}
 
 }  // namespace lshap
 

@@ -16,6 +16,7 @@ QueryGenerator::QueryGenerator(const Database* db, SchemaGraph graph,
   LSHAP_CHECK(config_.string_order_prob >= 0.0);
   LSHAP_CHECK(config_.string_prefix_prob >= 0.0);
   LSHAP_CHECK(config_.string_order_prob + config_.string_prefix_prob <= 1.0);
+  LSHAP_CHECK(config_.null_prob >= 0.0 && config_.null_prob <= 1.0);
 }
 
 Value QueryGenerator::SampleLiteral(const std::string& table,
@@ -39,6 +40,13 @@ Selection QueryGenerator::RandomSelection(const std::string& table) {
   const Column& column = t->schema().columns()[col];
   Selection sel;
   sel.column = {table, column.name};
+  // Guarded draw (see QueryGenConfig::null_prob): with the default of 0
+  // this branch consumes nothing from the RNG stream.
+  if (config_.null_prob > 0.0 && rng_.NextDouble() < config_.null_prob) {
+    sel.op = CompareOp::kEq;
+    sel.literal = Value::Null();
+    return sel;
+  }
   Value sample = SampleLiteral(table, col);
   switch (column.type) {
     case ColumnType::kInt:

@@ -44,6 +44,14 @@ struct QueryGenConfig {
   double string_prefix_prob = 0.3;
   // Probability a query is a union of two SPJ blocks.
   double union_prob = 0.15;
+  // Probability that a generated selection compares against the literal
+  // NULL instead of a sampled column value (such a predicate is unknown for
+  // every row — SQL three-valued semantics — so the block returns nothing;
+  // the workload value is exercising the null paths, not the results). The
+  // draw is guarded: the default of 0 consumes NO RNG draws, so historical
+  // logs replay bit-for-bit (pinned by the golden fingerprints in
+  // query_test / null_semantics_test).
+  double null_prob = 0.0;
   // Number of projected columns, inclusive bounds.
   int min_projections = 1;
   int max_projections = 2;

@@ -255,9 +255,14 @@ class Parser {
       return Status::Ok();
     }
 
-    // Literal comparison.
+    // Literal comparison. NULL is the literal Value::Null() — such a
+    // predicate is unknown for every row (evaluator compiles it to kNever),
+    // but it must round-trip through ToSql()/ParseQuery like any literal
+    // the generator can emit under null_prob.
     Value literal;
-    if (Peek().kind == TokKind::kString) {
+    if (AcceptKeyword("NULL")) {
+      literal = Value::Null();
+    } else if (Peek().kind == TokKind::kString) {
       literal = Value(Advance().text);
     } else if (Peek().kind == TokKind::kNumber) {
       const std::string text = Advance().text;

@@ -14,8 +14,17 @@ namespace lshap {
 // One typed, contiguous column of a table. Exactly one of the three backing
 // vectors is populated, matching type(); cells are fixed-width (int64,
 // double, or interned StringId), so scans touch flat memory and carry no
-// per-cell heap payload. Cells are never null: the Value boundary rejects
-// nulls and mistyped inserts before they reach a column.
+// per-cell heap payload.
+//
+// NULL cells are first-class (DESIGN.md §14): a word-packed validity bitmap
+// rides alongside the cell vector, bit i set = row i valid. The bitmap is
+// materialized lazily on the first AppendNull — an all-valid column stores
+// no bitmap at all, pays zero memory, and every consumer short-circuits on
+// has_nulls() so the all-valid scan/probe loops are exactly the pre-null
+// flat loops. A null cell still occupies a slot in the cell vector, holding
+// a deterministic placeholder (0 / 0.0 / StringId 0) that keeps the flat
+// loops branch-free; readers must consult valid(i) before trusting a cell
+// wherever has_nulls() is true.
 class ColumnData {
  public:
   explicit ColumnData(ColumnType type) : type_(type) {}
@@ -36,16 +45,57 @@ class ColumnData {
 
   void AppendInt(int64_t v) {
     LSHAP_CHECK(type_ == ColumnType::kInt);
+    PushValidity(ints_.size(), true);
     ints_.push_back(v);
   }
   void AppendDouble(double v) {
     LSHAP_CHECK(type_ == ColumnType::kDouble);
+    PushValidity(doubles_.size(), true);
     doubles_.push_back(v);
   }
   void AppendString(StringId id) {
     LSHAP_CHECK(type_ == ColumnType::kString);
+    PushValidity(strings_.size(), true);
     strings_.push_back(id);
   }
+
+  // Appends a NULL cell: the placeholder goes into the cell vector (so flat
+  // accessors stay in bounds) and the row's validity bit is cleared,
+  // materializing the bitmap if this is the column's first null.
+  void AppendNull() {
+    switch (type_) {
+      case ColumnType::kInt:
+        PushValidity(ints_.size(), false);
+        ints_.push_back(0);
+        break;
+      case ColumnType::kDouble:
+        PushValidity(doubles_.size(), false);
+        doubles_.push_back(0.0);
+        break;
+      case ColumnType::kString:
+        PushValidity(strings_.size(), false);
+        strings_.push_back(0);
+        break;
+    }
+  }
+
+  // True when the column holds at least one NULL — equivalently, when the
+  // validity bitmap is materialized. The gate every hot loop tests once per
+  // column before choosing the flat (pre-null, bit-identical) body.
+  bool has_nulls() const { return !validity_.empty(); }
+  size_t null_count() const { return null_count_; }
+
+  // Row validity. All-valid columns answer without touching memory beyond
+  // the empty-vector check.
+  bool valid(size_t i) const {
+    return validity_.empty() ||
+           ((validity_[i >> 6] >> (i & 63)) & 1u) != 0;
+  }
+
+  // The packed bitmap words (empty for an all-valid column). Bits at
+  // positions >= size() are zero by construction, so the words are a
+  // canonical byte image — what FactTableFingerprint hashes.
+  const std::vector<uint64_t>& validity_words() const { return validity_; }
 
   int64_t IntAt(size_t i) const { return ints_[i]; }
   double DoubleAt(size_t i) const { return doubles_[i]; }
@@ -57,10 +107,12 @@ class ColumnData {
 
   // The cell as one 64-bit comparison key: raw int bits, canonicalized
   // double bits (-0.0 folds onto +0.0 so that key equality matches double
-  // equality), or the widened string id. Two cells of columns with the SAME
-  // ColumnType are equal as Values iff their key words are equal; across
-  // types, Values are never equal (variant semantics), which callers handle
-  // by comparing column types first.
+  // equality), or the widened string id. Two VALID cells of columns with the
+  // SAME ColumnType are equal as Values iff their key words are equal;
+  // across types, Values are never equal (variant semantics), which callers
+  // handle by comparing column types first. A NULL cell yields its
+  // placeholder word — join and DISTINCT paths must exclude or mask null
+  // rows (via JoinKeyIsNull / valid) before trusting key-word equality.
   uint64_t KeyWord(size_t i) const {
     switch (type_) {
       case ColumnType::kInt:
@@ -104,8 +156,31 @@ class ColumnData {
     }
   }
 
+  // True if the cell at row i can never equal any join key under SQL join
+  // semantics: a NULL cell (NULL matches nothing, including NULL), or a NaN
+  // cell in a double column — double equality says NaN != NaN, but two NaN
+  // cells with identical bit patterns would compare equal as key words, so
+  // they must be excluded rather than canonicalized.
+  bool JoinKeyIsNull(size_t i) const {
+    if (!valid(i)) return true;
+    if (type_ == ColumnType::kDouble) {
+      const double d = doubles_[i];
+      return d != d;  // NaN
+    }
+    return false;
+  }
+
+  // Cheap per-column gate for the join hot paths: false means no cell of
+  // this column can be join-null, so build/probe loops skip the per-row
+  // JoinKeyIsNull test entirely. Double columns always answer true (NaN
+  // presence is not tracked); int and string columns answer has_nulls().
+  bool MayHaveJoinNulls() const {
+    return has_nulls() || type_ == ColumnType::kDouble;
+  }
+
   // Decodes one cell back into the boundary Value type.
   Value GetValue(size_t i, const StringPool& pool) const {
+    if (!valid(i)) return Value::Null();
     switch (type_) {
       case ColumnType::kInt:
         return Value(ints_[i]);
@@ -118,10 +193,39 @@ class ColumnData {
   }
 
  private:
+  // Records the validity of the cell about to land at index `row`. The
+  // all-valid fast path is the first branch: no bitmap and a valid cell is
+  // a no-op, so columns that never see a null never allocate. On the first
+  // null, bits [0, row) are backfilled as valid and the new row's bit stays
+  // clear; trailing bits beyond the last row are kept zero so the word
+  // vector is a canonical image (fingerprintable byte-for-byte).
+  void PushValidity(size_t row, bool is_valid) {
+    if (validity_.empty()) {
+      if (is_valid) return;
+      validity_.resize(row / 64 + 1, 0);
+      for (size_t w = 0; w < row / 64; ++w) validity_[w] = ~uint64_t{0};
+      if (row % 64 != 0) {
+        validity_[row / 64] = (uint64_t{1} << (row % 64)) - 1;
+      }
+      ++null_count_;
+      return;
+    }
+    if (row / 64 >= validity_.size()) validity_.push_back(0);
+    if (is_valid) {
+      validity_[row / 64] |= uint64_t{1} << (row % 64);
+    } else {
+      ++null_count_;
+    }
+  }
+
   ColumnType type_;
   std::vector<int64_t> ints_;
   std::vector<double> doubles_;
   std::vector<StringId> strings_;
+  // Word-packed validity bitmap; empty = all valid (the common case, and
+  // the invariant null_count_ == 0 iff validity_.empty()).
+  std::vector<uint64_t> validity_;
+  size_t null_count_ = 0;
 };
 
 }  // namespace lshap

@@ -33,13 +33,14 @@ Result<FactId> Database::Insert(const std::string& table_name,
                   table_name.c_str(), values.size(), schema.num_columns()));
   }
   // Validate the whole row against the column types before touching any
-  // column, so a failed insert leaves the table unchanged.
+  // column, so a failed insert leaves the table unchanged. Value::Null()
+  // matches any column type.
   for (size_t c = 0; c < values.size(); ++c) {
     const Value& v = values[c];
     const ColumnType want = schema.columns()[c].type;
-    const bool ok = (want == ColumnType::kInt && v.is_int()) ||
-                    (want == ColumnType::kDouble && !v.is_null() &&
-                     !v.is_string()) ||
+    const bool ok = v.is_null() ||
+                    (want == ColumnType::kInt && v.is_int()) ||
+                    (want == ColumnType::kDouble && !v.is_string()) ||
                     (want == ColumnType::kString && v.is_string());
     if (!ok) {
       return Status::InvalidArgument(StrFormat(
@@ -52,6 +53,10 @@ Result<FactId> Database::Insert(const std::string& table_name,
   appender.Begin();
   for (size_t c = 0; c < values.size(); ++c) {
     const Value& v = values[c];
+    if (v.is_null()) {
+      appender.Null();
+      continue;
+    }
     switch (schema.columns()[c].type) {
       case ColumnType::kInt:
         appender.Int(v.AsInt());
@@ -161,11 +166,34 @@ uint64_t FactTableFingerprint(const Database& db) {
         case ColumnType::kString:
           // Hash string contents, not interned ids: two independently built
           // but identical databases must fingerprint equal even if their
-          // pools interned in a different order.
-          for (StringId id : col.string_ids()) {
-            h = FnvString(h, db.string_pool().Get(id));
+          // pools interned in a different order. A NULL cell's placeholder
+          // id must never be dereferenced (it does not name a pooled
+          // string); hash a marker impossible for real cells instead —
+          // FnvString prefixes the length, so length SIZE_MAX is
+          // unreachable by any interned string.
+          if (col.has_nulls()) {
+            const auto& ids = col.string_ids();
+            for (size_t r = 0; r < ids.size(); ++r) {
+              if (col.valid(r)) {
+                h = FnvString(h, db.string_pool().Get(ids[r]));
+              } else {
+                h = FnvWord(h, ~uint64_t{0});
+              }
+            }
+          } else {
+            for (StringId id : col.string_ids()) {
+              h = FnvString(h, db.string_pool().Get(id));
+            }
           }
           break;
+      }
+      // Validity words participate only when nulls exist, keeping all-valid
+      // fingerprints identical to the pre-null scheme. Trailing bits of the
+      // last word are canonically zero, so this is a stable byte image.
+      if (col.has_nulls()) {
+        h = FnvWord(h, col.null_count());
+        h = FnvBytes(h, col.validity_words().data(),
+                     col.validity_words().size() * sizeof(uint64_t));
       }
     }
   }

@@ -40,8 +40,9 @@ class Database {
   Status AddTable(Schema schema);
 
   // Appends a row through the Value boundary; values must match the schema's
-  // arity and column types (ints promote into kDouble columns; nulls are
-  // rejected). Returns the new fact's id.
+  // arity and column types (ints promote into kDouble columns; Value::Null()
+  // is accepted for any column type and stores a NULL cell). Returns the new
+  // fact's id.
   Result<FactId> Insert(const std::string& table_name,
                         std::vector<Value> values);
 
@@ -83,9 +84,12 @@ class Database {
 
 // FNV-1a fingerprint of the database's fact table: table names, schemas and
 // every cell (string cells hash by content, not by interned id, so two
-// independently built but identical databases fingerprint equal). Corpus
-// files record it so a loader can prove the corpus was built over exactly
-// this database, not merely one with the same name and fact count.
+// independently built but identical databases fingerprint equal). Columns
+// that hold NULLs additionally hash their validity bitmap words, so two
+// databases differing only in which cells are NULL fingerprint differently;
+// all-valid columns hash exactly as before nulls existed. Corpus files
+// record it so a loader can prove the corpus was built over exactly this
+// database, not merely one with the same name and fact count.
 uint64_t FactTableFingerprint(const Database& db);
 
 }  // namespace lshap

@@ -69,6 +69,14 @@ TableAppender& TableAppender::Str(std::string_view s) {
   return *this;
 }
 
+TableAppender& TableAppender::Null() {
+  Table& t = table();
+  LSHAP_CHECK_LT(next_col_, t.num_columns());
+  t.columns_[next_col_].AppendNull();
+  staged_[next_col_++] += 1;
+  return *this;
+}
+
 FactId TableAppender::Commit() {
   // Thin wrapper: one fully-staged row, committed through the batch path.
   LSHAP_CHECK_EQ(next_col_, table().num_columns());
@@ -127,6 +135,94 @@ TableAppender& TableAppender::AppendColumn(
   return *this;
 }
 
+TableAppender& TableAppender::AppendNullableColumn(
+    size_t col, std::span<const int64_t> values,
+    std::span<const uint8_t> validity) {
+  Table& t = table();
+  LSHAP_CHECK_EQ(next_col_, t.num_columns());  // no row open
+  LSHAP_CHECK_LT(col, t.num_columns());
+  LSHAP_CHECK_EQ(values.size(), validity.size());
+  ColumnData& data = t.columns_[col];
+  if (data.type() == ColumnType::kDouble) {
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (validity[i] != 0) {
+        data.AppendDouble(static_cast<double>(values[i]));
+      } else {
+        data.AppendNull();
+      }
+    }
+  } else {
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (validity[i] != 0) {
+        data.AppendInt(values[i]);
+      } else {
+        data.AppendNull();
+      }
+    }
+  }
+  staged_[col] += values.size();
+  return *this;
+}
+
+TableAppender& TableAppender::AppendNullableColumn(
+    size_t col, std::span<const double> values,
+    std::span<const uint8_t> validity) {
+  Table& t = table();
+  LSHAP_CHECK_EQ(next_col_, t.num_columns());
+  LSHAP_CHECK_LT(col, t.num_columns());
+  LSHAP_CHECK_EQ(values.size(), validity.size());
+  ColumnData& data = t.columns_[col];
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (validity[i] != 0) {
+      data.AppendDouble(values[i]);
+    } else {
+      data.AppendNull();
+    }
+  }
+  staged_[col] += values.size();
+  return *this;
+}
+
+TableAppender& TableAppender::AppendNullableColumn(
+    size_t col, std::span<const std::string_view> values,
+    std::span<const uint8_t> validity) {
+  Table& t = table();
+  LSHAP_CHECK_EQ(next_col_, t.num_columns());
+  LSHAP_CHECK_LT(col, t.num_columns());
+  LSHAP_CHECK_EQ(values.size(), validity.size());
+  ColumnData& data = t.columns_[col];
+  for (size_t i = 0; i < values.size(); ++i) {
+    // Null slots are not interned: the placeholder value never reaches the
+    // string pool, so a batch with nulls interns exactly its valid strings.
+    if (validity[i] != 0) {
+      data.AppendString(db_->pool_.Intern(values[i]));
+    } else {
+      data.AppendNull();
+    }
+  }
+  staged_[col] += values.size();
+  return *this;
+}
+
+TableAppender& TableAppender::AppendNullableColumn(
+    size_t col, std::span<const std::string> values,
+    std::span<const uint8_t> validity) {
+  Table& t = table();
+  LSHAP_CHECK_EQ(next_col_, t.num_columns());
+  LSHAP_CHECK_LT(col, t.num_columns());
+  LSHAP_CHECK_EQ(values.size(), validity.size());
+  ColumnData& data = t.columns_[col];
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (validity[i] != 0) {
+      data.AppendString(db_->pool_.Intern(values[i]));
+    } else {
+      data.AppendNull();
+    }
+  }
+  staged_[col] += values.size();
+  return *this;
+}
+
 std::vector<FactId> TableAppender::CommitRows() {
   Table& t = table();
   LSHAP_CHECK_EQ(next_col_, t.num_columns());  // no row open
@@ -158,15 +254,34 @@ std::vector<FactId> TableAppender::Append(const RowBatch& batch) {
   for (size_t c = 0; c < schema.num_columns(); ++c) {
     LSHAP_CHECK(batch.schema_.columns()[c].type == schema.columns()[c].type);
     const RowBatch::ColumnBuffer& buf = batch.columns_[c];
+    // All-valid buffers (empty validity) flush through the plain AppendColumn
+    // path, so batches that never staged a Null are byte-identical to the
+    // pre-null behavior; nullable buffers go through the validity-span path.
+    const std::span<const uint8_t> validity(buf.validity);
     switch (schema.columns()[c].type) {
       case ColumnType::kInt:
-        AppendColumn(c, std::span<const int64_t>(buf.ints));
+        if (validity.empty()) {
+          AppendColumn(c, std::span<const int64_t>(buf.ints));
+        } else {
+          AppendNullableColumn(c, std::span<const int64_t>(buf.ints),
+                               validity);
+        }
         break;
       case ColumnType::kDouble:
-        AppendColumn(c, std::span<const double>(buf.reals));
+        if (validity.empty()) {
+          AppendColumn(c, std::span<const double>(buf.reals));
+        } else {
+          AppendNullableColumn(c, std::span<const double>(buf.reals),
+                               validity);
+        }
         break;
       case ColumnType::kString:
-        AppendColumn(c, std::span<const std::string>(buf.strs));
+        if (validity.empty()) {
+          AppendColumn(c, std::span<const std::string>(buf.strs));
+        } else {
+          AppendNullableColumn(c, std::span<const std::string>(buf.strs),
+                               validity);
+        }
         break;
     }
   }
@@ -193,19 +308,61 @@ RowBatch& RowBatch::Int(int64_t v) {
   } else {
     buf.ints.push_back(v);
   }
+  if (!buf.validity.empty()) buf.validity.push_back(1);
   ++next_col_;
   return *this;
 }
 
 RowBatch& RowBatch::Real(double v) {
   LSHAP_CHECK_LT(next_col_, schema_.num_columns());
-  columns_[next_col_++].reals.push_back(v);
+  ColumnBuffer& buf = columns_[next_col_];
+  buf.reals.push_back(v);
+  if (!buf.validity.empty()) buf.validity.push_back(1);
+  ++next_col_;
   return *this;
 }
 
 RowBatch& RowBatch::Str(std::string_view s) {
   LSHAP_CHECK_LT(next_col_, schema_.num_columns());
-  columns_[next_col_++].strs.emplace_back(s);
+  ColumnBuffer& buf = columns_[next_col_];
+  buf.strs.emplace_back(s);
+  if (!buf.validity.empty()) buf.validity.push_back(1);
+  ++next_col_;
+  return *this;
+}
+
+RowBatch& RowBatch::Null() {
+  LSHAP_CHECK_LT(next_col_, schema_.num_columns());
+  ColumnBuffer& buf = columns_[next_col_];
+  // Materialize validity on the column's first null, backfilling the cells
+  // staged so far as valid; the null slot itself stages a placeholder so the
+  // typed vector stays parallel to validity.
+  size_t staged = 0;
+  switch (schema_.columns()[next_col_].type) {
+    case ColumnType::kInt:
+      staged = buf.ints.size();
+      break;
+    case ColumnType::kDouble:
+      staged = buf.reals.size();
+      break;
+    case ColumnType::kString:
+      staged = buf.strs.size();
+      break;
+  }
+  if (buf.validity.empty()) buf.validity.assign(staged, 1);
+  buf.validity.push_back(0);
+  switch (schema_.columns()[next_col_].type) {
+    case ColumnType::kInt:
+      buf.ints.push_back(0);
+      break;
+    case ColumnType::kDouble:
+      buf.reals.push_back(0.0);
+      break;
+    case ColumnType::kString:
+      buf.strs.emplace_back();
+      break;
+  }
+  ++next_col_;
   return *this;
 }
 

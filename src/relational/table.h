@@ -64,6 +64,14 @@ class Table {
 //                             .CommitRows();
 //   Staged batch:     RowBatch batch(schema); ...; appender.Append(batch);
 //
+// NULL cells ingest through every shape: `Begin().Int(1).Null().Commit()`
+// in the row builder, `AppendNullableColumn(col, values, validity)` in the
+// column path (validity[i] == 0 marks row i NULL; the paired value is a
+// placeholder and is not interned/stored), and `RowBatch::Null()` when
+// staging. The all-valid signatures are exact wrappers of the nullable
+// surface — ingesting the same all-valid data through either produces
+// byte-identical tables, fact ids and fingerprints.
+//
 // Cells go straight into the typed columns (one string intern per string
 // cell, no Value construction). The row-at-a-time path is a thin wrapper:
 // Commit() is CommitRows() over a single staged row. Column appends stage
@@ -80,6 +88,7 @@ class TableAppender {
   TableAppender& Int(int64_t v);
   TableAppender& Real(double v);
   TableAppender& Str(std::string_view s);
+  TableAppender& Null();  // a NULL cell, valid for any column type
   FactId Commit();  // finishes the row, registers and returns its fact id
 
   // Column-at-a-time bulk appends. `col` is the schema column index; ints
@@ -90,6 +99,24 @@ class TableAppender {
                               std::span<const std::string_view> values);
   TableAppender& AppendColumn(size_t col,
                               std::span<const std::string> values);
+
+  // Nullable column-at-a-time appends: values and validity are parallel
+  // spans (equal length, CHECK-enforced); validity[i] == 0 appends a NULL
+  // cell and ignores values[i] (string placeholders are not interned).
+  // `AppendColumn(col, values)` is exactly
+  // `AppendNullableColumn(col, values, all-ones)` minus the validity loads.
+  TableAppender& AppendNullableColumn(size_t col,
+                                      std::span<const int64_t> values,
+                                      std::span<const uint8_t> validity);
+  TableAppender& AppendNullableColumn(size_t col,
+                                      std::span<const double> values,
+                                      std::span<const uint8_t> validity);
+  TableAppender& AppendNullableColumn(size_t col,
+                                      std::span<const std::string_view> values,
+                                      std::span<const uint8_t> validity);
+  TableAppender& AppendNullableColumn(size_t col,
+                                      std::span<const std::string> values,
+                                      std::span<const uint8_t> validity);
 
   // Registers facts for the rows staged by AppendColumn since the last
   // commit and returns their ids in row order. CHECK-fails if the staged
@@ -133,6 +160,7 @@ class RowBatch {
   RowBatch& Int(int64_t v);
   RowBatch& Real(double v);
   RowBatch& Str(std::string_view s);
+  RowBatch& Null();  // a NULL cell, valid for any column type
   RowBatch& End();  // finishes the row
 
   size_t num_rows() const { return num_rows_; }
@@ -142,11 +170,15 @@ class RowBatch {
   friend class TableAppender;
 
   // One staging buffer per schema column; only the vector matching the
-  // column's type is used.
+  // column's type is used. `validity` stays empty until the column stages
+  // its first Null() (empty = all valid), so all-valid batches flush through
+  // the plain AppendColumn path byte-for-byte; once materialized, it runs
+  // parallel to the typed vector and null slots hold a placeholder cell.
   struct ColumnBuffer {
     std::vector<int64_t> ints;
     std::vector<double> reals;
     std::vector<std::string> strs;
+    std::vector<uint8_t> validity;
   };
 
   Schema schema_;

@@ -8,13 +8,21 @@
 namespace lshap {
 
 // Column data types supported by the engine. SPJU workloads in DBShap use
-// integers, floats and strings; NULLs appear only as generator artifacts.
+// integers, floats and strings; any column of any type may additionally
+// hold NULL cells (see ColumnData's validity bitmap, DESIGN.md §14).
 enum class ColumnType { kInt, kDouble, kString };
 
 const char* ColumnTypeName(ColumnType type);
 
 // A dynamically typed cell value. Small, regular, hashable and ordered, so
 // tuples can live in hash maps (join indexes, witness sets) and be sorted.
+// NULL is a first-class storable cell: Value::Null() (or a
+// default-constructed Value) ingests through Database::Insert and
+// TableAppender like any other cell. Variant equality deliberately says
+// Null() == Null() — that is what DISTINCT and witness-set comparison want;
+// predicate and join comparison go through three-valued MatchesPredicate3
+// and the join paths' null exclusion instead (SQL semantics: NULL compares
+// unknown to everything, including NULL).
 class Value {
  public:
   Value() : v_(std::monostate{}) {}
@@ -22,6 +30,11 @@ class Value {
   explicit Value(double d) : v_(d) {}
   explicit Value(std::string s) : v_(std::move(s)) {}
   explicit Value(const char* s) : v_(std::string(s)) {}
+
+  // The NULL cell, spelled as a factory so call sites read as intent
+  // (`appender.Begin().Int(1).Null()` ingests one; `Value::Null()` is the
+  // literal form) rather than as a leftover default construction.
+  static Value Null() { return Value(); }
 
   bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
   bool is_int() const { return std::holds_alternative<int64_t>(v_); }

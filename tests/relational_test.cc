@@ -207,11 +207,15 @@ TEST(DatabaseTest, InsertRejectsTypeMismatch) {
                   .ok());
   EXPECT_FALSE(db.Insert("t", {Value("oops"), Value("x")}).ok());
   EXPECT_FALSE(db.Insert("t", {Value(int64_t{1}), Value(int64_t{2})}).ok());
-  EXPECT_FALSE(db.Insert("t", {Value(), Value("x")}).ok());
   // A rejected row must not leave partial column state behind.
   EXPECT_EQ((*db.FindTable("t"))->num_rows(), 0u);
   ASSERT_TRUE(db.Insert("t", {Value(int64_t{1}), Value("x")}).ok());
   EXPECT_EQ((*db.FindTable("t"))->num_rows(), 1u);
+  // Value::Null() is NOT a mismatch: NULL is a storable cell for any column
+  // type (see null_semantics_test for the full ingest surface).
+  ASSERT_TRUE(db.Insert("t", {Value::Null(), Value("x")}).ok());
+  EXPECT_EQ((*db.FindTable("t"))->num_rows(), 2u);
+  EXPECT_TRUE((*db.FindTable("t"))->GetValue(1, 0).is_null());
 }
 
 TEST(OutputTupleTest, HashAndToString) {

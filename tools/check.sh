@@ -5,7 +5,9 @@
 #       full test suite.
 #   thread — TSan build tree (build-tsan), running the concurrency-heavy
 #       tests: the morsel-parallel evaluator differential tests
-#       (eval_property_test), the budget/cancellation machinery
+#       (eval_property_test), the null-semantics golden pins — parallel
+#       evaluation over validity bitmaps at 1/2/8 threads
+#       (null_semantics_test), the budget/cancellation machinery
 #       (budget_test), the ThreadPool stress test (common_test), the
 #       sharded metrics registry (metrics_test), the corpus shard
 #       streaming layer — concurrent ReadShard + cursor prefetch
@@ -35,7 +37,7 @@ case "$MODE" in
     CMAKE_MODE=thread
     # ^metrics_test$ is anchored: a bare 'metrics_test' would also match
     # ranking_metrics_test, which is single-threaded and slow under TSan.
-    TEST_ARGS=(-R 'eval_property_test|budget_test|common_test|^metrics_test$|corpus_stream_test|serving_test|quant_test')
+    TEST_ARGS=(-R 'eval_property_test|null_semantics_test|budget_test|common_test|^metrics_test$|corpus_stream_test|serving_test|quant_test')
     ;;
   serve)
     BUILD_DIR="${BUILD_DIR:-build}"
